@@ -1,0 +1,36 @@
+"""Regenerates Figure 2 and checks its qualitative claims."""
+
+from repro.experiments import figure2
+from repro.experiments.common import default_instances, default_scale
+
+
+def test_figure2(benchmark, save_result):
+    rows = benchmark.pedantic(
+        figure2.run,
+        kwargs={"scale": default_scale(), "instances": default_instances()},
+        rounds=1,
+        iterations=1,
+    )
+    save_result("figure2", figure2.render(rows))
+
+    tight = {r.name: r for r in rows if r.deadline_kind == "T"}
+    loose = {r.name: r for r in rows if r.deadline_kind == "L"}
+    assert len(tight) == 6 and len(loose) == 6
+
+    for name, row in tight.items():
+        # The headline claim: substantial savings at tight deadlines
+        # (paper: 43-61%; we accept a wider band for the scaled setup).
+        assert row.savings > 0.25, (name, row.savings)
+        # The complex core runs far below simple-fixed.
+        assert row.complex_mhz < row.simple_mhz
+        # Standby power favours the complex core (it runs at lower V).
+        assert row.savings_standby > row.savings - 0.05
+
+    for name, row in loose.items():
+        assert row.savings > 0.10, (name, row.savings)
+        # Savings shrink as deadlines loosen (both can slow down, and
+        # simple-fixed benefits more).
+        assert row.savings < tight[name].savings + 0.10
+
+    average_tight = sum(r.savings for r in tight.values()) / 6
+    assert 0.35 < average_tight < 0.80

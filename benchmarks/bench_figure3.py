@@ -1,0 +1,24 @@
+"""Regenerates Figure 3 (simple-fixed with a 1.5x frequency advantage)."""
+
+from repro.experiments import figure3
+from repro.experiments.common import default_instances, default_scale
+
+
+def test_figure3(benchmark, save_result):
+    rows = benchmark.pedantic(
+        figure3.run,
+        kwargs={"scale": default_scale(), "instances": default_instances()},
+        rounds=1,
+        iterations=1,
+    )
+    save_result("figure3", figure3.render(rows))
+    assert len(rows) == 6
+
+    for row in rows:
+        # Savings stay positive (paper: 10-38%) ...
+        assert row.savings > 0.0, (row.name, row.savings)
+        # ... but the frequency advantage compresses them well below the
+        # Figure 2 tight-deadline band's top end.
+        assert row.savings < 0.65, (row.name, row.savings)
+    average = sum(r.savings for r in rows) / len(rows)
+    assert 0.05 < average < 0.55

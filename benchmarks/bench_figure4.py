@@ -1,0 +1,38 @@
+"""Regenerates Figure 4 (induced mispredictions at 10/20/30%)."""
+
+from repro.experiments import figure4
+from repro.experiments.common import default_instances, default_scale
+
+
+def test_figure4(benchmark, save_result):
+    rows = benchmark.pedantic(
+        figure4.run,
+        kwargs={"scale": default_scale(), "instances": default_instances()},
+        rounds=1,
+        iterations=1,
+    )
+    save_result("figure4", figure4.render(rows))
+
+    by_bench = {}
+    for row in rows:
+        by_bench.setdefault(row.name, {})[row.rate] = row
+    assert len(by_bench) == 6
+
+    declines = 0
+    fired_anywhere = 0
+    for name, series in by_bench.items():
+        assert set(series) == {0.0, 0.1, 0.2, 0.3}
+        # Savings decline (or stay flat) as the misprediction rate rises.
+        # srt can stay flat: its input-dependent AET variance gives the
+        # last-10 PET enough headroom to absorb a flush without firing.
+        assert series[0.3].savings < series[0.0].savings + 0.07, name
+        if series[0.3].savings < series[0.0].savings - 0.05:
+            declines += 1
+        fired_anywhere += series[0.3].missed_checkpoints
+    # The paper's Figure 4 shape: the decline is real across the suite
+    # (proportional for most benchmarks; adpcm over-declines at our task
+    # scale — see EXPERIMENTS.md), and flushes genuinely fire checkpoints.
+    assert declines >= 4
+    assert fired_anywhere > 0
+    # Note: deadline safety for every instance is asserted inside
+    # figure4.run itself — a missed deadline raises DeadlineMissError.

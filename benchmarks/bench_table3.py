@@ -1,0 +1,34 @@
+"""Regenerates Table 3 and checks its qualitative claims."""
+
+from repro.experiments import table3
+from repro.experiments.common import default_scale
+
+
+def test_table3(benchmark, save_result):
+    rows = benchmark.pedantic(
+        table3.run, kwargs={"scale": default_scale()}, rounds=1, iterations=1
+    )
+    save_result("table3", table3.render(rows))
+
+    by_name = {r.name: r for r in rows}
+    assert set(by_name) == {"adpcm", "cnt", "fft", "lms", "mm", "srt"}
+
+    for row in rows:
+        # Safety: the WCET bound covers the actual execution.
+        assert row.wcet_over_simple >= 1.0, row
+        # The complex pipeline is substantially faster (paper: 3-6x; our
+        # adpcm sits lower because its predictor-state chain plus
+        # data-dependent quantizer branches serialize the event-driven
+        # OOO model harder than SimpleScalar — see EXPERIMENTS.md).
+        assert row.simple_over_complex > 1.7, row
+        # Deadlines bracket the WCET.
+        assert row.deadline_tight_us > row.wcet_us
+        assert row.deadline_loose_us > row.deadline_tight_us
+        # Sub-task counts are Table 3's.
+        expected = {"adpcm": 8, "cnt": 5}.get(row.name, 10)
+        assert row.subtasks == expected
+
+    # srt is the paper's outlier: triangular inner loop + early exit make
+    # its bound ~2x; the other kernels are analyzed much more tightly.
+    others = [r.wcet_over_simple for r in rows if r.name != "srt"]
+    assert by_name["srt"].wcet_over_simple > max(others)

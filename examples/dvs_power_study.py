@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Mini Figure-2: power of the VISA complex core vs the safe simple core.
+
+Runs one benchmark (default: lms) under both processors at a tight
+deadline and prints the steady-state power comparison with a per-unit
+energy breakdown — the Figure 2 experiment in miniature.
+
+Run:  python examples/dvs_power_study.py [benchmark]
+"""
+
+import sys
+from collections import defaultdict
+
+from repro import PowerModel
+from repro.experiments.common import OVHD, TIGHT_FACTOR, run_pair, setup
+from repro.power.report import energy_of_runs
+
+
+def breakdown(runs, model):
+    per_unit = defaultdict(float)
+    seconds = 0.0
+    for run in runs:
+        for phase in run.phases:
+            for unit, joules in model.phase_breakdown(phase).items():
+                per_unit[unit] += joules
+            seconds += phase.seconds
+    return per_unit, seconds
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "lms"
+    print(f"Preparing {name} (tiny scale, tight deadline)...")
+    prep = setup(name, "tiny")
+    deadline = TIGHT_FACTOR * prep.wcet_1ghz_seconds + OVHD
+    pair = run_pair(prep, deadline, instances=40)
+
+    skip = 20  # steady state only
+    visa_runs = pair.visa_runs[skip:]
+    simple_runs = pair.simple_runs[skip:]
+
+    print(f"\nSteady state ({len(visa_runs)} instances):")
+    print(f"  complex core:  f_spec {visa_runs[-1].f_spec.freq_hz / 1e6:.0f} MHz"
+          f" @ {visa_runs[-1].f_spec.volts:.2f} V,"
+          f" {sum(r.mispredicted for r in visa_runs)} missed checkpoints")
+    print(f"  simple-fixed:  f {simple_runs[-1].f_spec.freq_hz / 1e6:.0f} MHz"
+          f" @ {simple_runs[-1].f_spec.volts:.2f} V")
+
+    for standby in (False, True):
+        cx = PowerModel("complex", standby=standby)
+        sf = PowerModel("simple_fixed", standby=standby)
+        cx_watts = energy_of_runs(visa_runs, cx).average_watts
+        sf_watts = energy_of_runs(simple_runs, sf).average_watts
+        label = "with 10% standby" if standby else "perfect gating  "
+        print(f"\n  [{label}] complex {cx_watts:.3f} W vs "
+              f"simple-fixed {sf_watts:.3f} W "
+              f"-> savings {100 * (1 - cx_watts / sf_watts):.1f}%")
+
+    print("\nPer-unit energy, complex core (steady state):")
+    units, seconds = breakdown(visa_runs, PowerModel("complex"))
+    for unit, joules in sorted(units.items(), key=lambda kv: -kv[1]):
+        print(f"    {unit:14s} {joules * 1e6:8.2f} uJ "
+              f"({joules / seconds:6.3f} W avg)")
+
+
+if __name__ == "__main__":
+    main()

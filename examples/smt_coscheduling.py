@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""SMT co-scheduling: background threads alongside a hard real-time task.
+
+Models the paper's flagship future-work application (§1.1): the complex
+core shares its bandwidth with non-real-time threads while the watchdog
+keeps the hard task's checkpoints honest.  Sweeps the number of background
+threads and reports harvested throughput vs checkpoint pressure — and
+demonstrates that even under heavy contention plus an injected cache
+flush, no deadline is ever missed.
+
+Run:  python examples/smt_coscheduling.py
+"""
+
+from repro import RuntimeConfig, VISASpec, get_workload
+from repro.visa.smt import SMTConfig, SMTVISARuntime, partitioned_params
+from repro.pipelines.ooo.core import OOOParams
+from repro.wcet.dcache_pad import calibrate_dcache_bounds
+
+OVHD = 2e-6
+
+
+def main() -> None:
+    workload = get_workload("lms", "tiny")
+    bounds = calibrate_dcache_bounds(workload)
+    analyzer = VISASpec().analyzer(workload.program)
+    analyzer.dcache_bounds = bounds
+    deadline = 1.25 * analyzer.analyze(1e9).total_seconds + OVHD
+    print(f"lms (tiny), deadline {deadline * 1e6:.2f} us, 30 instances\n")
+
+    print(f"{'threads':>7}  {'RT width':>8}  {'bg slots/cyc':>12}  "
+          f"{'missed ckpts':>12}  {'deadlines':>9}")
+    for threads in (0, 1, 2, 4):
+        smt = SMTConfig(background_threads=threads)
+        params = partitioned_params(OOOParams(), smt)
+        config = RuntimeConfig(deadline=deadline, instances=30, ovhd=OVHD)
+        runtime = SMTVISARuntime(workload, config, smt, dcache_bounds=bounds)
+        runs = runtime.run(flush_instances={28})  # adversarial flush, too
+        report = runtime.report(runs)
+        ok = all(r.deadline_met for r in runs)
+        print(f"{threads:>7}  {params.issue_width:>8}  "
+              f"{report.background_share:>11.0%}  "
+              f"{report.missed_checkpoints:>12}  "
+              f"{'all met' if ok else 'MISSED':>9}")
+
+    print("\nReading: more background threads squeeze the RT thread's "
+          "bandwidth, raising\ncheckpoint pressure — but a missed "
+          "checkpoint just idles the background threads\nand finishes in "
+          "simple mode; the hard deadline holds in every row.")
+
+
+if __name__ == "__main__":
+    main()

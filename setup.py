@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+All metadata lives in pyproject.toml; this file only enables legacy
+(`pip install -e . --no-use-pep517`) editable installs offline.
+"""
+from setuptools import setup
+
+setup()

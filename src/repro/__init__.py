@@ -1,0 +1,84 @@
+"""VISA: Virtual Simple Architecture — a full reproduction of
+Anantaraman et al., ISCA 2003.
+
+The package layers, bottom to top:
+
+* :mod:`repro.isa` — the RTP-32 instruction set, assembler, encoder.
+* :mod:`repro.minicc` — a small C compiler targeting RTP-32.
+* :mod:`repro.memory` — memory, caches, memory-mapped devices.
+* :mod:`repro.pipelines` — cycle-level simple (in-order) and complex
+  (out-of-order) cores, including the complex core's simple mode.
+* :mod:`repro.wcet` — static worst-case execution time analysis.
+* :mod:`repro.visa` — the paper's contribution: checkpoints, watchdog,
+  frequency speculation, and the run-time system.
+* :mod:`repro.power` — Wattch-style power modelling.
+* :mod:`repro.workloads` — the six C-lab benchmarks.
+* :mod:`repro.experiments` — Table 3 / Figures 2-4 drivers.
+* :mod:`repro.rt` — schedulability extensions (RM/EDF).
+
+Quick start::
+
+    from repro import compile_source, Machine, InOrderCore, WCETAnalyzer
+
+    program = compile_source("void main() { __out(2 + 2); }")
+    machine = Machine(program)
+    InOrderCore(machine).run()
+    print(machine.mmio.console)            # [(cycle, 4)]
+    print(WCETAnalyzer(program).analyze(1e9).total_cycles)
+"""
+
+from repro.errors import (
+    AnalysisError,
+    AssemblerError,
+    CompileError,
+    DeadlineMissError,
+    InfeasibleError,
+    ReproError,
+    SimulationError,
+)
+from repro.isa import Program, assemble, disassemble
+from repro.memory import Machine
+from repro.minicc import compile_source, compile_to_asm
+from repro.pipelines import InOrderCore
+from repro.pipelines.ooo import ComplexCore, OOOParams
+from repro.power import PowerModel
+from repro.visa import (
+    DVSTable,
+    RuntimeConfig,
+    VISARuntime,
+    VISASpec,
+)
+from repro.visa.runtime import SimpleFixedRuntime
+from repro.wcet import WCETAnalyzer
+from repro.workloads import all_workloads, get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisError",
+    "AssemblerError",
+    "CompileError",
+    "DeadlineMissError",
+    "InfeasibleError",
+    "ReproError",
+    "SimulationError",
+    "Program",
+    "assemble",
+    "disassemble",
+    "Machine",
+    "compile_source",
+    "compile_to_asm",
+    "InOrderCore",
+    "ComplexCore",
+    "OOOParams",
+    "PowerModel",
+    "DVSTable",
+    "RuntimeConfig",
+    "VISARuntime",
+    "SimpleFixedRuntime",
+    "VISASpec",
+    "WCETAnalyzer",
+    "all_workloads",
+    "get_workload",
+    "__version__",
+]

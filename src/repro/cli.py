@@ -1,0 +1,227 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``compile FILE``   — compile MiniC to RTP-32 assembly (stdout).
+* ``asm FILE``       — assemble and hex-dump a program.
+* ``disasm FILE``    — compile/assemble, then disassemble with addresses.
+* ``run FILE``       — execute on a core (``--core simple|complex``),
+  print console output and cycle statistics.
+* ``wcet FILE``      — per-sub-task WCETs (``--freq`` selectable).
+* ``pack FILE OUT``  — write a timed binary (program + parameterized WCET).
+* ``experiment NAME``— run table3 / figure2 / figure3 / figure4.
+
+MiniC files use extension ``.c`` (anything other than ``.s``/``.asm``);
+assembly files use ``.s``/``.asm``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble
+from repro.memory.machine import Machine
+from repro.minicc import compile_source, compile_to_asm
+from repro.pipelines.inorder import InOrderCore
+from repro.pipelines.ooo.core import ComplexCore
+from repro.visa.binary import attach_wcet, dumps
+from repro.wcet.analyzer import WCETAnalyzer
+from repro.wcet.dcache_pad import measure_dcache_misses
+
+
+def _load_program(path: str):
+    text = pathlib.Path(path).read_text()
+    if path.endswith((".s", ".asm")):
+        return assemble(text)
+    return compile_source(text)
+
+
+def cmd_compile(args) -> int:
+    """``compile``: MiniC -> assembly on stdout."""
+    print(compile_to_asm(pathlib.Path(args.file).read_text()), end="")
+    return 0
+
+
+def cmd_asm(args) -> int:
+    """``asm``: assemble and hex-dump instruction words."""
+    program = _load_program(args.file)
+    for i, word in enumerate(program.words):
+        print(f"{program.text_base + 4 * i:#010x}  {word:08x}")
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    """``disasm``: disassemble with labels and addresses."""
+    program = _load_program(args.file)
+    labels = {addr: name for name, addr in program.symbols.items()}
+    for i, word in enumerate(program.words):
+        addr = program.text_base + 4 * i
+        if addr in labels:
+            print(f"{labels[addr]}:")
+        print(f"  {addr:#010x}  {disassemble(word, addr)}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    """``run``: execute on a simulated core; print console + stats."""
+    program = _load_program(args.file)
+    machine = Machine(program)
+    core_cls = ComplexCore if args.core == "complex" else InOrderCore
+    core = core_cls(machine, freq_hz=args.freq * 1e6)
+    result = core.run()
+    for cycle, value in machine.mmio.console:
+        print(f"[cycle {cycle}] {value}")
+    print(
+        f"# {result.reason}: {result.end_cycle} cycles, "
+        f"{core.state.instret} instructions "
+        f"(IPC {core.state.instret / max(1, result.end_cycle):.2f}) "
+        f"on the {args.core} core @ {args.freq:.0f} MHz",
+        file=sys.stderr,
+    )
+    print(
+        f"# I-cache {machine.icache.stats.misses}/{machine.icache.stats.accesses} "
+        f"misses, D-cache {machine.dcache.stats.misses}/"
+        f"{machine.dcache.stats.accesses} misses",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_wcet(args) -> int:
+    """``wcet``: per-sub-task static WCET report."""
+    program = _load_program(args.file)
+    analyzer = WCETAnalyzer(program)
+    analyzer.dcache_bounds = measure_dcache_misses(program)
+    task = analyzer.analyze(args.freq * 1e6)
+    print(f"WCET @ {args.freq:.0f} MHz (memory stall {task.stall} cycles):")
+    for sub in task.subtasks:
+        print(
+            f"  sub-task {sub.index}: {sub.total_cycles} cycles "
+            f"({sub.cycles} pipeline + {sub.dmiss_bound} D-miss pad)"
+        )
+    print(
+        f"  total: {task.total_cycles} cycles = "
+        f"{task.total_seconds * 1e6:.2f} us"
+    )
+    return 0
+
+
+def cmd_pack(args) -> int:
+    """``pack``: write a timed binary (program + WCET params)."""
+    program = _load_program(args.file)
+    binary = attach_wcet(
+        program, dcache_bounds=measure_dcache_misses(program)
+    )
+    pathlib.Path(args.out).write_text(dumps(binary))
+    print(
+        f"wrote {args.out}: {len(program.words)} instructions, "
+        f"{len(binary.params)} sub-task WCET parameters, "
+        f"VISA {binary.fingerprint}"
+    )
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """``trace``: textbook pipeline diagram on the VISA pipeline."""
+    from repro.tools.trace import trace_inorder
+
+    program = _load_program(args.file)
+    trace = trace_inorder(program, max_instructions=args.n)
+    print(trace.render(max_width=args.width))
+    print(
+        f"# {len(trace.rows)} instructions over {trace.cycles} cycles "
+        "on the VISA pipeline (lowercase r = register-read stall)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    """``experiment``: run one of the paper's experiments."""
+    from repro.experiments import figure2, figure3, figure4, table3
+
+    modules = {
+        "table3": table3,
+        "figure2": figure2,
+        "figure3": figure3,
+        "figure4": figure4,
+    }
+    modules[args.name].main()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command-line parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="VISA (ISCA 2003) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="MiniC -> assembly")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("asm", help="assemble and hex-dump")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_asm)
+
+    p = sub.add_parser("disasm", help="disassemble with labels")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_disasm)
+
+    p = sub.add_parser("run", help="execute on a simulated core")
+    p.add_argument("file")
+    p.add_argument("--core", choices=["simple", "complex"], default="simple")
+    p.add_argument("--freq", type=float, default=1000.0, help="MHz")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("wcet", help="static WCET analysis")
+    p.add_argument("file")
+    p.add_argument("--freq", type=float, default=1000.0, help="MHz")
+    p.set_defaults(func=cmd_wcet)
+
+    p = sub.add_parser("pack", help="write a timed binary (WCET attached)")
+    p.add_argument("file")
+    p.add_argument("out")
+    p.set_defaults(func=cmd_pack)
+
+    p = sub.add_parser("trace", help="pipeline diagram on the VISA pipeline")
+    p.add_argument("file")
+    p.add_argument("--n", type=int, default=48, help="max instructions")
+    p.add_argument("--width", type=int, default=120, help="max cycle columns")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("experiment", help="run a paper experiment")
+    p.add_argument(
+        "name", choices=["table3", "figure2", "figure3", "figure4"]
+    )
+    p.set_defaults(func=cmd_experiment)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    Library errors (compile errors, analysis failures, infeasible
+    deadlines) are reported as one-line diagnostics, not tracebacks.
+    """
+    from repro.errors import ReproError
+
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

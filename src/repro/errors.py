@@ -1,0 +1,66 @@
+"""Exception hierarchy for the VISA reproduction library.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch library failures without masking unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class AssemblerError(ReproError):
+    """Raised when assembly source cannot be assembled.
+
+    Carries the source line number (1-based) when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class EncodingError(ReproError):
+    """Raised when an instruction cannot be encoded or decoded."""
+
+
+class CompileError(ReproError):
+    """Raised by the mini-C compiler for lexical, syntax, or semantic errors."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class SimulationError(ReproError):
+    """Raised when a simulated program performs an illegal operation."""
+
+
+class MemoryError_(SimulationError):
+    """Raised on invalid memory accesses (misaligned or unmapped)."""
+
+
+class AnalysisError(ReproError):
+    """Raised when static WCET analysis cannot bound a program.
+
+    Typical causes: a loop without a ``.loopbound`` annotation, irreducible
+    control flow, or recursion.
+    """
+
+
+class InfeasibleError(ReproError):
+    """Raised when no frequency assignment can satisfy the deadline."""
+
+
+class DeadlineMissError(ReproError):
+    """Raised if a hard deadline is ever missed during simulation.
+
+    This indicates a bug in the framework (or a deliberately unsafe
+    configuration): the whole point of VISA is that this never happens.
+    """

@@ -1,0 +1,69 @@
+"""Terminal bar charts for the figure experiments.
+
+The paper's Figures 2-4 are grouped bar charts; these helpers render the
+same data as unicode horizontal bars so an experiment run ends with
+something that *looks* like the figure, not just a table.
+"""
+
+from __future__ import annotations
+
+BAR = "█"
+HALF = "▌"
+
+
+def hbar_chart(
+    rows: list[tuple[str, float]],
+    title: str = "",
+    unit: str = "%",
+    width: int = 48,
+    lo: float | None = None,
+    hi: float | None = None,
+) -> str:
+    """Render labelled values as horizontal bars.
+
+    Negative values extend left of the axis, mirroring how a savings loss
+    reads in the paper's figures.
+
+    >>> print(hbar_chart([("a", 50.0), ("b", -10.0)], width=10))  # doctest: +SKIP
+    """
+    if not rows:
+        return "(no data)"
+    values = [v for _, v in rows]
+    lo = min(0.0, min(values)) if lo is None else lo
+    hi = max(0.0, max(values)) if hi is None else hi
+    span = max(hi - lo, 1e-9)
+    label_width = max(len(label) for label, _ in rows)
+    zero_col = round((0.0 - lo) / span * width)
+
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in rows:
+        col = round((value - lo) / span * width)
+        left, right = min(col, zero_col), max(col, zero_col)
+        cells = [" "] * (width + 1)
+        for i in range(left, right):
+            cells[i] = BAR
+        if value == 0:
+            cells[zero_col] = HALF
+        bar = "".join(cells)
+        lines.append(f"{label.rjust(label_width)} |{bar} {value:.1f}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_chart(
+    groups: dict[str, list[tuple[str, float]]],
+    title: str = "",
+    unit: str = "%",
+    width: int = 48,
+) -> str:
+    """Render one bar block per group (e.g. per benchmark)."""
+    all_values = [v for rows in groups.values() for _, v in rows]
+    lo = min(0.0, min(all_values, default=0.0))
+    hi = max(0.0, max(all_values, default=1.0))
+    parts = [title] if title else []
+    for name, rows in groups.items():
+        parts.append(
+            hbar_chart(rows, title=name, unit=unit, width=width, lo=lo, hi=hi)
+        )
+    return "\n\n".join(parts)

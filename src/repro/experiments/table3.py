@@ -1,0 +1,133 @@
+"""Table 3: benchmark characteristics and timing-analysis results (§5.3, §6.1).
+
+Per benchmark: dynamic instruction count for one task, sub-task count,
+tight/loose deadlines, WCET bound at 1 GHz, actual execution time on
+``simple-fixed`` and on the complex processor at 1 GHz, and the two ratios
+the paper discusses: WCET/simple (analyzer tightness; ~1 for most
+benchmarks, ~2 for srt) and simple/complex (the ILP speedup the VISA
+framework harvests; 3-6x in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import (
+    Setup,
+    default_scale,
+    format_table,
+    setup,
+)
+from repro.memory.machine import Machine
+from repro.pipelines.inorder import InOrderCore
+from repro.pipelines.ooo.core import ComplexCore
+from repro.visa.spec import VISASpec
+from repro.workloads import WORKLOAD_NAMES
+
+
+@dataclass
+class Table3Row:
+    name: str
+    dyn_instructions: int
+    subtasks: int
+    deadline_tight_us: float
+    deadline_loose_us: float
+    wcet_us: float
+    actual_simple_us: float
+    actual_complex_us: float
+
+    @property
+    def wcet_over_simple(self) -> float:
+        return self.wcet_us / self.actual_simple_us
+
+    @property
+    def simple_over_complex(self) -> float:
+        return self.actual_simple_us / self.actual_complex_us
+
+
+def measure_actual(prep: Setup, core_kind: str, freq_hz: float = 1e9) -> tuple[int, int]:
+    """(cycles, instructions) for one steady-state task execution.
+
+    The paper models periodic tasks executed 200 times in a row; the
+    representative "actual time for 1 task" is therefore a warm execution
+    (we run two instances and report the second).
+    """
+    spec = VISASpec()
+    program = prep.workload.program
+    machine = spec.machine(program)
+    if core_kind == "simple":
+        core = InOrderCore(machine, freq_hz=freq_hz)
+    else:
+        core = ComplexCore(machine, freq_hz=freq_hz)
+    cycles = instructions = 0
+    for seed in (0, 1):
+        inputs = prep.workload.generate_inputs(seed)
+        prep.workload.apply_inputs(machine, inputs)
+        core.state.pc = program.entry
+        core.state.halted = False
+        if hasattr(core, "drain"):
+            core.drain()
+        start_cycle, start_instr = core.state.now, core.state.instret
+        result = core.run()
+        assert result.reason == "halt"
+        prep.workload.check_outputs(machine, inputs)
+        cycles = result.end_cycle - start_cycle
+        instructions = core.state.instret - start_instr
+    return cycles, instructions
+
+
+def run(scale: str | None = None) -> list[Table3Row]:
+    """Run the experiment; returns one row per benchmark."""
+    scale = scale or default_scale()
+    rows = []
+    for name in WORKLOAD_NAMES:
+        prep = setup(name, scale)
+        simple_cycles, instructions = measure_actual(prep, "simple")
+        complex_cycles, _ = measure_actual(prep, "complex")
+        rows.append(
+            Table3Row(
+                name=name,
+                dyn_instructions=instructions,
+                subtasks=prep.workload.subtasks,
+                deadline_tight_us=prep.deadline_tight * 1e6,
+                deadline_loose_us=prep.deadline_loose * 1e6,
+                wcet_us=prep.wcet_1ghz_seconds * 1e6,
+                actual_simple_us=simple_cycles / 1e3,
+                actual_complex_us=complex_cycles / 1e3,
+            )
+        )
+    return rows
+
+
+def render(rows: list[Table3Row]) -> str:
+    """Render the measured rows as an aligned text table."""
+    headers = [
+        "bench", "dyn.inst", "#sub", "tight(us)", "loose(us)",
+        "WCET(us)", "simple(us)", "complex(us)", "WCET/simple", "simple/complex",
+    ]
+    body = [
+        [
+            r.name,
+            str(r.dyn_instructions),
+            str(r.subtasks),
+            f"{r.deadline_tight_us:.1f}",
+            f"{r.deadline_loose_us:.1f}",
+            f"{r.wcet_us:.1f}",
+            f"{r.actual_simple_us:.1f}",
+            f"{r.actual_complex_us:.1f}",
+            f"{r.wcet_over_simple:.2f}",
+            f"{r.simple_over_complex:.2f}",
+        ]
+        for r in rows
+    ]
+    return format_table(headers, body)
+
+
+def main() -> None:
+    """Command-line entry point: run and print the experiment."""
+    print("Table 3 reproduction (scale=%s)" % default_scale())
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

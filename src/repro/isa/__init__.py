@@ -1,0 +1,35 @@
+"""RTP-32: the RISC instruction set used throughout this reproduction.
+
+The paper uses the SimpleScalar PISA instruction set (a MIPS derivative)
+compiled with gcc.  We substitute RTP-32, a MIPS-like 32-bit RISC ISA with:
+
+* 32 integer registers (``r0`` hardwired to zero) and 32 FP registers,
+* fixed 4-byte instructions in R/I/J formats with a full binary
+  encoder/decoder,
+* MIPS R10K execution latencies (Table 1 of the paper),
+* backward-taken / forward-not-taken static-prediction-friendly branches.
+
+Public entry points:
+
+* :func:`repro.isa.assembler.assemble` — assembly text -> :class:`Program`
+* :class:`repro.isa.program.Program` — loadable binary image with symbols,
+  loop-bound annotations, and sub-task markers
+* :func:`repro.isa.encoding.encode` / :func:`repro.isa.encoding.decode`
+"""
+
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble
+from repro.isa.encoding import decode, encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.isa.program import Program
+
+__all__ = [
+    "assemble",
+    "disassemble",
+    "encode",
+    "decode",
+    "Instruction",
+    "Op",
+    "Program",
+]

@@ -1,0 +1,60 @@
+"""Disassembler for RTP-32 instruction words.
+
+Produces assembler-compatible text: for any instruction the assembler can
+emit, ``assemble(disassemble(encode(inst)))`` round-trips (modulo label
+names, which become absolute addresses).
+"""
+
+from __future__ import annotations
+
+from repro.isa.encoding import decode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import INFO
+from repro.isa.registers import fp_reg_name, int_reg_name
+
+
+def disassemble_instruction(inst: Instruction) -> str:
+    """Render one decoded instruction as assembly text."""
+    info = INFO[inst.op]
+    slots = [s for s in info.syntax.split(",") if s]
+    rendered = []
+    for slot in slots:
+        if slot == "rd":
+            rendered.append(int_reg_name(inst.rd))
+        elif slot == "fd":
+            rendered.append(fp_reg_name(inst.rd))
+        elif slot == "rs":
+            rendered.append(int_reg_name(inst.rs))
+        elif slot == "fs":
+            rendered.append(fp_reg_name(inst.rs))
+        elif slot == "rt":
+            rendered.append(int_reg_name(inst.rt))
+        elif slot == "ft":
+            rendered.append(fp_reg_name(inst.rt))
+        elif slot == "shamt":
+            rendered.append(str(inst.shamt))
+        elif slot == "imm":
+            rendered.append(str(inst.imm))
+        elif slot == "label":
+            if inst.addr is not None:
+                rendered.append(hex(inst.branch_target()))
+            else:
+                rendered.append(f".{inst.imm:+d}")
+        elif slot == "target":
+            if inst.addr is not None:
+                rendered.append(hex(inst.jump_target()))
+            else:
+                rendered.append(hex(inst.target << 2))
+        elif slot == "off(rs)":
+            rendered.append(f"{inst.imm}({int_reg_name(inst.rs)})")
+    if not rendered:
+        return inst.op.value
+    return f"{inst.op.value} {', '.join(rendered)}"
+
+
+def disassemble(word: int, addr: int | None = None) -> str:
+    """Decode and render a 32-bit instruction word."""
+    return disassemble_instruction(decode(word, addr))
+
+
+__all__ = ["disassemble", "disassemble_instruction"]

@@ -1,0 +1,186 @@
+"""Decoded-instruction representation for RTP-32.
+
+:class:`Instruction` is the unit that flows through both pipeline simulators
+and the static analyzer.  Register operands are exposed uniformly as
+``(bank, number)`` pairs, where ``bank`` is ``"i"`` (integer) or ``"f"``
+(floating point), so pipeline hazard logic never needs per-opcode special
+cases.
+
+Instances are immutable once built and are created either by the assembler
+or by :func:`repro.isa.encoding.decode`.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import (
+    BRANCH_OPS,
+    DIRECT_JUMP_OPS,
+    INDIRECT_JUMP_OPS,
+    INFO,
+    LOAD_OPS,
+    STORE_OPS,
+    Fmt,
+    FuClass,
+    Op,
+)
+from repro.isa.registers import RA
+
+IntReg = int
+RegRef = tuple[str, int]  # ("i" | "f", register number)
+
+
+class Instruction:
+    """One decoded RTP-32 instruction.
+
+    Attributes:
+        op: The :class:`~repro.isa.opcodes.Op`.
+        rd, rs, rt: Register slots.  For FP instructions the same slots hold
+            fd/fs/ft respectively; use :attr:`sources` / :attr:`dest` for
+            bank-aware access.
+        shamt: Shift amount for immediate shifts.
+        imm: Sign-interpreted 16-bit immediate (branch offsets in words).
+        target: 26-bit jump target field for J-format.
+        addr: Instruction address once placed in a program image (else None).
+    """
+
+    __slots__ = (
+        "op", "rd", "rs", "rt", "shamt", "imm", "target", "addr",
+        "sources", "dest", "info", "latency", "is_load", "is_store",
+        "is_branch", "is_direct_jump", "is_indirect_jump", "is_control",
+        "is_mem", "fu_class",
+    )
+
+    def __init__(
+        self,
+        op: Op,
+        rd: int = 0,
+        rs: int = 0,
+        rt: int = 0,
+        shamt: int = 0,
+        imm: int = 0,
+        target: int = 0,
+        addr: int | None = None,
+    ):
+        self.op = op
+        self.rd = rd
+        self.rs = rs
+        self.rt = rt
+        self.shamt = shamt
+        self.imm = imm
+        self.target = target
+        self.addr = addr
+        self.info = INFO[op]
+        self.latency = self.info.latency
+        self.is_load = op in LOAD_OPS
+        self.is_store = op in STORE_OPS
+        self.is_mem = self.is_load or self.is_store
+        self.is_branch = op in BRANCH_OPS
+        self.is_direct_jump = op in DIRECT_JUMP_OPS
+        self.is_indirect_jump = op in INDIRECT_JUMP_OPS
+        self.is_control = (
+            self.is_branch or self.is_direct_jump or self.is_indirect_jump
+        )
+        self.fu_class = self.info.cls
+        self.sources, self.dest = _operand_map(self)
+
+    def with_addr(self, addr: int) -> "Instruction":
+        """Return a copy of this instruction placed at ``addr``."""
+        return Instruction(
+            self.op, self.rd, self.rs, self.rt,
+            self.shamt, self.imm, self.target, addr,
+        )
+
+    def branch_target(self) -> int:
+        """Absolute target address of a conditional branch.
+
+        Branch offsets are in words relative to the *next* instruction,
+        matching MIPS semantics.
+        """
+        assert self.is_branch and self.addr is not None
+        return self.addr + 4 + (self.imm << 2)
+
+    def jump_target(self) -> int:
+        """Absolute target address of a direct jump (J-format)."""
+        assert self.is_direct_jump and self.addr is not None
+        return ((self.addr + 4) & 0xF0000000) | (self.target << 2)
+
+    def is_backward_branch(self) -> bool:
+        """True when this conditional branch targets a lower address.
+
+        The VISA's static predictor predicts backward branches taken and
+        forward branches not-taken (BTFN).
+        """
+        assert self.is_branch
+        return self.imm < 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        from repro.isa.disassembler import disassemble_instruction
+
+        where = f"@{self.addr:#x}" if self.addr is not None else ""
+        return f"<{disassemble_instruction(self)}{where}>"
+
+
+def _operand_map(inst: Instruction) -> tuple[tuple[RegRef, ...], RegRef | None]:
+    """Compute (sources, dest) register references for ``inst``."""
+    op = inst.op
+    fmt = inst.info.fmt
+    syntax = inst.info.syntax
+
+    if op is Op.HALT:
+        return (), None
+    if op is Op.J:
+        return (), None
+    if op is Op.JAL:
+        return (), ("i", RA)
+    if op is Op.JR:
+        return (("i", inst.rs),), None
+    if op is Op.JALR:
+        return (("i", inst.rs),), ("i", inst.rd)
+    if op is Op.LUI:
+        return (), ("i", inst.rt)
+    if inst.is_branch:
+        if op in (Op.BLEZ, Op.BGTZ):
+            return (("i", inst.rs),), None
+        return (("i", inst.rs), ("i", inst.rt)), None
+    if op is Op.LW:
+        return (("i", inst.rs),), ("i", inst.rt)
+    if op is Op.FLW:
+        return (("i", inst.rs),), ("f", inst.rt)
+    if op is Op.SW:
+        return (("i", inst.rs), ("i", inst.rt)), None
+    if op is Op.FSW:
+        return (("i", inst.rs), ("f", inst.rt)), None
+    if fmt is Fmt.F:
+        if op in (Op.FEQ, Op.FLT_, Op.FLE):
+            return (("f", inst.rs), ("f", inst.rt)), ("i", inst.rd)
+        if op is Op.ITOF:
+            return (("i", inst.rs),), ("f", inst.rd)
+        if op is Op.FTOI:
+            return (("f", inst.rs),), ("i", inst.rd)
+        if "ft" in syntax:  # 3-operand FP arithmetic
+            return (("f", inst.rs), ("f", inst.rt)), ("f", inst.rd)
+        return (("f", inst.rs),), ("f", inst.rd)  # 2-operand FP
+    if fmt is Fmt.I:  # immediate ALU
+        return (("i", inst.rs),), ("i", inst.rt)
+    # R-type ALU / shifts.
+    if "shamt" in syntax:
+        return (("i", inst.rt),), ("i", inst.rd)
+    if syntax == "rd,rt,rs":  # variable shifts
+        return (("i", inst.rt), ("i", inst.rs)), ("i", inst.rd)
+    return (("i", inst.rs), ("i", inst.rt)), ("i", inst.rd)
+
+
+#: Latency classes that keep the single VISA function unit busy for more
+#: than one cycle (structural hazard source in the in-order pipeline).
+MULTI_CYCLE_CLASSES = frozenset(
+    {
+        FuClass.IMUL,
+        FuClass.IDIV,
+        FuClass.FPADD,
+        FuClass.FPMUL,
+        FuClass.FPDIV,
+        FuClass.FPSQRT,
+        FuClass.FPCMP,
+        FuClass.CONV,
+    }
+)

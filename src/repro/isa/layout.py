@@ -1,0 +1,51 @@
+"""Memory map of the simulated machine.
+
+The layout mirrors a classic MIPS/SimpleScalar process image: text low,
+static data above it, stack growing down from high memory, and a page of
+memory-mapped device registers at the top of the address space.
+
+Memory-mapped registers (paper §2.2 and §4.3):
+
+========================  ==========================================
+``WATCHDOG_COUNT``        watchdog counter; hardware decrements it every
+                          cycle while enabled; reaching zero raises a
+                          missed-checkpoint exception (if unmasked)
+``WATCHDOG_CTRL``         bit 0 enables the watchdog
+``CYCLE_COUNT``           free-running cycle counter; writes reset it
+``CONSOLE_OUT``           debug output port (writes are logged)
+``FREQ_CUR``              current frequency, Hz (set by the runtime)
+``FREQ_REC``              recovery frequency, Hz (set by the runtime)
+``WATCHDOG_ADD``          write-only: atomically adds the written value
+                          to ``WATCHDOG_COUNT`` (sub-task snippets use
+                          this to advance the interim deadline)
+========================  ==========================================
+"""
+
+from __future__ import annotations
+
+TEXT_BASE = 0x0040_0000
+DATA_BASE = 0x1000_0000
+STACK_TOP = 0x7FFF_FFF0
+STACK_SIZE = 1 << 20  # reserved; the simulator only checks alignment
+
+MMIO_BASE = 0xFFFF_0000
+
+WATCHDOG_COUNT = MMIO_BASE + 0x00
+WATCHDOG_CTRL = MMIO_BASE + 0x04
+CYCLE_COUNT = MMIO_BASE + 0x08
+CONSOLE_OUT = MMIO_BASE + 0x0C
+FREQ_CUR = MMIO_BASE + 0x10
+FREQ_REC = MMIO_BASE + 0x14
+WATCHDOG_ADD = MMIO_BASE + 0x1C
+
+#: Data-segment symbols created automatically when a program uses sub-task
+#: markers.  ``__visa_incr[k]`` holds the watchdog increment (cycles) that
+#: sub-task k's prologue snippet adds; ``__visa_aet[k]`` receives the actual
+#: execution time (cycles) measured for sub-task k.
+VISA_INCR_SYMBOL = "__visa_incr"
+VISA_AET_SYMBOL = "__visa_aet"
+
+
+def is_mmio(addr: int) -> bool:
+    """True when ``addr`` falls in the memory-mapped device page."""
+    return addr >= MMIO_BASE

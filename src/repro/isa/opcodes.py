@@ -1,0 +1,253 @@
+"""Opcode tables, instruction formats, and execution latencies for RTP-32.
+
+Every instruction is described declaratively by an :class:`OpInfo` record:
+its binary encoding slots, its assembly operand syntax, the functional-unit
+class it executes on, and its execution latency.  The latencies follow the
+MIPS R10000, as required by Table 1 of the paper.
+
+The single source of truth here is consumed by the assembler, the
+encoder/decoder, the disassembler, both pipeline simulators, and the static
+WCET analyzer, so the timing model can never drift between the dynamic and
+static sides.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Fmt(enum.Enum):
+    """Binary instruction format."""
+
+    R = "R"  # opcode | rs | rt | rd | shamt | funct
+    I = "I"  # opcode | rs | rt | imm16
+    J = "J"  # opcode | target26
+    F = "F"  # FP: opcode 0x11 | fs | ft | fd | 0 | funct
+
+
+class FuClass(enum.Enum):
+    """Functional-unit operation class, keyed to an execution latency."""
+
+    IALU = "ialu"
+    IMUL = "imul"
+    IDIV = "idiv"
+    FPADD = "fpadd"
+    FPMUL = "fpmul"
+    FPDIV = "fpdiv"
+    FPSQRT = "fpsqrt"
+    FPCMP = "fpcmp"
+    CONV = "conv"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    JUMP = "jump"
+    SYSTEM = "system"
+
+
+#: Execution latency in cycles per functional-unit class (MIPS R10K).
+#: For loads/stores this is the address-generation + cache-hit latency;
+#: cache misses add memory stall time on top (Table 1: 100 ns worst case).
+LATENCY = {
+    FuClass.IALU: 1,
+    FuClass.IMUL: 6,
+    FuClass.IDIV: 35,
+    FuClass.FPADD: 2,
+    FuClass.FPMUL: 2,
+    FuClass.FPDIV: 12,
+    FuClass.FPSQRT: 18,
+    FuClass.FPCMP: 2,
+    FuClass.CONV: 2,
+    FuClass.LOAD: 1,
+    FuClass.STORE: 1,
+    FuClass.BRANCH: 1,
+    FuClass.JUMP: 1,
+    FuClass.SYSTEM: 1,
+}
+
+
+class Op(enum.Enum):
+    """All RTP-32 machine instructions (pseudo-instructions excluded)."""
+
+    # Integer R-type.
+    SLL = "sll"
+    SRL = "srl"
+    SRA = "sra"
+    SLLV = "sllv"
+    SRLV = "srlv"
+    SRAV = "srav"
+    JR = "jr"
+    JALR = "jalr"
+    MUL = "mul"
+    DIV = "div"
+    REM = "rem"
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOR = "nor"
+    SLT = "slt"
+    SLTU = "sltu"
+    # Integer I-type.
+    ADDI = "addi"
+    SLTI = "slti"
+    SLTIU = "sltiu"
+    ANDI = "andi"
+    ORI = "ori"
+    XORI = "xori"
+    LUI = "lui"
+    LW = "lw"
+    SW = "sw"
+    # Branches (I-type, PC-relative word offset).
+    BEQ = "beq"
+    BNE = "bne"
+    BLEZ = "blez"
+    BGTZ = "bgtz"
+    BLT = "blt"
+    BGE = "bge"
+    # Jumps (J-type).
+    J = "j"
+    JAL = "jal"
+    # Floating point.
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FSQRT = "fsqrt"
+    FABS = "fabs"
+    FNEG = "fneg"
+    FMOV = "fmov"
+    FEQ = "feq"
+    FLT_ = "flt"
+    FLE = "fle"
+    ITOF = "itof"
+    FTOI = "ftoi"
+    FLW = "flw"
+    FSW = "fsw"
+    # System.
+    HALT = "halt"
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static description of one machine instruction.
+
+    Attributes:
+        op: The instruction.
+        fmt: Binary format.
+        opcode: Primary 6-bit opcode.
+        funct: 6-bit function code for R/F formats (None otherwise).
+        syntax: Comma-separated operand syntax, using slot names:
+            ``rd rs rt`` (int regs), ``fd fs ft`` (FP regs), ``imm``
+            (16-bit immediate), ``shamt``, ``label`` (branch target),
+            ``target`` (jump target), ``off(base)`` (memory operand).
+        cls: Functional-unit class (selects latency).
+    """
+
+    op: Op
+    fmt: Fmt
+    opcode: int
+    funct: int | None
+    syntax: str
+    cls: FuClass
+
+    @property
+    def latency(self) -> int:
+        """Execution latency in cycles (cache hits assumed for memory ops)."""
+        return LATENCY[self.cls]
+
+
+OP_SPECIAL = 0x00
+OP_FP = 0x11
+OP_SYS = 0x3F
+
+_TABLE: tuple[OpInfo, ...] = (
+    # Integer R-type (opcode 0x00).
+    OpInfo(Op.SLL, Fmt.R, OP_SPECIAL, 0x00, "rd,rt,shamt", FuClass.IALU),
+    OpInfo(Op.SRL, Fmt.R, OP_SPECIAL, 0x02, "rd,rt,shamt", FuClass.IALU),
+    OpInfo(Op.SRA, Fmt.R, OP_SPECIAL, 0x03, "rd,rt,shamt", FuClass.IALU),
+    OpInfo(Op.SLLV, Fmt.R, OP_SPECIAL, 0x04, "rd,rt,rs", FuClass.IALU),
+    OpInfo(Op.SRLV, Fmt.R, OP_SPECIAL, 0x06, "rd,rt,rs", FuClass.IALU),
+    OpInfo(Op.SRAV, Fmt.R, OP_SPECIAL, 0x07, "rd,rt,rs", FuClass.IALU),
+    OpInfo(Op.JR, Fmt.R, OP_SPECIAL, 0x08, "rs", FuClass.JUMP),
+    OpInfo(Op.JALR, Fmt.R, OP_SPECIAL, 0x09, "rd,rs", FuClass.JUMP),
+    OpInfo(Op.MUL, Fmt.R, OP_SPECIAL, 0x18, "rd,rs,rt", FuClass.IMUL),
+    OpInfo(Op.DIV, Fmt.R, OP_SPECIAL, 0x1A, "rd,rs,rt", FuClass.IDIV),
+    OpInfo(Op.REM, Fmt.R, OP_SPECIAL, 0x1B, "rd,rs,rt", FuClass.IDIV),
+    OpInfo(Op.ADD, Fmt.R, OP_SPECIAL, 0x20, "rd,rs,rt", FuClass.IALU),
+    OpInfo(Op.SUB, Fmt.R, OP_SPECIAL, 0x22, "rd,rs,rt", FuClass.IALU),
+    OpInfo(Op.AND, Fmt.R, OP_SPECIAL, 0x24, "rd,rs,rt", FuClass.IALU),
+    OpInfo(Op.OR, Fmt.R, OP_SPECIAL, 0x25, "rd,rs,rt", FuClass.IALU),
+    OpInfo(Op.XOR, Fmt.R, OP_SPECIAL, 0x26, "rd,rs,rt", FuClass.IALU),
+    OpInfo(Op.NOR, Fmt.R, OP_SPECIAL, 0x27, "rd,rs,rt", FuClass.IALU),
+    OpInfo(Op.SLT, Fmt.R, OP_SPECIAL, 0x2A, "rd,rs,rt", FuClass.IALU),
+    OpInfo(Op.SLTU, Fmt.R, OP_SPECIAL, 0x2B, "rd,rs,rt", FuClass.IALU),
+    # Integer I-type.
+    OpInfo(Op.ADDI, Fmt.I, 0x08, None, "rt,rs,imm", FuClass.IALU),
+    OpInfo(Op.SLTI, Fmt.I, 0x0A, None, "rt,rs,imm", FuClass.IALU),
+    OpInfo(Op.SLTIU, Fmt.I, 0x0B, None, "rt,rs,imm", FuClass.IALU),
+    OpInfo(Op.ANDI, Fmt.I, 0x0C, None, "rt,rs,imm", FuClass.IALU),
+    OpInfo(Op.ORI, Fmt.I, 0x0D, None, "rt,rs,imm", FuClass.IALU),
+    OpInfo(Op.XORI, Fmt.I, 0x0E, None, "rt,rs,imm", FuClass.IALU),
+    OpInfo(Op.LUI, Fmt.I, 0x0F, None, "rt,imm", FuClass.IALU),
+    OpInfo(Op.LW, Fmt.I, 0x23, None, "rt,off(rs)", FuClass.LOAD),
+    OpInfo(Op.SW, Fmt.I, 0x2B, None, "rt,off(rs)", FuClass.STORE),
+    OpInfo(Op.BEQ, Fmt.I, 0x04, None, "rs,rt,label", FuClass.BRANCH),
+    OpInfo(Op.BNE, Fmt.I, 0x05, None, "rs,rt,label", FuClass.BRANCH),
+    OpInfo(Op.BLEZ, Fmt.I, 0x06, None, "rs,label", FuClass.BRANCH),
+    OpInfo(Op.BGTZ, Fmt.I, 0x07, None, "rs,label", FuClass.BRANCH),
+    OpInfo(Op.BLT, Fmt.I, 0x14, None, "rs,rt,label", FuClass.BRANCH),
+    OpInfo(Op.BGE, Fmt.I, 0x15, None, "rs,rt,label", FuClass.BRANCH),
+    # Jumps.
+    OpInfo(Op.J, Fmt.J, 0x02, None, "target", FuClass.JUMP),
+    OpInfo(Op.JAL, Fmt.J, 0x03, None, "target", FuClass.JUMP),
+    # Floating point (opcode 0x11); fs in rs slot, ft in rt slot, fd in rd.
+    OpInfo(Op.FADD, Fmt.F, OP_FP, 0x00, "fd,fs,ft", FuClass.FPADD),
+    OpInfo(Op.FSUB, Fmt.F, OP_FP, 0x01, "fd,fs,ft", FuClass.FPADD),
+    OpInfo(Op.FMUL, Fmt.F, OP_FP, 0x02, "fd,fs,ft", FuClass.FPMUL),
+    OpInfo(Op.FDIV, Fmt.F, OP_FP, 0x03, "fd,fs,ft", FuClass.FPDIV),
+    OpInfo(Op.FSQRT, Fmt.F, OP_FP, 0x04, "fd,fs", FuClass.FPSQRT),
+    OpInfo(Op.FABS, Fmt.F, OP_FP, 0x05, "fd,fs", FuClass.FPADD),
+    OpInfo(Op.FNEG, Fmt.F, OP_FP, 0x06, "fd,fs", FuClass.FPADD),
+    OpInfo(Op.FMOV, Fmt.F, OP_FP, 0x07, "fd,fs", FuClass.FPADD),
+    # FP compares write an *integer* register (rd slot).
+    OpInfo(Op.FEQ, Fmt.F, OP_FP, 0x10, "rd,fs,ft", FuClass.FPCMP),
+    OpInfo(Op.FLT_, Fmt.F, OP_FP, 0x11, "rd,fs,ft", FuClass.FPCMP),
+    OpInfo(Op.FLE, Fmt.F, OP_FP, 0x12, "rd,fs,ft", FuClass.FPCMP),
+    # Conversions: itof fd <- int rs ; ftoi int rd <- fs.
+    OpInfo(Op.ITOF, Fmt.F, OP_FP, 0x20, "fd,rs", FuClass.CONV),
+    OpInfo(Op.FTOI, Fmt.F, OP_FP, 0x21, "rd,fs", FuClass.CONV),
+    # FP memory.
+    OpInfo(Op.FLW, Fmt.I, 0x31, None, "ft,off(rs)", FuClass.LOAD),
+    OpInfo(Op.FSW, Fmt.I, 0x39, None, "ft,off(rs)", FuClass.STORE),
+    # System.
+    OpInfo(Op.HALT, Fmt.R, OP_SYS, 0x00, "", FuClass.SYSTEM),
+)
+
+#: Op -> OpInfo.
+INFO: dict[Op, OpInfo] = {rec.op: rec for rec in _TABLE}
+
+#: Mnemonic string -> OpInfo (for the assembler).
+BY_NAME: dict[str, OpInfo] = {rec.op.value: rec for rec in _TABLE}
+
+#: (opcode, funct-or-None) -> OpInfo (for the decoder).
+BY_ENCODING: dict[tuple[int, int | None], OpInfo] = {}
+for _rec in _TABLE:
+    _key = (_rec.opcode, _rec.funct if _rec.fmt in (Fmt.R, Fmt.F) else None)
+    assert _key not in BY_ENCODING, f"duplicate encoding {_key}"
+    BY_ENCODING[_key] = _rec
+
+#: Ops that read memory / write memory.
+LOAD_OPS = frozenset({Op.LW, Op.FLW})
+STORE_OPS = frozenset({Op.SW, Op.FSW})
+#: Conditional branches (eligible for static/dynamic prediction).
+BRANCH_OPS = frozenset(
+    {Op.BEQ, Op.BNE, Op.BLEZ, Op.BGTZ, Op.BLT, Op.BGE}
+)
+#: Direct jumps (target known at fetch from the instruction word).
+DIRECT_JUMP_OPS = frozenset({Op.J, Op.JAL})
+#: Indirect jumps (target known only at execute; fetch stalls in the VISA).
+INDIRECT_JUMP_OPS = frozenset({Op.JR, Op.JALR})
+#: All control-transfer instructions.
+CONTROL_OPS = BRANCH_OPS | DIRECT_JUMP_OPS | INDIRECT_JUMP_OPS

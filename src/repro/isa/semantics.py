@@ -1,0 +1,264 @@
+"""Architectural (functional) semantics of RTP-32 instructions.
+
+Both pipeline simulators call :func:`execute` so the functional behaviour of
+the simple and complex cores is identical by construction; the pipelines
+differ only in *timing*.
+
+Integer arithmetic wraps to 32-bit two's complement.  Integer division
+truncates toward zero (C semantics).  Floating point uses the host's IEEE
+doubles; the paper's benchmarks are single precision, but only relative
+timing matters for the reproduction and the data path width does not affect
+the cycle model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+
+_U32 = 0xFFFFFFFF
+
+
+def to_s32(value: int) -> int:
+    """Wrap an integer to signed 32-bit two's complement."""
+    value &= _U32
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+def to_u32(value: int) -> int:
+    """Interpret an integer as unsigned 32-bit."""
+    return value & _U32
+
+
+def _trunc_div(a: int, b: int) -> int:
+    if b == 0:
+        raise SimulationError("integer division by zero")
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _trunc_rem(a: int, b: int) -> int:
+    if b == 0:
+        raise SimulationError("integer remainder by zero")
+    return a - _trunc_div(a, b) * b
+
+
+@dataclass
+class ExecResult:
+    """Outcome of architecturally executing one instruction.
+
+    Attributes:
+        value: Value for the destination register (None if no destination,
+            or for loads, where memory supplies the value later).
+        eff_addr: Effective address for loads/stores (else None).
+        store_value: Value to write to memory for stores (else None).
+        taken: For conditional branches, whether the branch is taken.
+        target: Next-PC override for taken branches and jumps (else None —
+            fall through to PC + 4).
+        halt: True when the instruction is ``halt``.
+    """
+
+    value: object = None
+    eff_addr: int | None = None
+    store_value: object = None
+    taken: bool | None = None
+    target: int | None = None
+    halt: bool = False
+
+
+def execute(
+    inst: Instruction,
+    read_int: Callable[[int], int],
+    read_fp: Callable[[int], float],
+) -> ExecResult:
+    """Execute ``inst`` against register-read callbacks.
+
+    The callbacks receive a register number and return its current value;
+    register *writes* are the caller's responsibility (pipelines commit
+    results at different times).
+    """
+    op = inst.op
+    handler = _HANDLERS[op]
+    return handler(inst, read_int, read_fp)
+
+
+# --- handler implementations -------------------------------------------------
+
+def _h_alu3(fn):
+    def handler(inst, ri, rf):
+        return ExecResult(value=to_s32(fn(ri(inst.rs), ri(inst.rt))))
+
+    return handler
+
+
+def _h_shift_imm(fn):
+    def handler(inst, ri, rf):
+        return ExecResult(value=to_s32(fn(to_u32(ri(inst.rt)), inst.shamt)))
+
+    return handler
+
+
+def _h_shift_var(fn):
+    def handler(inst, ri, rf):
+        return ExecResult(
+            value=to_s32(fn(to_u32(ri(inst.rt)), ri(inst.rs) & 0x1F))
+        )
+
+    return handler
+
+
+def _h_imm(fn, zero_extend=False):
+    def handler(inst, ri, rf):
+        imm = inst.imm & 0xFFFF if zero_extend else inst.imm
+        return ExecResult(value=to_s32(fn(ri(inst.rs), imm)))
+
+    return handler
+
+
+def _h_branch(cond):
+    def handler(inst, ri, rf):
+        taken = cond(ri(inst.rs), ri(inst.rt))
+        return ExecResult(
+            taken=taken, target=inst.branch_target() if taken else None
+        )
+
+    return handler
+
+
+def _h_fp3(fn):
+    def handler(inst, ri, rf):
+        return ExecResult(value=fn(rf(inst.rs), rf(inst.rt)))
+
+    return handler
+
+
+def _h_fp2(fn):
+    def handler(inst, ri, rf):
+        return ExecResult(value=fn(rf(inst.rs)))
+
+    return handler
+
+
+def _h_fcmp(fn):
+    def handler(inst, ri, rf):
+        return ExecResult(value=1 if fn(rf(inst.rs), rf(inst.rt)) else 0)
+
+    return handler
+
+
+def _fsqrt(x: float) -> float:
+    if x < 0:
+        raise SimulationError(f"fsqrt of negative value {x}")
+    return math.sqrt(x)
+
+
+def _fdiv(a: float, b: float) -> float:
+    if b == 0.0:
+        raise SimulationError("floating-point division by zero")
+    return a / b
+
+
+def _ftoi(x: float) -> int:
+    return to_s32(int(x))
+
+
+def _h_load(inst, ri, rf):
+    return ExecResult(eff_addr=to_u32(ri(inst.rs) + inst.imm))
+
+
+def _h_store_int(inst, ri, rf):
+    return ExecResult(
+        eff_addr=to_u32(ri(inst.rs) + inst.imm), store_value=ri(inst.rt)
+    )
+
+
+def _h_store_fp(inst, ri, rf):
+    return ExecResult(
+        eff_addr=to_u32(ri(inst.rs) + inst.imm), store_value=rf(inst.rt)
+    )
+
+
+def _h_j(inst, ri, rf):
+    return ExecResult(target=inst.jump_target())
+
+
+def _h_jal(inst, ri, rf):
+    return ExecResult(value=inst.addr + 4, target=inst.jump_target())
+
+
+def _h_jr(inst, ri, rf):
+    return ExecResult(target=to_u32(ri(inst.rs)))
+
+
+def _h_jalr(inst, ri, rf):
+    return ExecResult(value=inst.addr + 4, target=to_u32(ri(inst.rs)))
+
+
+def _h_halt(inst, ri, rf):
+    return ExecResult(halt=True)
+
+
+_HANDLERS = {
+    Op.ADD: _h_alu3(lambda a, b: a + b),
+    Op.SUB: _h_alu3(lambda a, b: a - b),
+    Op.MUL: _h_alu3(lambda a, b: a * b),
+    Op.DIV: _h_alu3(_trunc_div),
+    Op.REM: _h_alu3(_trunc_rem),
+    Op.AND: _h_alu3(lambda a, b: to_u32(a) & to_u32(b)),
+    Op.OR: _h_alu3(lambda a, b: to_u32(a) | to_u32(b)),
+    Op.XOR: _h_alu3(lambda a, b: to_u32(a) ^ to_u32(b)),
+    Op.NOR: _h_alu3(lambda a, b: ~(to_u32(a) | to_u32(b))),
+    Op.SLT: _h_alu3(lambda a, b: 1 if a < b else 0),
+    Op.SLTU: _h_alu3(lambda a, b: 1 if to_u32(a) < to_u32(b) else 0),
+    Op.SLL: _h_shift_imm(lambda a, s: a << s),
+    Op.SRL: _h_shift_imm(lambda a, s: a >> s),
+    Op.SRA: _h_shift_imm(lambda a, s: to_s32(a) >> s),
+    Op.SLLV: _h_shift_var(lambda a, s: a << s),
+    Op.SRLV: _h_shift_var(lambda a, s: a >> s),
+    Op.SRAV: _h_shift_var(lambda a, s: to_s32(a) >> s),
+    Op.ADDI: _h_imm(lambda a, i: a + i),
+    Op.SLTI: _h_imm(lambda a, i: 1 if a < i else 0),
+    Op.SLTIU: _h_imm(lambda a, i: 1 if to_u32(a) < to_u32(i) else 0),
+    Op.ANDI: _h_imm(lambda a, i: to_u32(a) & i, zero_extend=True),
+    Op.ORI: _h_imm(lambda a, i: to_u32(a) | i, zero_extend=True),
+    Op.XORI: _h_imm(lambda a, i: to_u32(a) ^ i, zero_extend=True),
+    Op.LUI: lambda inst, ri, rf: ExecResult(
+        value=to_s32((inst.imm & 0xFFFF) << 16)
+    ),
+    Op.LW: _h_load,
+    Op.FLW: _h_load,
+    Op.SW: _h_store_int,
+    Op.FSW: _h_store_fp,
+    Op.BEQ: _h_branch(lambda a, b: a == b),
+    Op.BNE: _h_branch(lambda a, b: a != b),
+    Op.BLEZ: _h_branch(lambda a, b: a <= 0),
+    Op.BGTZ: _h_branch(lambda a, b: a > 0),
+    Op.BLT: _h_branch(lambda a, b: a < b),
+    Op.BGE: _h_branch(lambda a, b: a >= b),
+    Op.J: _h_j,
+    Op.JAL: _h_jal,
+    Op.JR: _h_jr,
+    Op.JALR: _h_jalr,
+    Op.FADD: _h_fp3(lambda a, b: a + b),
+    Op.FSUB: _h_fp3(lambda a, b: a - b),
+    Op.FMUL: _h_fp3(lambda a, b: a * b),
+    Op.FDIV: _h_fp3(_fdiv),
+    Op.FSQRT: _h_fp2(_fsqrt),
+    Op.FABS: _h_fp2(abs),
+    Op.FNEG: _h_fp2(lambda a: -a),
+    Op.FMOV: _h_fp2(lambda a: a),
+    Op.FEQ: _h_fcmp(lambda a, b: a == b),
+    Op.FLT_: _h_fcmp(lambda a, b: a < b),
+    Op.FLE: _h_fcmp(lambda a, b: a <= b),
+    Op.ITOF: lambda inst, ri, rf: ExecResult(value=float(ri(inst.rs))),
+    Op.FTOI: lambda inst, ri, rf: ExecResult(value=_ftoi(rf(inst.rs))),
+    Op.HALT: _h_halt,
+}
+
+
+__all__ = ["execute", "ExecResult", "to_s32", "to_u32"]

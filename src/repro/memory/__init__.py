@@ -1,0 +1,14 @@
+"""Memory subsystem: main memory, caches, MMIO devices, and the machine.
+
+The :class:`~repro.memory.machine.Machine` bundles everything a core needs:
+word-granular main memory, split L1 instruction/data caches (Table 1 of the
+paper: 64 KB, 4-way, 64 B blocks, 1-cycle hits), and the memory-mapped
+device page (watchdog counter, cycle counter, frequency registers).
+"""
+
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.machine import Machine
+from repro.memory.main_memory import MainMemory
+from repro.memory.mmio import MMIODevices
+
+__all__ = ["Cache", "CacheConfig", "Machine", "MainMemory", "MMIODevices"]

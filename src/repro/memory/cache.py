@@ -1,0 +1,122 @@
+"""Set-associative cache model with true LRU replacement.
+
+Used for both L1 caches (Table 1: 64 KB, 4-way set-associative, 64-byte
+blocks, 1-cycle hit) and by the static cache simulator's *concrete*
+counterpart in differential tests.
+
+The model tracks tags only — data lives in :class:`MainMemory` — which is
+standard for timing simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache.
+
+    Attributes:
+        size_bytes: Total capacity.
+        assoc: Set associativity (ways).
+        block_bytes: Line size.
+        hit_cycles: Access latency on a hit.
+    """
+
+    size_bytes: int = 64 * 1024
+    assoc: int = 4
+    block_bytes: int = 64
+    hit_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.assoc * self.block_bytes):
+            raise ValueError("cache size must divide evenly into sets")
+        if self.block_bytes & (self.block_bytes - 1):
+            raise ValueError("block size must be a power of two")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.assoc * self.block_bytes)
+
+    @property
+    def block_shift(self) -> int:
+        return self.block_bytes.bit_length() - 1
+
+    def set_index(self, addr: int) -> int:
+        return (addr >> self.block_shift) % self.num_sets
+
+    def tag(self, addr: int) -> int:
+        return addr >> self.block_shift
+
+    def block_of(self, addr: int) -> int:
+        """Block number (the unit of caching) containing ``addr``."""
+        return addr >> self.block_shift
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """A set-associative, true-LRU, tag-only cache.
+
+    Each set is an MRU-ordered list of block numbers (index 0 = most
+    recently used).
+    """
+
+    def __init__(self, config: CacheConfig | None = None):
+        self.config = config or CacheConfig()
+        self.stats = CacheStats()
+        self._sets: list[list[int]] = [[] for _ in range(self.config.num_sets)]
+
+    def access(self, addr: int) -> bool:
+        """Access the block containing ``addr``; fill on miss.
+
+        Returns:
+            True on hit, False on miss.
+        """
+        block = self.config.block_of(addr)
+        way = self._sets[self.config.set_index(addr)]
+        try:
+            way.remove(block)
+            way.insert(0, block)
+            self.stats.hits += 1
+            return True
+        except ValueError:
+            way.insert(0, block)
+            if len(way) > self.config.assoc:
+                way.pop()
+            self.stats.misses += 1
+            return False
+
+    def probe(self, addr: int) -> bool:
+        """True if the block containing ``addr`` is resident (no side effects)."""
+        return self.config.block_of(addr) in self._sets[self.config.set_index(addr)]
+
+    def flush(self) -> None:
+        """Invalidate every line (used to induce missed checkpoints, §6.2)."""
+        for way in self._sets:
+            way.clear()
+
+    def resident_blocks(self) -> set[int]:
+        """All currently cached block numbers (for differential tests)."""
+        blocks: set[int] = set()
+        for way in self._sets:
+            blocks.update(way)
+        return blocks
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()

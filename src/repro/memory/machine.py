@@ -1,0 +1,121 @@
+"""The simulated machine: memory, caches, and devices, bundled for a core.
+
+``Machine`` owns everything *outside* the pipeline: main memory, the split
+L1 caches, and the MMIO device page.  Architectural registers and the PC
+belong to the core (so the complex core's simple mode naturally shares them).
+
+The worst-case memory stall time is specified in nanoseconds (Table 1:
+100 ns) because the cycle cost depends on the clock frequency; use
+:func:`mem_stall_cycles` to convert.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import MemoryError_
+from repro.isa import layout
+from repro.isa.program import Program
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.main_memory import MainMemory
+from repro.memory.mmio import MMIODevices
+
+#: Table 1: worst-case memory stall time.
+WORST_CASE_MEM_STALL_NS = 100.0
+
+
+def mem_stall_cycles(freq_hz: float, stall_ns: float = WORST_CASE_MEM_STALL_NS) -> int:
+    """Memory stall penalty in cycles at ``freq_hz``.
+
+    >>> mem_stall_cycles(1_000_000_000)
+    100
+    >>> mem_stall_cycles(100_000_000)
+    10
+    """
+    return math.ceil(freq_hz * stall_ns * 1e-9)
+
+
+class MemoryBus:
+    """Serializing memory channel used by the complex core.
+
+    Multiple outstanding misses contend: each occupies the bus for the full
+    stall time, so effective latency can exceed the Table 1 worst case —
+    exactly the behaviour §3.2 warns about (and why simple mode enforces a
+    single outstanding request).
+    """
+
+    def __init__(self, penalty_cycles: int):
+        self.penalty = penalty_cycles
+        self.free_at = 0
+
+    def request(self, cycle: int) -> int:
+        """Issue a miss at ``cycle``; returns its completion cycle."""
+        start = max(cycle, self.free_at)
+        done = start + self.penalty
+        self.free_at = done
+        return done
+
+    def reset(self) -> None:
+        self.free_at = 0
+
+
+@dataclass
+class MachineConfig:
+    """Cache geometry for the machine (defaults are Table 1)."""
+
+    icache: CacheConfig = None  # type: ignore[assignment]
+    dcache: CacheConfig = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.icache is None:
+            self.icache = CacheConfig()
+        if self.dcache is None:
+            self.dcache = CacheConfig()
+
+
+class Machine:
+    """Memory system + devices for one simulated processor."""
+
+    def __init__(self, program: Program, config: MachineConfig | None = None):
+        self.config = config or MachineConfig()
+        self.program = program
+        self.memory = MainMemory(program.data)
+        self.icache = Cache(self.config.icache)
+        self.dcache = Cache(self.config.dcache)
+        self.mmio = MMIODevices()
+        # Store instruction words in memory too, like a real loader.
+        for i, word in enumerate(program.words):
+            self.memory.write(program.text_base + 4 * i, word)
+
+    # -- data access (value + cacheability) ------------------------------------
+
+    def data_read(self, addr: int, now: int) -> tuple[object, bool]:
+        """Read for a load: returns (value, cacheable)."""
+        if layout.is_mmio(addr):
+            return self.mmio.read(addr, now), False
+        self._check_data_addr(addr)
+        return self.memory.read(addr), True
+
+    def data_write(self, addr: int, value: object, now: int) -> bool:
+        """Write for a store: returns cacheable flag."""
+        if layout.is_mmio(addr):
+            self.mmio.write(addr, value, now)
+            return False
+        self._check_data_addr(addr)
+        self.memory.write(addr, value)
+        return True
+
+    def _check_data_addr(self, addr: int) -> None:
+        if addr % 4:
+            raise MemoryError_(f"misaligned data access at {addr:#x}")
+        if self.program.contains(addr):
+            raise MemoryError_(f"data access inside text segment at {addr:#x}")
+
+    def flush_caches_and_predictor(self) -> None:
+        """Flush both caches (predictor flush is done by the core).
+
+        Used by the misprediction-injection experiments (Figure 4).
+        """
+        self.icache.flush()
+        self.dcache.flush()

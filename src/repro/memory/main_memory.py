@@ -1,0 +1,59 @@
+"""Word-granular main memory.
+
+The simulators are architectural: memory holds Python values (32-bit signed
+integers or floats) at word-aligned byte addresses.  Cache models operate on
+addresses only, so value typing does not affect timing.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MemoryError_
+from repro.isa.semantics import to_s32
+
+
+class MainMemory:
+    """Sparse word-addressed backing store.
+
+    Uninitialized words read as integer zero (like zeroed BSS).  Addresses
+    must be word-aligned; the hardware has no sub-word accesses.
+    """
+
+    __slots__ = ("_words",)
+
+    def __init__(self, image: dict[int, object] | None = None):
+        self._words: dict[int, object] = {}
+        if image:
+            for addr, value in image.items():
+                self.write(addr, value)
+
+    def read(self, addr: int) -> object:
+        """Read the word at ``addr`` (0 if never written)."""
+        if addr % 4:
+            raise MemoryError_(f"misaligned read at {addr:#x}")
+        return self._words.get(addr, 0)
+
+    def write(self, addr: int, value: object) -> None:
+        """Write ``value`` (int or float) to the word at ``addr``."""
+        if addr % 4:
+            raise MemoryError_(f"misaligned write at {addr:#x}")
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise MemoryError_(
+                f"memory holds ints and floats, got {type(value).__name__}"
+            )
+        if isinstance(value, int):
+            value = to_s32(value)
+        self._words[addr] = value
+
+    def read_int(self, addr: int) -> int:
+        """Read a word that must be an integer (e.g. MMIO staging)."""
+        value = self.read(addr)
+        if not isinstance(value, int):
+            raise MemoryError_(f"expected int at {addr:#x}, found {value!r}")
+        return value
+
+    def snapshot(self) -> dict[int, object]:
+        """Copy of all written words (for test assertions)."""
+        return dict(self._words)
+
+    def __len__(self) -> int:
+        return len(self._words)

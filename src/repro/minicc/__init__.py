@@ -1,0 +1,21 @@
+"""MiniC: a small C dialect compiled to RTP-32 assembly.
+
+The paper compiles the C-lab benchmarks with the gcc PISA cross-compiler.
+We substitute MiniC — enough of C to express hard real-time kernels the way
+the C-lab suite writes them (the suite deliberately avoids irregular
+features that foil static timing analysis):
+
+* ``int`` / ``float`` scalars and global 1-D/2-D arrays (with initializers),
+* functions with up to four ``int`` and four ``float`` parameters,
+* ``if``/``else``, ``while``, ``for``, ``break``, ``continue``, ``return``,
+* full expression grammar with short-circuit ``&&``/``||`` and casts,
+* WCET annotations: ``__loopbound(N)`` after a loop header (auto-inferred
+  for constant-trip ``for`` loops),
+* VISA intrinsics: ``__subtask(k)``, ``__taskend()``, ``__out(expr)``.
+
+Entry point: :func:`repro.minicc.driver.compile_source`.
+"""
+
+from repro.minicc.driver import compile_source, compile_to_asm
+
+__all__ = ["compile_source", "compile_to_asm"]

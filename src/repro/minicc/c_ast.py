@@ -1,0 +1,189 @@
+"""Abstract syntax tree for MiniC.
+
+All nodes are plain dataclasses; ``line`` fields feed error messages.
+Types are the strings ``"int"``, ``"float"``, ``"void"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+Type = str  # "int" | "float" | "void"
+
+
+# -- expressions ---------------------------------------------------------------
+
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class Var(Expr):
+    name: str = ""
+
+
+@dataclass
+class Index(Expr):
+    """Array element reference ``name[i]`` or ``name[i][j]``."""
+
+    name: str = ""
+    indices: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Assign(Expr):
+    """Assignment ``target = value`` (target is Var or Index)."""
+
+    target: Expr = None  # type: ignore[assignment]
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Cast(Expr):
+    type: Type = "int"
+    operand: Expr = None  # type: ignore[assignment]
+
+
+# -- statements ----------------------------------------------------------------
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class Block(Stmt):
+    stmts: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Decl(Stmt):
+    """Local variable declaration with optional initializer."""
+
+    name: str = ""
+    type: Type = "int"
+    init: Expr | None = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    then: Stmt = None  # type: ignore[assignment]
+    els: Stmt | None = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    body: Stmt = None  # type: ignore[assignment]
+    bound: int | None = None  # __loopbound(N)
+
+
+@dataclass
+class For(Stmt):
+    init: Expr | None = None
+    cond: Expr | None = None
+    step: Expr | None = None
+    body: Stmt = None  # type: ignore[assignment]
+    bound: int | None = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Subtask(Stmt):
+    """``__subtask(k)`` — VISA sub-task boundary marker."""
+
+    index: int = 0
+
+
+@dataclass
+class TaskEnd(Stmt):
+    """``__taskend()`` — record the final sub-task AET, disarm watchdog."""
+
+
+@dataclass
+class Out(Stmt):
+    """``__out(expr)`` — write an int to the debug console port."""
+
+    value: Expr = None  # type: ignore[assignment]
+
+
+# -- top level -----------------------------------------------------------------
+
+@dataclass
+class GlobalVar:
+    name: str
+    type: Type
+    dims: tuple[int, ...]  # () scalar, (n,) 1-D, (n, m) 2-D
+    init: list[object] | object | None
+    line: int
+
+
+@dataclass
+class Param:
+    name: str
+    type: Type
+
+
+@dataclass
+class Function:
+    name: str
+    ret_type: Type
+    params: list[Param]
+    body: Block
+    line: int
+
+
+@dataclass
+class Module:
+    globals: list[GlobalVar] = field(default_factory=list)
+    functions: list[Function] = field(default_factory=list)

@@ -1,0 +1,738 @@
+"""MiniC code generator: AST -> RTP-32 assembly text.
+
+Straightforward non-optimizing codegen in the style of a classic one-pass
+compiler: locals live in the stack frame, expressions evaluate into a pool
+of temporary registers, arguments travel in ``a0``-``a3`` / ``f12``-``f15``.
+The paper compiles with ``-O3``; an optimizing backend would shrink dynamic
+instruction counts but not change any of the *relative* quantities the
+reproduction targets (WCET/actual ratios, complex/simple speedups).
+
+Loop-bound and sub-task annotations pass through to the assembler
+(``.loopbound`` / ``.subtask`` / ``.taskend``), which records them in the
+:class:`~repro.isa.program.Program` for the WCET analyzer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CompileError
+from repro.isa import layout
+from repro.minicc import c_ast as ast
+
+_INT_TEMPS = ("t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9")
+_FP_TEMPS = (
+    "f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11",
+    "f16", "f17", "f18", "f19",
+)
+_INT_ARGS = ("a0", "a1", "a2", "a3")
+_FP_ARGS = ("f12", "f13", "f14", "f15")
+# Callee-saved registers used as home locations for scalar locals (gcc -O3
+# keeps loop-carried scalars in registers; without this both pipelines drown
+# in stack traffic and every relative result is distorted).
+_INT_SAVED = ("s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7")
+_FP_SAVED = (
+    "f20", "f21", "f22", "f23", "f24", "f25",
+    "f26", "f27", "f28", "f29", "f30", "f31",
+)
+
+
+class _RegPool:
+    """Temporary-register allocator for expression evaluation."""
+
+    def __init__(self, names: tuple[str, ...], what: str):
+        self._all = names
+        self._free = list(names)
+        self._used: list[str] = []
+        self._what = what
+
+    def acquire(self, line: int) -> str:
+        if not self._free:
+            raise CompileError(
+                f"expression too complex: out of {self._what} temporaries", line
+            )
+        reg = self._free.pop(0)
+        self._used.append(reg)
+        return reg
+
+    def release(self, reg: str) -> None:
+        self._used.remove(reg)
+        self._free.insert(0, reg)
+
+    @property
+    def used(self) -> list[str]:
+        return list(self._used)
+
+
+@dataclass
+class _Local:
+    type: ast.Type
+    offset: int | None = None  # negative, fp-relative (stack homes)
+    reg: str | None = None  # callee-saved home register (register homes)
+
+
+@dataclass
+class _Global:
+    type: ast.Type
+    dims: tuple[int, ...]
+
+
+class CodeGen:
+    """Generates assembly for one MiniC module."""
+
+    def __init__(self, module: ast.Module):
+        self.module = module
+        self.lines: list[str] = []
+        self.globals: dict[str, _Global] = {}
+        self.functions: dict[str, ast.Function] = {}
+        self.float_consts: dict[float, str] = {}
+        self._label_counter = 0
+        # Per-function state:
+        self.locals: dict[str, _Local] = {}
+        self.current: ast.Function | None = None
+        self.ipool = _RegPool(_INT_TEMPS, "integer")
+        self.fpool = _RegPool(_FP_TEMPS, "float")
+        self._break_labels: list[str] = []
+        self._continue_labels: list[str] = []
+        self._epilogue_label = ""
+
+    # -- helpers --------------------------------------------------------------
+
+    def emit(self, text: str) -> None:
+        self.lines.append(f"    {text}")
+
+    def emit_label(self, label: str) -> None:
+        self.lines.append(f"{label}:")
+
+    def new_label(self, hint: str) -> str:
+        self._label_counter += 1
+        return f".L{hint}{self._label_counter}"
+
+    def _pool(self, typ: ast.Type) -> _RegPool:
+        return self.fpool if typ == "float" else self.ipool
+
+    def _release(self, reg: str, typ: ast.Type) -> None:
+        self._pool(typ).release(reg)
+
+    def _float_const(self, value: float) -> str:
+        value = float(value)
+        if value not in self.float_consts:
+            self.float_consts[value] = f".FC{len(self.float_consts)}"
+        return self.float_consts[value]
+
+    # -- module ---------------------------------------------------------------
+
+    def generate(self) -> str:
+        for g in self.module.globals:
+            if g.name in self.globals:
+                raise CompileError(f"duplicate global {g.name!r}", g.line)
+            self.globals[g.name] = _Global(g.type, g.dims)
+        for f in self.module.functions:
+            if f.name in self.functions:
+                raise CompileError(f"duplicate function {f.name!r}", f.line)
+            self.functions[f.name] = f
+        if "main" not in self.functions:
+            raise CompileError("no main() function")
+        if self.functions["main"].ret_type != "void":
+            raise CompileError("main() must return void")
+
+        self.lines.append(".text")
+        for f in self.module.functions:
+            self._function(f)
+        self.lines.append(".data")
+        for g in self.module.globals:
+            self._emit_global(g)
+        for value, label in self.float_consts.items():
+            self.lines.append(f"{label}: .float {value!r}")
+        return "\n".join(self.lines) + "\n"
+
+    def _emit_global(self, g: ast.GlobalVar) -> None:
+        total = 1
+        for d in g.dims:
+            total *= d
+        directive = ".float" if g.type == "float" else ".word"
+        if g.init is None:
+            self.lines.append(f"{g.name}: .space {4 * total}")
+            return
+        if not g.dims:
+            self.lines.append(f"{g.name}: {directive} {g.init!r}")
+            return
+        values = list(g.init) if isinstance(g.init, list) else [g.init]
+        if len(values) > total:
+            raise CompileError(
+                f"too many initializers for {g.name!r}", g.line
+            )
+        values += [0.0 if g.type == "float" else 0] * (total - len(values))
+        self.lines.append(f"{g.name}:")
+        for start in range(0, total, 8):
+            chunk = ", ".join(repr(v) for v in values[start:start + 8])
+            self.lines.append(f"    {directive} {chunk}")
+
+    # -- functions ---------------------------------------------------------------
+
+    def _function(self, f: ast.Function) -> None:
+        self.current = f
+        self.locals = {}
+        self._epilogue_label = self.new_label("ret")
+
+        int_params = [p for p in f.params if p.type == "int"]
+        fp_params = [p for p in f.params if p.type == "float"]
+        if len(int_params) > 4 or len(fp_params) > 4:
+            raise CompileError(
+                f"{f.name}: at most 4 int and 4 float parameters", f.line
+            )
+
+        # Allocate home locations: scalar locals/params live in callee-saved
+        # registers while they last, then spill to fp-relative stack slots.
+        free_int = list(_INT_SAVED)
+        free_fp = list(_FP_SAVED)
+        offset = -12
+        names = [(p.name, p.type, 0) for p in f.params]
+        for decl in _collect_decls(f.body):
+            if decl.name in {n for n, _, _ in names}:
+                raise CompileError(f"duplicate local {decl.name!r}", decl.line)
+            names.append((decl.name, decl.type, decl.line))
+        for name, typ, _line in names:
+            pool = free_fp if typ == "float" else free_int
+            if pool:
+                self.locals[name] = _Local(typ, reg=pool.pop(0))
+            else:
+                self.locals[name] = _Local(typ, offset=offset)
+                offset -= 4
+        used_int = [r for r in _INT_SAVED if r not in free_int]
+        used_fp = [r for r in _FP_SAVED if r not in free_fp]
+        saved = used_int + used_fp
+        save_base = offset  # saved callee-saved regs live below the locals
+        offset -= 4 * len(saved)
+        frame = -offset - 4  # covers ra, fp, locals, saved regs
+        frame = (frame + 7) & ~7
+
+        self.emit_label(f.name)
+        self.emit(f"subi sp, sp, {frame}")
+        self.emit(f"sw ra, {frame - 4}(sp)")
+        self.emit(f"sw fp, {frame - 8}(sp)")
+        self.emit(f"addi fp, sp, {frame}")
+        for i, reg in enumerate(saved):
+            store = "fsw" if reg.startswith("f") else "sw"
+            self.emit(f"{store} {reg}, {save_base - 4 * i}(fp)")
+        for i, p in enumerate(int_params):
+            self._store_local(self.locals[p.name], _INT_ARGS[i])
+        for i, p in enumerate(fp_params):
+            self._store_local(self.locals[p.name], _FP_ARGS[i])
+
+        self._gen_stmt(f.body)
+
+        self.emit_label(self._epilogue_label)
+        if f.name == "main":
+            self.emit("halt")
+        else:
+            for i, reg in enumerate(saved):
+                load = "flw" if reg.startswith("f") else "lw"
+                self.emit(f"{load} {reg}, {save_base - 4 * i}(fp)")
+            self.emit(f"lw ra, {frame - 4}(sp)")
+            self.emit(f"lw fp, {frame - 8}(sp)")
+            self.emit(f"addi sp, sp, {frame}")
+            self.emit("jr ra")
+        self.current = None
+
+    def _store_local(self, slot: _Local, reg: str) -> None:
+        """Move/store ``reg`` into a local's home location."""
+        if slot.reg is not None:
+            mov = "fmov" if slot.type == "float" else "move"
+            if slot.reg != reg:
+                self.emit(f"{mov} {slot.reg}, {reg}")
+        else:
+            store = "fsw" if slot.type == "float" else "sw"
+            self.emit(f"{store} {reg}, {slot.offset}(fp)")
+
+    def _load_local(self, slot: _Local, reg: str) -> None:
+        """Load a local's value into ``reg``."""
+        if slot.reg is not None:
+            mov = "fmov" if slot.type == "float" else "move"
+            self.emit(f"{mov} {reg}, {slot.reg}")
+        else:
+            load = "flw" if slot.type == "float" else "lw"
+            self.emit(f"{load} {reg}, {slot.offset}(fp)")
+
+    # -- statements ----------------------------------------------------------------
+
+    def _gen_stmt(self, stmt: ast.Stmt) -> None:
+        method = getattr(self, f"_stmt_{type(stmt).__name__.lower()}", None)
+        if method is None:  # pragma: no cover - AST is closed
+            raise CompileError(f"unhandled statement {type(stmt).__name__}")
+        method(stmt)
+
+    def _stmt_block(self, stmt: ast.Block) -> None:
+        for inner in stmt.stmts:
+            self._gen_stmt(inner)
+
+    def _stmt_decl(self, stmt: ast.Decl) -> None:
+        if stmt.init is not None:
+            reg, typ = self._gen_expr(stmt.init)
+            reg, typ = self._coerce(reg, typ, stmt.type, stmt.line)
+            self._store_local(self.locals[stmt.name], reg)
+            self._release(reg, typ)
+
+    def _stmt_exprstmt(self, stmt: ast.ExprStmt) -> None:
+        reg, typ = self._gen_expr(stmt.expr, want_value=False)
+        if reg is not None:
+            self._release(reg, typ)
+
+    def _stmt_if(self, stmt: ast.If) -> None:
+        else_label = self.new_label("else")
+        end_label = self.new_label("endif") if stmt.els else else_label
+        reg = self._gen_condition(stmt.cond)
+        self.emit(f"beqz {reg}, {else_label}")
+        self.ipool.release(reg)
+        self._gen_stmt(stmt.then)
+        if stmt.els:
+            self.emit(f"b {end_label}")
+            self.emit_label(else_label)
+            self._gen_stmt(stmt.els)
+        self.emit_label(end_label)
+
+    def _stmt_while(self, stmt: ast.While) -> None:
+        head = self.new_label("while")
+        end = self.new_label("endwhile")
+        self.lines.append(f".loopbound {stmt.bound}")
+        self.emit_label(head)
+        reg = self._gen_condition(stmt.cond)
+        self.emit(f"beqz {reg}, {end}")
+        self.ipool.release(reg)
+        self._break_labels.append(end)
+        self._continue_labels.append(head)
+        self._gen_stmt(stmt.body)
+        self._break_labels.pop()
+        self._continue_labels.pop()
+        self.emit(f"b {head}")
+        self.emit_label(end)
+
+    def _stmt_for(self, stmt: ast.For) -> None:
+        head = self.new_label("for")
+        step_label = self.new_label("forstep")
+        end = self.new_label("endfor")
+        if stmt.init is not None:
+            reg, typ = self._gen_expr(stmt.init, want_value=False)
+            if reg is not None:
+                self._release(reg, typ)
+        self.lines.append(f".loopbound {stmt.bound}")
+        self.emit_label(head)
+        if stmt.cond is not None:
+            reg = self._gen_condition(stmt.cond)
+            self.emit(f"beqz {reg}, {end}")
+            self.ipool.release(reg)
+        self._break_labels.append(end)
+        self._continue_labels.append(step_label)
+        self._gen_stmt(stmt.body)
+        self._break_labels.pop()
+        self._continue_labels.pop()
+        self.emit_label(step_label)
+        if stmt.step is not None:
+            reg, typ = self._gen_expr(stmt.step, want_value=False)
+            if reg is not None:
+                self._release(reg, typ)
+        self.emit(f"b {head}")
+        self.emit_label(end)
+
+    def _stmt_return(self, stmt: ast.Return) -> None:
+        assert self.current is not None
+        ret = self.current.ret_type
+        if stmt.value is not None:
+            if ret == "void":
+                raise CompileError("void function returns a value", stmt.line)
+            reg, typ = self._gen_expr(stmt.value)
+            reg, typ = self._coerce(reg, typ, ret, stmt.line)
+            if ret == "float":
+                self.emit(f"fmov f0, {reg}")
+            else:
+                self.emit(f"move v0, {reg}")
+            self._release(reg, typ)
+        elif ret != "void":
+            raise CompileError("missing return value", stmt.line)
+        self.emit(f"b {self._epilogue_label}")
+
+    def _stmt_break(self, stmt: ast.Break) -> None:
+        if not self._break_labels:
+            raise CompileError("break outside a loop", stmt.line)
+        self.emit(f"b {self._break_labels[-1]}")
+
+    def _stmt_continue(self, stmt: ast.Continue) -> None:
+        if not self._continue_labels:
+            raise CompileError("continue outside a loop", stmt.line)
+        self.emit(f"b {self._continue_labels[-1]}")
+
+    def _stmt_subtask(self, stmt: ast.Subtask) -> None:
+        if self.current is None or self.current.name != "main":
+            raise CompileError("__subtask only allowed in main()", stmt.line)
+        self.lines.append(f".subtask {stmt.index}")
+
+    def _stmt_taskend(self, stmt: ast.TaskEnd) -> None:
+        if self.current is None or self.current.name != "main":
+            raise CompileError("__taskend only allowed in main()", stmt.line)
+        self.lines.append(".taskend")
+
+    def _stmt_out(self, stmt: ast.Out) -> None:
+        reg, typ = self._gen_expr(stmt.value)
+        reg, typ = self._coerce(reg, typ, "int", stmt.line)
+        addr = self.ipool.acquire(stmt.line)
+        self.emit(f"lui {addr}, {layout.MMIO_BASE >> 16}")
+        self.emit(f"sw {reg}, {layout.CONSOLE_OUT & 0xFFFF}({addr})")
+        self.ipool.release(addr)
+        self._release(reg, typ)
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _gen_condition(self, expr: ast.Expr) -> str:
+        """Evaluate a condition to an integer register (0 = false)."""
+        reg, typ = self._gen_expr(expr)
+        if typ != "int":
+            raise CompileError("condition must be an int expression", expr.line)
+        return reg
+
+    def _gen_expr(
+        self, expr: ast.Expr, want_value: bool = True
+    ) -> tuple[str | None, ast.Type]:
+        """Generate code for ``expr``; returns (register, type).
+
+        With ``want_value=False`` a void call returns (None, "void").
+        """
+        method = getattr(self, f"_expr_{type(expr).__name__.lower()}", None)
+        if method is None:  # pragma: no cover - AST is closed
+            raise CompileError(f"unhandled expression {type(expr).__name__}")
+        reg, typ = method(expr)
+        if want_value and reg is None:
+            raise CompileError("void value used in expression", expr.line)
+        return reg, typ
+
+    def _expr_intlit(self, expr: ast.IntLit) -> tuple[str, ast.Type]:
+        reg = self.ipool.acquire(expr.line)
+        self.emit(f"li {reg}, {expr.value}")
+        return reg, "int"
+
+    def _expr_floatlit(self, expr: ast.FloatLit) -> tuple[str, ast.Type]:
+        reg = self.fpool.acquire(expr.line)
+        addr = self.ipool.acquire(expr.line)
+        self.emit(f"la {addr}, {self._float_const(expr.value)}")
+        self.emit(f"flw {reg}, 0({addr})")
+        self.ipool.release(addr)
+        return reg, "float"
+
+    def _expr_var(self, expr: ast.Var) -> tuple[str, ast.Type]:
+        if expr.name in self.locals:
+            slot = self.locals[expr.name]
+            reg = self._pool(slot.type).acquire(expr.line)
+            self._load_local(slot, reg)
+            return reg, slot.type
+        if expr.name in self.globals:
+            g = self.globals[expr.name]
+            if g.dims:
+                raise CompileError(
+                    f"array {expr.name!r} used without index", expr.line
+                )
+            addr = self.ipool.acquire(expr.line)
+            self.emit(f"la {addr}, {expr.name}")
+            reg = self._pool(g.type).acquire(expr.line)
+            load = "flw" if g.type == "float" else "lw"
+            self.emit(f"{load} {reg}, 0({addr})")
+            self.ipool.release(addr)
+            return reg, g.type
+        raise CompileError(f"undefined variable {expr.name!r}", expr.line)
+
+    def _array_address(self, expr: ast.Index) -> tuple[str, ast.Type]:
+        """Compute the address of an array element into an int register."""
+        g = self.globals.get(expr.name)
+        if g is None or not g.dims:
+            raise CompileError(f"{expr.name!r} is not a global array", expr.line)
+        if len(expr.indices) != len(g.dims):
+            raise CompileError(
+                f"{expr.name!r} needs {len(g.dims)} indices", expr.line
+            )
+        offset_reg, typ = self._gen_expr(expr.indices[0])
+        if typ != "int":
+            raise CompileError("array index must be int", expr.line)
+        if len(g.dims) == 2:
+            ncols = g.dims[1]
+            if ncols & (ncols - 1) == 0:
+                self.emit(f"sll {offset_reg}, {offset_reg}, "
+                          f"{ncols.bit_length() - 1}")
+            else:
+                scratch = self.ipool.acquire(expr.line)
+                self.emit(f"li {scratch}, {ncols}")
+                self.emit(f"mul {offset_reg}, {offset_reg}, {scratch}")
+                self.ipool.release(scratch)
+            col_reg, col_typ = self._gen_expr(expr.indices[1])
+            if col_typ != "int":
+                raise CompileError("array index must be int", expr.line)
+            self.emit(f"add {offset_reg}, {offset_reg}, {col_reg}")
+            self.ipool.release(col_reg)
+        self.emit(f"sll {offset_reg}, {offset_reg}, 2")
+        base = self.ipool.acquire(expr.line)
+        self.emit(f"la {base}, {expr.name}")
+        self.emit(f"add {offset_reg}, {offset_reg}, {base}")
+        self.ipool.release(base)
+        return offset_reg, g.type
+
+    def _expr_index(self, expr: ast.Index) -> tuple[str, ast.Type]:
+        addr, typ = self._array_address(expr)
+        reg = self._pool(typ).acquire(expr.line)
+        load = "flw" if typ == "float" else "lw"
+        self.emit(f"{load} {reg}, 0({addr})")
+        self.ipool.release(addr)
+        return reg, typ
+
+    def _expr_assign(self, expr: ast.Assign) -> tuple[str, ast.Type]:
+        target = expr.target
+        if isinstance(target, ast.Var):
+            if target.name in self.locals:
+                slot = self.locals[target.name]
+                reg, typ = self._gen_expr(expr.value)
+                reg, typ = self._coerce(reg, typ, slot.type, expr.line)
+                self._store_local(slot, reg)
+                return reg, slot.type
+            if target.name in self.globals:
+                g = self.globals[target.name]
+                if g.dims:
+                    raise CompileError("cannot assign to an array", expr.line)
+                reg, typ = self._gen_expr(expr.value)
+                reg, typ = self._coerce(reg, typ, g.type, expr.line)
+                addr = self.ipool.acquire(expr.line)
+                self.emit(f"la {addr}, {target.name}")
+                store = "fsw" if g.type == "float" else "sw"
+                self.emit(f"{store} {reg}, 0({addr})")
+                self.ipool.release(addr)
+                return reg, g.type
+            raise CompileError(f"undefined variable {target.name!r}", expr.line)
+        assert isinstance(target, ast.Index)
+        reg, typ = self._gen_expr(expr.value)
+        g = self.globals.get(target.name)
+        if g is None:
+            raise CompileError(f"undefined array {target.name!r}", expr.line)
+        reg, typ = self._coerce(reg, typ, g.type, expr.line)
+        addr, _ = self._array_address(target)
+        store = "fsw" if g.type == "float" else "sw"
+        self.emit(f"{store} {reg}, 0({addr})")
+        self.ipool.release(addr)
+        return reg, typ
+
+    def _expr_unary(self, expr: ast.Unary) -> tuple[str, ast.Type]:
+        reg, typ = self._gen_expr(expr.operand)
+        if expr.op == "-":
+            if typ == "float":
+                self.emit(f"fneg {reg}, {reg}")
+            else:
+                self.emit(f"neg {reg}, {reg}")
+            return reg, typ
+        if typ != "int":
+            raise CompileError(f"operator {expr.op!r} needs int", expr.line)
+        if expr.op == "!":
+            self.emit(f"sltiu {reg}, {reg}, 1")
+        else:  # "~"
+            self.emit(f"nor {reg}, {reg}, zero")
+        return reg, "int"
+
+    def _expr_cast(self, expr: ast.Cast) -> tuple[str, ast.Type]:
+        reg, typ = self._gen_expr(expr.operand)
+        return self._coerce(reg, typ, expr.type, expr.line)
+
+    def _expr_binary(self, expr: ast.Binary) -> tuple[str, ast.Type]:
+        if expr.op in ("&&", "||"):
+            return self._short_circuit(expr)
+        left, ltyp = self._gen_expr(expr.left)
+        right, rtyp = self._gen_expr(expr.right)
+        if ltyp == "float" or rtyp == "float":
+            left, ltyp = self._coerce(left, ltyp, "float", expr.line)
+            right, rtyp = self._coerce(right, rtyp, "float", expr.line)
+            return self._float_binary(expr, left, right)
+        return self._int_binary(expr, left, right)
+
+    def _int_binary(
+        self, expr: ast.Binary, left: str, right: str
+    ) -> tuple[str, ast.Type]:
+        op = expr.op
+        arith = {
+            "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+            "&": "and", "|": "or", "^": "xor", "<<": "sllv", ">>": "srav",
+        }
+        if op in arith:
+            if op in ("<<", ">>"):
+                # sllv/srav take the shift amount in rs: "rd, rt, rs".
+                self.emit(f"{arith[op]} {left}, {left}, {right}")
+            else:
+                self.emit(f"{arith[op]} {left}, {left}, {right}")
+            self.ipool.release(right)
+            return left, "int"
+        if op == "<":
+            self.emit(f"slt {left}, {left}, {right}")
+        elif op == ">":
+            self.emit(f"slt {left}, {right}, {left}")
+        elif op == "<=":
+            self.emit(f"slt {left}, {right}, {left}")
+            self.emit(f"xori {left}, {left}, 1")
+        elif op == ">=":
+            self.emit(f"slt {left}, {left}, {right}")
+            self.emit(f"xori {left}, {left}, 1")
+        elif op == "==":
+            self.emit(f"xor {left}, {left}, {right}")
+            self.emit(f"sltiu {left}, {left}, 1")
+        elif op == "!=":
+            self.emit(f"xor {left}, {left}, {right}")
+            self.emit(f"sltu {left}, zero, {left}")
+        else:  # pragma: no cover - grammar is closed
+            raise CompileError(f"unknown operator {op!r}", expr.line)
+        self.ipool.release(right)
+        return left, "int"
+
+    def _float_binary(
+        self, expr: ast.Binary, left: str, right: str
+    ) -> tuple[str, ast.Type]:
+        op = expr.op
+        arith = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}
+        if op in arith:
+            self.emit(f"{arith[op]} {left}, {left}, {right}")
+            self.fpool.release(right)
+            return left, "float"
+        result = self.ipool.acquire(expr.line)
+        if op == "<":
+            self.emit(f"flt {result}, {left}, {right}")
+        elif op == ">":
+            self.emit(f"flt {result}, {right}, {left}")
+        elif op == "<=":
+            self.emit(f"fle {result}, {left}, {right}")
+        elif op == ">=":
+            self.emit(f"fle {result}, {right}, {left}")
+        elif op == "==":
+            self.emit(f"feq {result}, {left}, {right}")
+        elif op == "!=":
+            self.emit(f"feq {result}, {left}, {right}")
+            self.emit(f"xori {result}, {result}, 1")
+        else:
+            raise CompileError(f"operator {op!r} not defined on float", expr.line)
+        self.fpool.release(left)
+        self.fpool.release(right)
+        return result, "int"
+
+    def _short_circuit(self, expr: ast.Binary) -> tuple[str, ast.Type]:
+        result = self.ipool.acquire(expr.line)
+        done = self.new_label("sc")
+        left, ltyp = self._gen_expr(expr.left)
+        if ltyp != "int":
+            raise CompileError(f"{expr.op!r} needs int operands", expr.line)
+        self.emit(f"sltu {result}, zero, {left}")
+        self.ipool.release(left)
+        if expr.op == "&&":
+            self.emit(f"beqz {result}, {done}")
+        else:
+            self.emit(f"bnez {result}, {done}")
+        right, rtyp = self._gen_expr(expr.right)
+        if rtyp != "int":
+            raise CompileError(f"{expr.op!r} needs int operands", expr.line)
+        self.emit(f"sltu {result}, zero, {right}")
+        self.ipool.release(right)
+        self.emit_label(done)
+        return result, "int"
+
+    def _expr_call(self, expr: ast.Call) -> tuple[str | None, ast.Type]:
+        f = self.functions.get(expr.name)
+        if f is None:
+            raise CompileError(f"undefined function {expr.name!r}", expr.line)
+        if len(expr.args) != len(f.params):
+            raise CompileError(
+                f"{expr.name} expects {len(f.params)} arguments", expr.line
+            )
+        # Save the caller's live temporaries across the call.
+        saved_int = self.ipool.used
+        saved_fp = self.fpool.used
+        for reg in saved_int:
+            self.emit("subi sp, sp, 4")
+            self.emit(f"sw {reg}, 0(sp)")
+        for reg in saved_fp:
+            self.emit("subi sp, sp, 4")
+            self.emit(f"fsw {reg}, 0(sp)")
+
+        # Evaluate arguments, parking each on the stack (so nested calls
+        # cannot clobber earlier argument registers).
+        arg_types: list[ast.Type] = []
+        for arg, param in zip(expr.args, f.params):
+            reg, typ = self._gen_expr(arg)
+            reg, typ = self._coerce(reg, typ, param.type, expr.line)
+            self.emit("subi sp, sp, 4")
+            self.emit(("fsw" if typ == "float" else "sw") + f" {reg}, 0(sp)")
+            self._release(reg, typ)
+            arg_types.append(typ)
+        int_slot = fp_slot = 0
+        arg_regs: list[tuple[str, ast.Type]] = []
+        for typ in arg_types:
+            if typ == "float":
+                arg_regs.append((_FP_ARGS[fp_slot], typ))
+                fp_slot += 1
+            else:
+                arg_regs.append((_INT_ARGS[int_slot], typ))
+                int_slot += 1
+        for reg, typ in reversed(arg_regs):
+            self.emit(("flw" if typ == "float" else "lw") + f" {reg}, 0(sp)")
+            self.emit("addi sp, sp, 4")
+
+        self.emit(f"jal {expr.name}")
+
+        for reg in reversed(saved_fp):
+            self.emit(f"flw {reg}, 0(sp)")
+            self.emit("addi sp, sp, 4")
+        for reg in reversed(saved_int):
+            self.emit(f"lw {reg}, 0(sp)")
+            self.emit("addi sp, sp, 4")
+
+        if f.ret_type == "void":
+            return None, "void"
+        result = self._pool(f.ret_type).acquire(expr.line)
+        if f.ret_type == "float":
+            self.emit(f"fmov {result}, f0")
+        else:
+            self.emit(f"move {result}, v0")
+        return result, f.ret_type
+
+    # -- type coercion ---------------------------------------------------------------
+
+    def _coerce(
+        self, reg: str | None, have: ast.Type, want: ast.Type, line: int
+    ) -> tuple[str, ast.Type]:
+        if reg is None:
+            raise CompileError("void value used", line)
+        if have == want:
+            return reg, have
+        if have == "int" and want == "float":
+            freg = self.fpool.acquire(line)
+            self.emit(f"itof {freg}, {reg}")
+            self.ipool.release(reg)
+            return freg, "float"
+        if have == "float" and want == "int":
+            ireg = self.ipool.acquire(line)
+            self.emit(f"ftoi {ireg}, {reg}")
+            self.fpool.release(reg)
+            return ireg, "int"
+        raise CompileError(f"cannot convert {have} to {want}", line)
+
+
+def _collect_decls(stmt: ast.Stmt) -> list[ast.Decl]:
+    """All local declarations in a function body, in source order."""
+    found: list[ast.Decl] = []
+
+    def walk(node: ast.Stmt) -> None:
+        if isinstance(node, ast.Decl):
+            found.append(node)
+        elif isinstance(node, ast.Block):
+            for inner in node.stmts:
+                walk(inner)
+        elif isinstance(node, ast.If):
+            walk(node.then)
+            if node.els:
+                walk(node.els)
+        elif isinstance(node, (ast.While, ast.For)):
+            walk(node.body)
+
+    walk(stmt)
+    return found
+
+
+def generate(module: ast.Module) -> str:
+    """Generate assembly text for a parsed module."""
+    return CodeGen(module).generate()

@@ -1,0 +1,41 @@
+"""MiniC compiler driver: source text -> assembly -> :class:`Program`."""
+
+from __future__ import annotations
+
+from repro.isa import layout
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.minicc.codegen import generate
+from repro.minicc.inline import inline_module
+from repro.minicc.parser import parse
+
+
+def compile_to_asm(source: str, inline: bool = True) -> str:
+    """Compile MiniC source to RTP-32 assembly text.
+
+    ``inline=True`` (default) inlines small helper functions at statement
+    call sites, matching the paper's ``gcc -O3`` compilation.
+    """
+    module = parse(source)
+    if inline:
+        module = inline_module(module)
+    return generate(module)
+
+
+def compile_source(
+    source: str,
+    text_base: int = layout.TEXT_BASE,
+    data_base: int = layout.DATA_BASE,
+    inline: bool = True,
+) -> Program:
+    """Compile MiniC source to a loadable :class:`Program`.
+
+    Raises:
+        CompileError: for language-level errors.
+        AssemblerError: if generated assembly is invalid (a compiler bug).
+    """
+    return assemble(
+        compile_to_asm(source, inline=inline),
+        text_base=text_base,
+        data_base=data_base,
+    )

@@ -1,0 +1,430 @@
+"""Function inlining for MiniC (the load-bearing part of ``-O3``).
+
+The paper compiles with ``gcc -O3``, which inlines the C-lab kernels'
+small helper functions (adpcm's per-sample encoder/decoder, most
+notably).  Without inlining, every sample pays call/return overhead and an
+indirect-jump fetch stall on the VISA pipeline — and the out-of-order core
+loses its ability to overlap work across samples.  This pass restores the
+comparison the paper actually ran.
+
+A call is inlined when:
+
+* it appears as a whole statement — ``f(x);`` or ``y = f(x);`` (that is
+  how the C-lab kernels call their helpers), and
+* the callee is non-recursive, and either returns ``void`` with no
+  ``return`` statements, or has exactly one ``return`` as its final
+  top-level statement (so control flow needs no rewriting), and
+* the callee body is reasonably small.
+
+Inlined locals/parameters are renamed with a per-site prefix to avoid
+capture; the pass iterates so helpers calling helpers flatten too.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.minicc import c_ast as ast
+
+#: Maximum callee statement count considered for inlining.
+MAX_BODY_STATEMENTS = 60
+
+
+def inline_module(module: ast.Module, max_rounds: int = 4) -> ast.Module:
+    """Inline eligible calls; returns the same module, rewritten."""
+    functions = {f.name: f for f in module.functions}
+    for _ in range(max_rounds):
+        changed = False
+        for function in module.functions:
+            rewriter = _Rewriter(functions, current=function.name)
+            function.body = rewriter.rewrite_block(function.body)
+            changed |= rewriter.changed
+        if not changed:
+            break
+    return module
+
+
+def _eligible(func: ast.Function) -> bool:
+    stmts = func.body.stmts
+    if _count_statements(func.body) > MAX_BODY_STATEMENTS:
+        return False
+    returns = _count_returns(func.body)
+    if func.ret_type == "void":
+        return returns == 0
+    # Exactly one return, and it must be the final top-level statement.
+    if returns != 1 or not stmts or not isinstance(stmts[-1], ast.Return):
+        return False
+    return True
+
+
+def _count_statements(stmt: ast.Stmt) -> int:
+    total = 1
+    if isinstance(stmt, ast.Block):
+        total = sum(_count_statements(s) for s in stmt.stmts)
+    elif isinstance(stmt, ast.If):
+        total += _count_statements(stmt.then)
+        if stmt.els:
+            total += _count_statements(stmt.els)
+    elif isinstance(stmt, (ast.While, ast.For)):
+        total += _count_statements(stmt.body)
+    return total
+
+
+def _count_returns(stmt: ast.Stmt) -> int:
+    if isinstance(stmt, ast.Return):
+        return 1
+    if isinstance(stmt, ast.Block):
+        return sum(_count_returns(s) for s in stmt.stmts)
+    if isinstance(stmt, ast.If):
+        total = _count_returns(stmt.then)
+        if stmt.els:
+            total += _count_returns(stmt.els)
+        return total
+    if isinstance(stmt, (ast.While, ast.For)):
+        return _count_returns(stmt.body)
+    return 0
+
+
+class _Rewriter:
+    def __init__(self, functions: dict[str, ast.Function], current: str):
+        self.functions = functions
+        self.current = current
+        self.changed = False
+        self._site = 0
+
+    # -- statement rewriting ---------------------------------------------------
+
+    def rewrite_block(self, block: ast.Block) -> ast.Block:
+        out: list[ast.Stmt] = []
+        for stmt in block.stmts:
+            out.extend(self.rewrite_stmt(stmt))
+        block.stmts = out
+        return block
+
+    def rewrite_stmt(self, stmt: ast.Stmt) -> list[ast.Stmt]:
+        if isinstance(stmt, ast.Block):
+            return [self.rewrite_block(stmt)]
+        if isinstance(stmt, ast.If):
+            stmt.then = _as_block(self.rewrite_stmt(stmt.then))
+            if stmt.els is not None:
+                stmt.els = _as_block(self.rewrite_stmt(stmt.els))
+            return [stmt]
+        if isinstance(stmt, (ast.While, ast.For)):
+            stmt.body = _as_block(self.rewrite_stmt(stmt.body))
+            return [stmt]
+        if isinstance(stmt, ast.Decl) and isinstance(stmt.init, ast.Call):
+            call = stmt.init
+            if self._inlinable(call):
+                self.changed = True
+                stmt.init = None
+                target = ast.Var(line=stmt.line, name=stmt.name)
+                return [stmt] + self._expand(
+                    target, call, self.functions[call.name]
+                )
+        call_shape = self._call_statement(stmt)
+        if call_shape is not None:
+            target, call = call_shape
+            if self._inlinable(call):
+                self.changed = True
+                return self._expand(target, call, self.functions[call.name])
+        hoisted = self._hoist(stmt)
+        if hoisted is not None:
+            self.changed = True
+            # Re-run on the rewritten statements (more calls may remain).
+            out: list[ast.Stmt] = []
+            for piece in hoisted:
+                out.extend(self.rewrite_stmt(piece))
+            return out
+        return [stmt]
+
+    def _inlinable(self, call: ast.Call) -> bool:
+        callee = self.functions.get(call.name)
+        return (
+            callee is not None
+            and callee.name != self.current
+            and len(call.args) == len(callee.params)
+            and _eligible(callee)
+            and all(not _has_call(arg) for arg in call.args)
+        )
+
+    def _hoist(self, stmt: ast.Stmt) -> list[ast.Stmt] | None:
+        """Hoist an expression-embedded call into its own statement.
+
+        ``acc = acc + f(i);`` becomes ``int tmp = f(i); acc = acc + tmp;``
+        — but only when everything evaluated *before* the call (in this
+        compiler's left-to-right order) is side-effect free, and never out
+        of a short-circuit right-hand side, so semantics are preserved
+        exactly.
+        """
+        if isinstance(stmt, ast.ExprStmt):
+            container, attr = stmt, "expr"
+        elif isinstance(stmt, ast.Decl) and stmt.init is not None:
+            container, attr = stmt, "init"
+        elif isinstance(stmt, ast.Out):
+            container, attr = stmt, "value"
+        elif isinstance(stmt, ast.Return) and stmt.value is not None:
+            container, attr = stmt, "value"
+        else:
+            return None
+        expr = getattr(container, attr)
+        if isinstance(expr, ast.Call) or (
+            isinstance(expr, ast.Assign) and isinstance(expr.value, ast.Call)
+        ):
+            return None  # whole-statement shape; handled directly
+        found = _first_hoistable_call(expr, self._inlinable)
+        if found is None:
+            return None
+        call, replace = found
+        callee = self.functions[call.name]
+        self._site += 1
+        temp = f"__hoist{self._site}"
+        replace(ast.Var(line=call.line, name=temp))
+        return [
+            ast.Decl(line=call.line, name=temp, type=callee.ret_type,
+                     init=call),
+            stmt,
+        ]
+
+    def _call_statement(self, stmt):
+        """Match ``f(...);`` or ``x = f(...);`` (x a scalar Var)."""
+        if isinstance(stmt, ast.ExprStmt):
+            if isinstance(stmt.expr, ast.Call):
+                return None, stmt.expr
+            if (
+                isinstance(stmt.expr, ast.Assign)
+                and isinstance(stmt.expr.value, ast.Call)
+            ):
+                return stmt.expr.target, stmt.expr.value
+        return None
+
+    # -- expansion ---------------------------------------------------------------
+
+    def _expand(self, target, call: ast.Call, callee: ast.Function):
+        self._site += 1
+        prefix = f"__inl{self._site}_{callee.name}_"
+        rename = {}
+        out: list[ast.Stmt] = []
+        for param, arg in zip(callee.params, call.args):
+            fresh = prefix + param.name
+            rename[param.name] = fresh
+            out.append(
+                ast.Decl(line=call.line, name=fresh, type=param.type, init=arg)
+            )
+        for decl in _local_decls(callee.body):
+            rename[decl.name] = prefix + decl.name
+
+        body = [_rename_stmt(s, rename, prefix) for s in callee.body.stmts]
+        if callee.ret_type != "void":
+            final = body.pop()
+            assert isinstance(final, ast.Return) and final.value is not None
+            out.extend(body)
+            if target is not None:
+                out.append(
+                    ast.ExprStmt(
+                        line=call.line,
+                        expr=ast.Assign(
+                            line=call.line, target=target, value=final.value
+                        ),
+                    )
+                )
+        else:
+            out.extend(body)
+            if target is not None:  # pragma: no cover - type checker catches
+                raise AssertionError("void call cannot have a target")
+        return out
+
+
+def _first_hoistable_call(expr: ast.Expr, inlinable):
+    """First call in evaluation order with a pure prefix, or None.
+
+    Returns ``(call, replace_fn)`` where ``replace_fn(new_expr)`` splices a
+    replacement into the call's position.  The search aborts (None) when a
+    side effect (assignment, non-inlinable call) would be reordered, or
+    when the call sits in a short-circuit right-hand side.
+    """
+    # Each frame: (node, setter) visited in this compiler's eval order.
+    result = {}
+
+    def walk(node, setter) -> str:
+        """Returns 'pure', 'stop', or 'found' (result filled)."""
+        if isinstance(node, (ast.IntLit, ast.FloatLit, ast.Var)):
+            return "pure"
+        if isinstance(node, ast.Index):
+            for i, idx in enumerate(node.indices):
+                status = walk(idx, _list_setter(node.indices, i))
+                if status != "pure":
+                    return status
+            return "pure"
+        if isinstance(node, (ast.Unary, ast.Cast)):
+            return walk(node.operand, _attr_setter(node, "operand"))
+        if isinstance(node, ast.Binary):
+            status = walk(node.left, _attr_setter(node, "left"))
+            if status != "pure":
+                return status
+            if node.op in ("&&", "||"):
+                # The right side may not execute; never hoist out of it.
+                return "stop" if _has_call(node.right) else "pure"
+            return walk(node.right, _attr_setter(node, "right"))
+        if isinstance(node, ast.Assign):
+            status = walk(node.value, _attr_setter(node, "value"))
+            if status != "pure":
+                return status
+            if isinstance(node.target, ast.Index):
+                for i, idx in enumerate(node.target.indices):
+                    status = walk(idx, _list_setter(node.target.indices, i))
+                    if status != "pure":
+                        return status
+            return "stop"  # the write itself is a side effect
+        if isinstance(node, ast.Call):
+            for i, arg in enumerate(node.args):
+                status = walk(arg, _list_setter(node.args, i))
+                if status != "pure":
+                    return status
+            if inlinable(node):
+                result["call"] = node
+                result["replace"] = setter
+                return "found"
+            return "stop"  # a call we cannot inline is a side effect
+        return "stop"
+
+    status = walk(expr, None)
+    if status == "found":
+        return result["call"], result["replace"]
+    return None
+
+
+def _attr_setter(node, attr):
+    def set_(new):
+        setattr(node, attr, new)
+
+    return set_
+
+
+def _list_setter(lst, index):
+    def set_(new):
+        lst[index] = new
+
+    return set_
+
+
+def _as_block(stmts: list[ast.Stmt]) -> ast.Stmt:
+    if len(stmts) == 1:
+        return stmts[0]
+    return ast.Block(stmts=stmts)
+
+
+def _has_call(expr: ast.Expr) -> bool:
+    if isinstance(expr, ast.Call):
+        return True
+    if isinstance(expr, ast.Binary):
+        return _has_call(expr.left) or _has_call(expr.right)
+    if isinstance(expr, (ast.Unary, ast.Cast)):
+        return _has_call(expr.operand)
+    if isinstance(expr, ast.Assign):
+        return _has_call(expr.value) or _has_call(expr.target)
+    if isinstance(expr, ast.Index):
+        return any(_has_call(i) for i in expr.indices)
+    return False
+
+
+def _local_decls(stmt: ast.Stmt) -> list[ast.Decl]:
+    found: list[ast.Decl] = []
+    if isinstance(stmt, ast.Decl):
+        found.append(stmt)
+    elif isinstance(stmt, ast.Block):
+        for inner in stmt.stmts:
+            found.extend(_local_decls(inner))
+    elif isinstance(stmt, ast.If):
+        found.extend(_local_decls(stmt.then))
+        if stmt.els:
+            found.extend(_local_decls(stmt.els))
+    elif isinstance(stmt, (ast.While, ast.For)):
+        found.extend(_local_decls(stmt.body))
+    return found
+
+
+# -- capture-free copying --------------------------------------------------------
+
+def _rename_expr(expr: ast.Expr, rename: dict[str, str]) -> ast.Expr:
+    if isinstance(expr, ast.Var):
+        return ast.Var(line=expr.line, name=rename.get(expr.name, expr.name))
+    if isinstance(expr, ast.Index):
+        return ast.Index(
+            line=expr.line,
+            name=expr.name,  # arrays are global: never renamed
+            indices=[_rename_expr(i, rename) for i in expr.indices],
+        )
+    if isinstance(expr, ast.Binary):
+        return ast.Binary(
+            line=expr.line, op=expr.op,
+            left=_rename_expr(expr.left, rename),
+            right=_rename_expr(expr.right, rename),
+        )
+    if isinstance(expr, ast.Unary):
+        return ast.Unary(
+            line=expr.line, op=expr.op,
+            operand=_rename_expr(expr.operand, rename),
+        )
+    if isinstance(expr, ast.Cast):
+        return ast.Cast(
+            line=expr.line, type=expr.type,
+            operand=_rename_expr(expr.operand, rename),
+        )
+    if isinstance(expr, ast.Assign):
+        return ast.Assign(
+            line=expr.line,
+            target=_rename_expr(expr.target, rename),
+            value=_rename_expr(expr.value, rename),
+        )
+    if isinstance(expr, ast.Call):
+        return ast.Call(
+            line=expr.line, name=expr.name,
+            args=[_rename_expr(a, rename) for a in expr.args],
+        )
+    return dataclasses.replace(expr)
+
+
+def _rename_stmt(stmt: ast.Stmt, rename: dict[str, str], prefix: str) -> ast.Stmt:
+    if isinstance(stmt, ast.Block):
+        return ast.Block(
+            line=stmt.line,
+            stmts=[_rename_stmt(s, rename, prefix) for s in stmt.stmts],
+        )
+    if isinstance(stmt, ast.Decl):
+        init = _rename_expr(stmt.init, rename) if stmt.init else None
+        return ast.Decl(
+            line=stmt.line, name=rename[stmt.name], type=stmt.type, init=init
+        )
+    if isinstance(stmt, ast.ExprStmt):
+        return ast.ExprStmt(line=stmt.line, expr=_rename_expr(stmt.expr, rename))
+    if isinstance(stmt, ast.If):
+        return ast.If(
+            line=stmt.line,
+            cond=_rename_expr(stmt.cond, rename),
+            then=_rename_stmt(stmt.then, rename, prefix),
+            els=_rename_stmt(stmt.els, rename, prefix) if stmt.els else None,
+        )
+    if isinstance(stmt, ast.While):
+        return ast.While(
+            line=stmt.line,
+            cond=_rename_expr(stmt.cond, rename),
+            body=_rename_stmt(stmt.body, rename, prefix),
+            bound=stmt.bound,
+        )
+    if isinstance(stmt, ast.For):
+        return ast.For(
+            line=stmt.line,
+            init=_rename_expr(stmt.init, rename) if stmt.init else None,
+            cond=_rename_expr(stmt.cond, rename) if stmt.cond else None,
+            step=_rename_expr(stmt.step, rename) if stmt.step else None,
+            body=_rename_stmt(stmt.body, rename, prefix),
+            bound=stmt.bound,
+        )
+    if isinstance(stmt, ast.Return):
+        return ast.Return(
+            line=stmt.line,
+            value=_rename_expr(stmt.value, rename) if stmt.value else None,
+        )
+    if isinstance(stmt, ast.Out):
+        return ast.Out(line=stmt.line, value=_rename_expr(stmt.value, rename))
+    return stmt  # Break/Continue/Subtask/TaskEnd carry no names

@@ -1,0 +1,123 @@
+"""Tokenizer for MiniC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CompileError
+
+KEYWORDS = {
+    "int", "float", "void", "if", "else", "while", "for",
+    "return", "break", "continue",
+}
+
+INTRINSICS = {"__subtask", "__taskend", "__loopbound", "__out"}
+
+# Multi-character operators first so maximal munch works.
+OPERATORS = (
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    kind: "int_lit", "float_lit", "ident", "keyword", "op", or "eof".
+    """
+
+    kind: str
+    value: object
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r}, line {self.line})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize MiniC source.
+
+    Raises:
+        CompileError: on unrecognized characters or malformed literals.
+    """
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end < 0 else end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise CompileError("unterminated block comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            i, token = _lex_number(source, i, line)
+            tokens.append(token)
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            kind = "keyword" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, line))
+            i = j
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line))
+                i += len(op)
+                break
+        else:
+            raise CompileError(f"unexpected character {ch!r}", line)
+    tokens.append(Token("eof", None, line))
+    return tokens
+
+
+def _lex_number(source: str, i: int, line: int) -> tuple[int, Token]:
+    n = len(source)
+    if source.startswith(("0x", "0X"), i):
+        j = i + 2
+        while j < n and source[j] in "0123456789abcdefABCDEF":
+            j += 1
+        if j == i + 2:
+            raise CompileError("malformed hex literal", line)
+        return j, Token("int_lit", int(source[i:j], 16), line)
+    j = i
+    while j < n and source[j].isdigit():
+        j += 1
+    is_float = False
+    if j < n and source[j] == ".":
+        is_float = True
+        j += 1
+        while j < n and source[j].isdigit():
+            j += 1
+    if j < n and source[j] in "eE":
+        k = j + 1
+        if k < n and source[k] in "+-":
+            k += 1
+        if k < n and source[k].isdigit():
+            is_float = True
+            j = k
+            while j < n and source[j].isdigit():
+                j += 1
+    text = source[i:j]
+    if is_float:
+        return j, Token("float_lit", float(text), line)
+    return j, Token("int_lit", int(text), line)

@@ -1,0 +1,453 @@
+"""Recursive-descent parser for MiniC.
+
+Also infers ``__loopbound`` values for canonical counted ``for`` loops
+(``for (i = a; i < b; i = i + c)`` with literal bounds), so benchmark
+sources only need explicit annotations for data-dependent loops.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompileError
+from repro.minicc import c_ast as ast
+from repro.minicc.lexer import Token, tokenize
+
+_ASSIGN_TARGETS = (ast.Var, ast.Index)
+
+# Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+class Parser:
+    """Recursive-descent parser holding the token stream and position."""
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token helpers ----------------------------------------------------------
+
+    @property
+    def tok(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def _check(self, kind: str, value: object = None) -> bool:
+        token = self.tok
+        return token.kind == kind and (value is None or token.value == value)
+
+    def _accept(self, kind: str, value: object = None) -> Token | None:
+        if self._check(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, value: object = None) -> Token:
+        if not self._check(kind, value):
+            want = value if value is not None else kind
+            raise CompileError(
+                f"expected {want!r}, found {self.tok.value!r}", self.tok.line
+            )
+        return self._advance()
+
+    def _peek(self, offset: int) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    # -- top level ----------------------------------------------------------------
+
+    def parse_module(self) -> ast.Module:
+        module = ast.Module()
+        while not self._check("eof"):
+            if not self._check("keyword") or self.tok.value not in (
+                "int", "float", "void",
+            ):
+                raise CompileError(
+                    f"expected declaration, found {self.tok.value!r}",
+                    self.tok.line,
+                )
+            # Distinguish function vs global by the token after the name.
+            if self._peek(2).kind == "op" and self._peek(2).value == "(":
+                module.functions.append(self._function())
+            else:
+                module.globals.append(self._global())
+        return module
+
+    def _type(self) -> ast.Type:
+        token = self._expect("keyword")
+        if token.value not in ("int", "float", "void"):
+            raise CompileError(f"expected a type, found {token.value!r}", token.line)
+        return token.value
+
+    def _global(self) -> ast.GlobalVar:
+        line = self.tok.line
+        typ = self._type()
+        if typ == "void":
+            raise CompileError("void is not a value type", line)
+        name = self._expect("ident").value
+        dims: list[int] = []
+        while self._accept("op", "["):
+            dims.append(self._expect("int_lit").value)
+            self._expect("op", "]")
+        if len(dims) > 2:
+            raise CompileError("at most 2-D arrays are supported", line)
+        init = None
+        if self._accept("op", "="):
+            if self._accept("op", "{"):
+                init = [self._const_value(typ)]
+                while self._accept("op", ","):
+                    if self._check("op", "}"):  # trailing comma
+                        break
+                    init.append(self._const_value(typ))
+                self._expect("op", "}")
+            else:
+                init = self._const_value(typ)
+        self._expect("op", ";")
+        return ast.GlobalVar(name, typ, tuple(dims), init, line)
+
+    def _const_value(self, typ: ast.Type) -> object:
+        negative = bool(self._accept("op", "-"))
+        token = self._advance()
+        if token.kind == "int_lit":
+            value: object = -token.value if negative else token.value
+        elif token.kind == "float_lit":
+            value = -token.value if negative else token.value
+        else:
+            raise CompileError("expected a constant", token.line)
+        if typ == "float":
+            return float(value)
+        if isinstance(value, float):
+            raise CompileError("float constant in int initializer", token.line)
+        return value
+
+    def _function(self) -> ast.Function:
+        line = self.tok.line
+        ret_type = self._type()
+        name = self._expect("ident").value
+        self._expect("op", "(")
+        params: list[ast.Param] = []
+        if not self._check("op", ")"):
+            if self._check("keyword", "void") and self._peek(1).value == ")":
+                self._advance()
+            else:
+                while True:
+                    ptyp = self._type()
+                    if ptyp == "void":
+                        raise CompileError("void parameter", self.tok.line)
+                    pname = self._expect("ident").value
+                    params.append(ast.Param(pname, ptyp))
+                    if not self._accept("op", ","):
+                        break
+        self._expect("op", ")")
+        body = self._block()
+        return ast.Function(name, ret_type, params, body, line)
+
+    # -- statements -----------------------------------------------------------------
+
+    def _block(self) -> ast.Block:
+        line = self._expect("op", "{").line
+        stmts: list[ast.Stmt] = []
+        while not self._check("op", "}"):
+            stmts.append(self._statement())
+        self._expect("op", "}")
+        return ast.Block(line=line, stmts=stmts)
+
+    def _statement(self) -> ast.Stmt:
+        token = self.tok
+        if token.kind == "op" and token.value == "{":
+            return self._block()
+        if token.kind == "op" and token.value == ";":
+            self._advance()
+            return ast.Block(line=token.line)
+        if token.kind == "keyword":
+            if token.value in ("int", "float"):
+                return self._decl()
+            if token.value == "if":
+                return self._if()
+            if token.value == "while":
+                return self._while()
+            if token.value == "for":
+                return self._for()
+            if token.value == "return":
+                self._advance()
+                value = None if self._check("op", ";") else self._expression()
+                self._expect("op", ";")
+                return ast.Return(line=token.line, value=value)
+            if token.value == "break":
+                self._advance()
+                self._expect("op", ";")
+                return ast.Break(line=token.line)
+            if token.value == "continue":
+                self._advance()
+                self._expect("op", ";")
+                return ast.Continue(line=token.line)
+        if token.kind == "ident" and token.value in (
+            "__subtask", "__taskend", "__out",
+        ):
+            return self._intrinsic()
+        expr = self._expression()
+        self._expect("op", ";")
+        return ast.ExprStmt(line=token.line, expr=expr)
+
+    def _decl(self) -> ast.Stmt:
+        line = self.tok.line
+        typ = self._type()
+        name = self._expect("ident").value
+        if self._check("op", "["):
+            raise CompileError("local arrays are not supported (use globals)", line)
+        init = self._expression() if self._accept("op", "=") else None
+        self._expect("op", ";")
+        return ast.Decl(line=line, name=name, type=typ, init=init)
+
+    def _if(self) -> ast.If:
+        line = self._expect("keyword", "if").line
+        self._expect("op", "(")
+        cond = self._expression()
+        self._expect("op", ")")
+        then = self._statement()
+        els = self._statement() if self._accept("keyword", "else") else None
+        return ast.If(line=line, cond=cond, then=then, els=els)
+
+    def _loopbound(self) -> int | None:
+        if self._check("ident", "__loopbound"):
+            self._advance()
+            self._expect("op", "(")
+            bound = self._expect("int_lit").value
+            self._expect("op", ")")
+            return bound
+        return None
+
+    def _while(self) -> ast.While:
+        line = self._expect("keyword", "while").line
+        self._expect("op", "(")
+        cond = self._expression()
+        self._expect("op", ")")
+        bound = self._loopbound()
+        body = self._statement()
+        if bound is None:
+            raise CompileError(
+                "while loop needs __loopbound(N) for WCET analysis", line
+            )
+        return ast.While(line=line, cond=cond, body=body, bound=bound)
+
+    def _for(self) -> ast.For:
+        line = self._expect("keyword", "for").line
+        self._expect("op", "(")
+        init = None if self._check("op", ";") else self._expression()
+        self._expect("op", ";")
+        cond = None if self._check("op", ";") else self._expression()
+        self._expect("op", ";")
+        step = None if self._check("op", ")") else self._expression()
+        self._expect("op", ")")
+        bound = self._loopbound()
+        body = self._statement()
+        if bound is None:
+            bound = _infer_for_bound(init, cond, step)
+        if bound is None:
+            raise CompileError(
+                "cannot infer for-loop bound; add __loopbound(N)", line
+            )
+        return ast.For(
+            line=line, init=init, cond=cond, step=step, body=body, bound=bound
+        )
+
+    def _intrinsic(self) -> ast.Stmt:
+        token = self._advance()
+        self._expect("op", "(")
+        if token.value == "__subtask":
+            index = self._expect("int_lit").value
+            self._expect("op", ")")
+            self._expect("op", ";")
+            return ast.Subtask(line=token.line, index=index)
+        if token.value == "__taskend":
+            self._expect("op", ")")
+            self._expect("op", ";")
+            return ast.TaskEnd(line=token.line)
+        value = self._expression()
+        self._expect("op", ")")
+        self._expect("op", ";")
+        return ast.Out(line=token.line, value=value)
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _expression(self) -> ast.Expr:
+        return self._assignment()
+
+    def _assignment(self) -> ast.Expr:
+        left = self._binary(0)
+        if self._check("op", "="):
+            line = self._advance().line
+            if not isinstance(left, _ASSIGN_TARGETS):
+                raise CompileError("invalid assignment target", line)
+            value = self._assignment()
+            return ast.Assign(line=line, target=left, value=value)
+        return left
+
+    def _binary(self, min_prec: int) -> ast.Expr:
+        left = self._unary()
+        while True:
+            token = self.tok
+            if token.kind != "op":
+                return left
+            prec = _PRECEDENCE.get(token.value, 0)
+            if prec == 0 or prec < min_prec:
+                return left
+            self._advance()
+            right = self._binary(prec + 1)
+            left = _fold(ast.Binary(
+                line=token.line, op=token.value, left=left, right=right
+            ))
+
+    def _unary(self) -> ast.Expr:
+        token = self.tok
+        if token.kind == "op" and token.value in ("-", "!", "~"):
+            self._advance()
+            operand = self._unary()
+            return _fold_unary(ast.Unary(line=token.line, op=token.value,
+                                         operand=operand))
+        if token.kind == "op" and token.value == "+":
+            self._advance()
+            return self._unary()
+        # Cast: '(' type ')' unary
+        if (
+            token.kind == "op"
+            and token.value == "("
+            and self._peek(1).kind == "keyword"
+            and self._peek(1).value in ("int", "float")
+            and self._peek(2).kind == "op"
+            and self._peek(2).value == ")"
+        ):
+            self._advance()
+            typ = self._type()
+            self._expect("op", ")")
+            operand = self._unary()
+            return ast.Cast(line=token.line, type=typ, operand=operand)
+        return self._postfix()
+
+    def _postfix(self) -> ast.Expr:
+        token = self.tok
+        if token.kind == "int_lit":
+            self._advance()
+            return ast.IntLit(line=token.line, value=token.value)
+        if token.kind == "float_lit":
+            self._advance()
+            return ast.FloatLit(line=token.line, value=token.value)
+        if token.kind == "op" and token.value == "(":
+            self._advance()
+            expr = self._expression()
+            self._expect("op", ")")
+            return expr
+        if token.kind != "ident":
+            raise CompileError(f"unexpected token {token.value!r}", token.line)
+        name = self._advance().value
+        if self._accept("op", "("):
+            args: list[ast.Expr] = []
+            if not self._check("op", ")"):
+                args.append(self._expression())
+                while self._accept("op", ","):
+                    args.append(self._expression())
+            self._expect("op", ")")
+            return ast.Call(line=token.line, name=name, args=args)
+        if self._check("op", "["):
+            indices: list[ast.Expr] = []
+            while self._accept("op", "["):
+                indices.append(self._expression())
+                self._expect("op", "]")
+            if len(indices) > 2:
+                raise CompileError("at most 2-D indexing", token.line)
+            return ast.Index(line=token.line, name=name, indices=indices)
+        return ast.Var(line=token.line, name=name)
+
+
+def _fold(node: ast.Binary) -> ast.Expr:
+    """Constant-fold integer binary expressions."""
+    left, right = node.left, node.right
+    if isinstance(left, ast.IntLit) and isinstance(right, ast.IntLit):
+        a, b = left.value, right.value
+        table = {
+            "+": lambda: a + b, "-": lambda: a - b, "*": lambda: a * b,
+            "<<": lambda: a << b, ">>": lambda: a >> b,
+            "&": lambda: a & b, "|": lambda: a | b, "^": lambda: a ^ b,
+        }
+        if node.op in table:
+            return ast.IntLit(line=node.line, value=table[node.op]())
+        if node.op in ("/", "%") and b != 0:
+            q = abs(a) // abs(b)
+            q = -q if (a < 0) != (b < 0) else q
+            return ast.IntLit(
+                line=node.line, value=q if node.op == "/" else a - q * b
+            )
+    return node
+
+
+def _fold_unary(node: ast.Unary) -> ast.Expr:
+    operand = node.operand
+    if isinstance(operand, ast.IntLit):
+        if node.op == "-":
+            return ast.IntLit(line=node.line, value=-operand.value)
+        if node.op == "~":
+            return ast.IntLit(line=node.line, value=~operand.value)
+    if isinstance(operand, ast.FloatLit) and node.op == "-":
+        return ast.FloatLit(line=node.line, value=-operand.value)
+    return node
+
+
+def _infer_for_bound(
+    init: ast.Expr | None, cond: ast.Expr | None, step: ast.Expr | None
+) -> int | None:
+    """Infer the trip count of ``for (i = a; i </<= b; i = i + c)``."""
+    if not (
+        isinstance(init, ast.Assign)
+        and isinstance(init.target, ast.Var)
+        and isinstance(init.value, ast.IntLit)
+        and isinstance(cond, ast.Binary)
+        and cond.op in ("<", "<=", ">", ">=")
+        and isinstance(cond.left, ast.Var)
+        and cond.left.name == init.target.name
+        and isinstance(cond.right, ast.IntLit)
+        and isinstance(step, ast.Assign)
+        and isinstance(step.target, ast.Var)
+        and step.target.name == init.target.name
+        and isinstance(step.value, ast.Binary)
+        and step.value.op in ("+", "-")
+        and isinstance(step.value.left, ast.Var)
+        and step.value.left.name == init.target.name
+        and isinstance(step.value.right, ast.IntLit)
+    ):
+        return None
+    start = init.value.value
+    limit = cond.right.value
+    delta = step.value.right.value
+    if step.value.op == "-":
+        delta = -delta
+    if delta == 0:
+        return None
+    if cond.op == "<":
+        span = limit - start
+    elif cond.op == "<=":
+        span = limit - start + 1
+    elif cond.op == ">":
+        span = start - limit
+    else:  # >=
+        span = start - limit + 1
+    if span <= 0:
+        return 0
+    magnitude = abs(delta)
+    return (span + magnitude - 1) // magnitude
+
+
+def parse(source: str) -> ast.Module:
+    """Parse MiniC source into a module AST."""
+    return Parser(source).parse_module()

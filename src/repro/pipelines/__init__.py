@@ -1,0 +1,21 @@
+"""Pipeline simulators.
+
+Two cores model the paper's two processors:
+
+* :class:`~repro.pipelines.inorder.InOrderCore` — the explicitly-safe
+  ``simple-fixed`` processor: the 6-stage scalar in-order VISA pipeline of
+  paper §3.1 (fetch, decode, register read, execute, memory, writeback).
+* :class:`~repro.pipelines.ooo.core.ComplexCore` — the 4-way dynamically
+  scheduled superscalar of §3.2, including its *simple mode* of operation,
+  which reuses the in-order timing engine (so simple mode is
+  timing-identical to the VISA by construction — a property the test suite
+  verifies rather than assumes).
+
+Both cores share :mod:`repro.isa.semantics`, so they are functionally
+identical and differ only in timing and power.
+"""
+
+from repro.pipelines.inorder import InOrderCore, RunResult
+from repro.pipelines.state import CoreState
+
+__all__ = ["InOrderCore", "RunResult", "CoreState"]

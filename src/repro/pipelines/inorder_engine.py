@@ -1,0 +1,157 @@
+"""Cycle-accurate timing engine for the 6-stage in-order VISA pipeline.
+
+This module is the **single timing model** behind three consumers:
+
+1. the dynamic ``simple-fixed`` core (:mod:`repro.pipelines.inorder`),
+2. the complex core's simple mode (same engine, complex core's caches), and
+3. the static WCET analyzer's pipeline model
+   (:mod:`repro.wcet.pipeline_model`), which runs the *same recurrence*
+   with worst-case inputs.
+
+Sharing the recurrence removes any possibility of drift between the
+simulator and the analyzer; the safety invariant WCET >= actual then rests
+only on the analyzer supplying pessimistic inputs (cache categorizations,
+longest paths), which is what the paper's timing analyzer establishes.
+
+Pipeline timing rules (paper §3.1)
+----------------------------------
+
+* Scalar: every stage handles at most one instruction per cycle.
+* Fetch: 1 instruction/cycle on an I-cache hit; a miss stalls fetch for the
+  worst-case memory stall time.  Branch targets come with the I-cache line
+  (merged BTB), so correctly-predicted-taken branches redirect fetch with no
+  bubble.
+* Static BTFN prediction: backward taken, forward not-taken; misprediction
+  penalty 4 cycles.  Indirect jumps stall fetch until they execute (4-cycle
+  stall when unobstructed).
+* Single unpipelined universal function unit: a multi-cycle operation
+  blocks the execute stage (structural hazard).
+* A load-dependent instruction stalls at least one cycle in register read
+  (values bypass from the end of the memory stage).
+* A D-cache miss occupies the memory stage for the full stall time and
+  backs the pipeline up behind it (one outstanding memory request).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import Instruction
+
+#: Paper §3.1: conditional branch misprediction penalty and indirect-branch
+#: stall time, in cycles.
+BRANCH_PENALTY = 4
+
+#: Pipeline depth from fetch to execute (fetch, decode, register read).
+_FRONT_DEPTH = 3
+
+#: Fetch-side buffering: fetch of instruction i cannot start before
+#: instruction i-3 has entered execute (IF/ID/RR each hold one instruction).
+_FRONT_SLOTS = 3
+
+
+@dataclass
+class InstrTiming:
+    """Cycle numbers at which one instruction occupies each stage."""
+
+    fetch: int
+    ex_start: int
+    ex_end: int
+    mem_start: int
+    mem_end: int
+    writeback: int
+
+
+@dataclass
+class TimingState:
+    """Inter-instruction pipeline state for the in-order recurrence.
+
+    All times are absolute cycle numbers within the current execution
+    segment.  ``clone()`` supports the static analyzer's path exploration.
+    """
+
+    last_fetch: int = -1
+    redirect: int = 0
+    ex_free: int = -1
+    mem_free: int = -1
+    prev_mem_start: int = 0
+    front_occupancy: tuple[int, ...] = (0,) * _FRONT_SLOTS
+    reg_ready: dict = field(default_factory=dict)
+
+    def clone(self) -> "TimingState":
+        return TimingState(
+            last_fetch=self.last_fetch,
+            redirect=self.redirect,
+            ex_free=self.ex_free,
+            mem_free=self.mem_free,
+            prev_mem_start=self.prev_mem_start,
+            front_occupancy=self.front_occupancy,
+            reg_ready=dict(self.reg_ready),
+        )
+
+    def shift(self, delta: int) -> "TimingState":
+        """Return a copy with every time shifted by ``delta`` cycles.
+
+        Used by the static analyzer to re-anchor a carried pipeline state at
+        a new time origin when composing scopes.
+        """
+        return TimingState(
+            last_fetch=self.last_fetch + delta,
+            redirect=self.redirect + delta,
+            ex_free=self.ex_free + delta,
+            mem_free=self.mem_free + delta,
+            prev_mem_start=self.prev_mem_start + delta,
+            front_occupancy=tuple(t + delta for t in self.front_occupancy),
+            reg_ready={k: v + delta for k, v in self.reg_ready.items()},
+        )
+
+
+def advance(
+    state: TimingState,
+    inst: Instruction,
+    icache_extra: int,
+    dcache_extra: int,
+    control_penalty: bool,
+) -> InstrTiming:
+    """Advance the pipeline state by one instruction; returns its timing.
+
+    Args:
+        state: Mutated in place.
+        inst: The instruction (only static properties are used).
+        icache_extra: Extra fetch cycles (0 on an I-cache hit, otherwise the
+            memory stall time in cycles).
+        dcache_extra: Extra memory-stage cycles for this instruction's data
+            access (0 for non-memory instructions, hits, and MMIO).
+        control_penalty: True when fetch must wait for this instruction to
+            execute — a mispredicted conditional branch or an indirect jump.
+    """
+    fetch = max(state.last_fetch + 1, state.redirect, state.front_occupancy[0])
+    fetch += icache_extra
+
+    ex_start = max(fetch + _FRONT_DEPTH, state.ex_free + 1, state.prev_mem_start)
+    reg_ready = state.reg_ready
+    for src in inst.sources:
+        ready = reg_ready.get(src)
+        if ready is not None and ready > ex_start:
+            ex_start = ready
+    ex_end = ex_start + inst.latency - 1
+
+    mem_start = max(ex_end + 1, state.mem_free + 1)
+    mem_end = mem_start + dcache_extra
+    writeback = mem_end + 1
+
+    dest = inst.dest
+    if dest is not None:
+        reg_ready[dest] = mem_end + 1 if inst.is_load else ex_end + 1
+
+    state.last_fetch = fetch
+    state.ex_free = ex_end
+    state.mem_free = mem_end
+    state.prev_mem_start = mem_start
+    state.front_occupancy = state.front_occupancy[1:] + (ex_start,)
+    if control_penalty:
+        # Next useful fetch starts after the resolving instruction executes;
+        # BRANCH_PENALTY cycles are lost relative to an unobstructed fetch.
+        state.redirect = ex_end + BRANCH_PENALTY - _FRONT_DEPTH + 1
+
+    return InstrTiming(fetch, ex_start, ex_end, mem_start, mem_end, writeback)

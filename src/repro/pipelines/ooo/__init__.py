@@ -1,0 +1,6 @@
+"""The complex 4-way dynamically scheduled superscalar core (paper §3.2)."""
+
+from repro.pipelines.ooo.core import ComplexCore, OOOParams
+from repro.pipelines.ooo.predictor import GsharePredictor, IndirectPredictor
+
+__all__ = ["ComplexCore", "OOOParams", "GsharePredictor", "IndirectPredictor"]

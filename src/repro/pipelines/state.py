@@ -1,0 +1,57 @@
+"""Architectural core state shared across execution modes.
+
+The complex core and its simple mode are *one* processor: when a missed
+checkpoint forces the switch, registers, PC, caches, and predictor state all
+persist.  Keeping the architectural state in its own object lets the OOO
+scheduler and the in-order engine operate on the same registers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.isa import layout
+from repro.isa.registers import NUM_FP_REGS, NUM_INT_REGS, SP
+
+
+@dataclass
+class CoreState:
+    """Registers, PC, and running counters of one processor.
+
+    Attributes:
+        int_regs: 32 integer registers (``r0`` kept at zero by writers).
+        fp_regs: 32 floating-point registers.
+        pc: Next instruction to execute.
+        now: Current cycle (monotone across mode/frequency switches; wall
+            time per frequency segment is accounted by the runtime).
+        halted: Set when a ``halt`` instruction retires.
+        instret: Retired instruction count.
+        counters: Per-unit event counts consumed by the power model.
+    """
+
+    pc: int
+    int_regs: list[int] = field(default_factory=lambda: [0] * NUM_INT_REGS)
+    fp_regs: list[float] = field(default_factory=lambda: [0.0] * NUM_FP_REGS)
+    now: int = 0
+    halted: bool = False
+    instret: int = 0
+    counters: Counter = field(default_factory=Counter)
+
+    def __post_init__(self) -> None:
+        if self.int_regs[SP] == 0:
+            self.int_regs[SP] = layout.STACK_TOP
+
+    def read_int(self, num: int) -> int:
+        return self.int_regs[num]
+
+    def read_fp(self, num: int) -> float:
+        return self.fp_regs[num]
+
+    def write_reg(self, ref: tuple[str, int], value) -> None:
+        bank, num = ref
+        if bank == "i":
+            if num != 0:
+                self.int_regs[num] = value
+        else:
+            self.fp_regs[num] = value

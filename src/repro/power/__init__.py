@@ -1,0 +1,25 @@
+"""Wattch-style architectural power modelling (paper §5.2).
+
+Per-unit access energies scale with supply voltage squared; average power
+is energy over wall time.  Two clock-gating styles are modelled, matching
+the paper's reporting: *perfect* (units consume only when accessed) and
+perfect plus **10 % standby power** for idle units.
+
+The explicitly-safe processor (``simple-fixed``) is a literal VISA
+implementation: a 32-entry register file, no predictor/rename/IQ/ROB/LSQ,
+and a die with both dimensions halved (shorter clock tree).  The complex
+processor pays for its large structures even in simple mode — e.g. the
+physical register file is still accessed through the rename table — which
+is exactly the distinction §5.2 draws.
+"""
+
+from repro.power.model import PowerModel, PowerParams
+from repro.power.report import PowerReport, average_power, energy_of_runs
+
+__all__ = [
+    "PowerModel",
+    "PowerParams",
+    "PowerReport",
+    "average_power",
+    "energy_of_runs",
+]

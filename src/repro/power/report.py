@@ -1,0 +1,59 @@
+"""Energy/power aggregation over runtime results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.power.model import PowerModel
+from repro.visa.runtime import TaskRun
+
+
+@dataclass
+class PowerReport:
+    """Aggregate of one experiment configuration."""
+
+    energy_joules: float
+    seconds: float
+    instances: int
+    mispredicted: int
+
+    @property
+    def average_watts(self) -> float:
+        return self.energy_joules / self.seconds if self.seconds else 0.0
+
+
+def energy_of_runs(runs: list[TaskRun], model: PowerModel) -> PowerReport:
+    """Total energy and wall time across task instances.
+
+    Wall time sums every phase's duration: busy + idle-to-the-period
+    (appended by the runtime) + the occasional DVS-software slice that
+    executes in slack (paper §5.2 includes its power too).
+    """
+    energy = 0.0
+    seconds = 0.0
+    for run in runs:
+        for phase in run.phases:
+            energy += model.phase_energy(phase)
+            seconds += phase.seconds
+    return PowerReport(
+        energy_joules=energy,
+        seconds=seconds,
+        instances=len(runs),
+        mispredicted=sum(r.mispredicted for r in runs),
+    )
+
+
+def average_power(runs: list[TaskRun], model: PowerModel) -> float:
+    """Average power (watts) over the whole run sequence."""
+    return energy_of_runs(runs, model).average_watts
+
+
+def power_savings(complex_watts: float, simple_watts: float) -> float:
+    """Fractional power savings of the complex core vs simple-fixed.
+
+    Positive means the complex processor consumes less (the paper's
+    Figures 2-4 report this as a percentage).
+    """
+    if simple_watts == 0:
+        return 0.0
+    return 1.0 - complex_watts / simple_watts

@@ -1,0 +1,38 @@
+"""Real-time scheduling extensions.
+
+The paper's §1.1 motivates VISA with task *sets*: finishing the hard
+real-time task early frees slack for other work ("conventional
+concurrency").  This package provides the classic schedulability theory
+the paper leans on (Liu & Layland [19]) so VISA-derived WCETs can be
+plugged into system-level admission tests:
+
+* rate-monotonic utilization bound and exact response-time analysis,
+* earliest-deadline-first utilization test,
+* slack accounting for background (non-real-time) work.
+"""
+
+from repro.rt.simulate import JobRecord, ScheduleResult, simulate
+from repro.rt.sched import (
+    PeriodicTask,
+    edf_schedulable,
+    hyperperiod,
+    rm_response_times,
+    rm_schedulable,
+    rm_utilization_bound,
+    slack_fraction,
+    utilization,
+)
+
+__all__ = [
+    "JobRecord",
+    "ScheduleResult",
+    "simulate",
+    "PeriodicTask",
+    "edf_schedulable",
+    "hyperperiod",
+    "rm_response_times",
+    "rm_schedulable",
+    "rm_utilization_bound",
+    "slack_fraction",
+    "utilization",
+]

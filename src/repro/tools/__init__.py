@@ -1,0 +1,12 @@
+"""Developer tooling: pipeline traces and timing reports."""
+
+from repro.tools.report import RunSummary, render, summarize
+from repro.tools.trace import PipelineTrace, trace_inorder
+
+__all__ = [
+    "PipelineTrace",
+    "trace_inorder",
+    "RunSummary",
+    "render",
+    "summarize",
+]

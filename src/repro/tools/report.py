@@ -1,0 +1,104 @@
+"""Run reports: summarize a VISA runtime sequence as readable text.
+
+Turns a list of :class:`~repro.visa.runtime.TaskRun` into the summary a
+systems engineer would want after a soak run: the frequency trajectory,
+checkpoint misses, time-in-mode breakdown, and (optionally) energy by
+power model.  Used by examples and handy in a REPL; the experiment
+harness has its own more specific renderers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+from repro.power.model import PowerModel
+from repro.power.report import energy_of_runs
+from repro.visa.runtime import TaskRun
+
+
+@dataclass
+class RunSummary:
+    """Aggregated view of a task-run sequence."""
+
+    instances: int
+    missed_checkpoints: int
+    deadlines_met: bool
+    final_f_spec_mhz: float
+    final_f_rec_mhz: float
+    frequency_trajectory_mhz: list[int]
+    seconds_by_mode: dict[str, float]
+    worst_completion_us: float
+    mean_completion_us: float
+
+
+def summarize(runs: list[TaskRun]) -> RunSummary:
+    """Aggregate a run sequence (see :class:`RunSummary`)."""
+    if not runs:
+        raise ValueError("no runs to summarize")
+    by_mode: dict[str, float] = defaultdict(float)
+    for run in runs:
+        for phase in run.phases:
+            by_mode[phase.mode] += phase.seconds
+    completions = [run.completion_seconds for run in runs]
+    return RunSummary(
+        instances=len(runs),
+        missed_checkpoints=sum(r.mispredicted for r in runs),
+        deadlines_met=all(r.deadline_met for r in runs),
+        final_f_spec_mhz=runs[-1].f_spec.freq_hz / 1e6,
+        final_f_rec_mhz=runs[-1].f_rec.freq_hz / 1e6,
+        frequency_trajectory_mhz=[
+            int(r.f_spec.freq_hz / 1e6) for r in runs
+        ],
+        seconds_by_mode=dict(by_mode),
+        worst_completion_us=max(completions) * 1e6,
+        mean_completion_us=sum(completions) / len(completions) * 1e6,
+    )
+
+
+def render(
+    runs: list[TaskRun],
+    title: str = "VISA run report",
+    power_model: PowerModel | None = None,
+) -> str:
+    """Render a multi-section text report for a run sequence."""
+    summary = summarize(runs)
+    lines = [title, "=" * len(title)]
+    lines.append(
+        f"instances: {summary.instances}   missed checkpoints: "
+        f"{summary.missed_checkpoints}   deadlines: "
+        f"{'ALL MET' if summary.deadlines_met else 'MISSED (!)'}"
+    )
+    lines.append(
+        f"final frequencies: f_spec {summary.final_f_spec_mhz:.0f} MHz, "
+        f"f_rec {summary.final_f_rec_mhz:.0f} MHz"
+    )
+    lines.append(
+        f"completion: mean {summary.mean_completion_us:.2f} us, "
+        f"worst {summary.worst_completion_us:.2f} us "
+        f"(deadline {runs[0].deadline * 1e6:.2f} us)"
+    )
+
+    trajectory = summary.frequency_trajectory_mhz
+    stride = max(1, len(trajectory) // 16)
+    shown = trajectory[::stride]
+    lines.append("f_spec trajectory (MHz): " + " ".join(map(str, shown)))
+
+    lines.append("time by mode:")
+    total = sum(summary.seconds_by_mode.values()) or 1.0
+    for mode, seconds in sorted(
+        summary.seconds_by_mode.items(), key=lambda kv: -kv[1]
+    ):
+        lines.append(
+            f"  {mode:13s} {seconds * 1e6:10.2f} us  "
+            f"({100 * seconds / total:5.1f}%)"
+        )
+
+    if power_model is not None:
+        report = energy_of_runs(runs, power_model)
+        lines.append(
+            f"energy: {report.energy_joules * 1e6:.2f} uJ over "
+            f"{report.seconds * 1e6:.2f} us -> "
+            f"{report.average_watts:.3f} W average"
+        )
+    return "\n".join(lines)

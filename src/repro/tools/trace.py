@@ -1,0 +1,136 @@
+"""Cycle-by-cycle pipeline traces for the in-order (VISA) pipeline.
+
+Renders the classic textbook pipeline diagram (one row per instruction,
+one column per cycle) from the shared timing recurrence — handy both for
+debugging the timing model and for teaching what the VISA actually
+specifies: stalls show up as repeated stage letters.
+
+    addi t0, zero, 5      F D R X M W
+    lw   t1, 0(t0)        .F D R X M W
+    add  t2, t1, t1       ..F D R r X M W     <- load-use stall in R
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.disassembler import disassemble_instruction
+from repro.isa.program import Program
+from repro.memory.machine import Machine
+from repro.pipelines.inorder import InOrderCore
+from repro.pipelines.inorder_engine import InstrTiming, TimingState, advance
+
+
+@dataclass
+class TraceRow:
+    """Timing of one traced instruction."""
+
+    index: int
+    text: str
+    timing: InstrTiming
+
+    def stages(self) -> dict[int, str]:
+        """cycle -> stage letter, with stalls shown lowercase."""
+        t = self.timing
+        out: dict[int, str] = {t.fetch: "F"}
+        out[t.fetch + 1] = "D"
+        for cycle in range(t.fetch + 2, t.ex_start):
+            out[cycle] = "r"  # stalled in register read
+        out.setdefault(t.ex_start - 1, "R")
+        for cycle in range(t.ex_start, t.ex_end + 1):
+            out[cycle] = "X"
+        for cycle in range(t.mem_start, t.mem_end + 1):
+            out[cycle] = "M"
+        out[t.writeback] = "W"
+        return out
+
+
+@dataclass
+class PipelineTrace:
+    """A collected trace, renderable as a pipeline diagram."""
+
+    rows: list[TraceRow] = field(default_factory=list)
+
+    @property
+    def cycles(self) -> int:
+        return max((r.timing.writeback for r in self.rows), default=0) + 1
+
+    def render(self, max_width: int = 100) -> str:
+        if not self.rows:
+            return "(empty trace)"
+        first = min(r.timing.fetch for r in self.rows)
+        last = min(self.cycles, first + max_width)
+        label_width = max(len(r.text) for r in self.rows) + 2
+        lines = []
+        header = " " * label_width + "".join(
+            f"{c % 10}" for c in range(first, last)
+        )
+        lines.append(header)
+        for row in self.rows:
+            stages = row.stages()
+            cells = "".join(
+                stages.get(cycle, ".") if cycle <= row.timing.writeback
+                else " "
+                for cycle in range(first, last)
+            )
+            lines.append(row.text.ljust(label_width) + cells)
+        return "\n".join(lines)
+
+
+def trace_inorder(
+    program: Program,
+    max_instructions: int = 64,
+    machine: Machine | None = None,
+    freq_hz: float = 1e9,
+) -> PipelineTrace:
+    """Execute up to ``max_instructions`` on the in-order core, tracing.
+
+    Uses the real core (actual cache contents, actual branch outcomes);
+    timings come from the same recurrence the core itself uses, captured
+    via a shadow state advanced in lockstep.
+    """
+    machine = machine or Machine(program)
+    core = InOrderCore(machine, freq_hz=freq_hz)
+    trace = PipelineTrace()
+    shadow = TimingState()
+    stall = core.stall_cycles
+
+    for index in range(max_instructions):
+        if core.state.halted:
+            break
+        pc = core.state.pc
+        inst = program.inst_at(pc)
+        icache_hit = machine.icache.probe(pc)
+        dcache_extra = 0
+        # Probe the D-cache before the core mutates it.
+        will_access = inst.is_mem
+        addr_known = None
+        if will_access:
+            # Compute the effective address non-destructively.
+            from repro.isa import layout
+            from repro.isa.semantics import execute
+
+            result = execute(inst, core.state.read_int, core.state.read_fp)
+            addr_known = result.eff_addr
+            if not layout.is_mmio(addr_known):
+                if not machine.dcache.probe(addr_known):
+                    dcache_extra = stall
+        control_penalty = False
+        if inst.is_branch:
+            from repro.isa.semantics import execute
+
+            outcome = execute(inst, core.state.read_int, core.state.read_fp)
+            control_penalty = inst.is_backward_branch() != outcome.taken
+        elif inst.is_indirect_jump:
+            control_penalty = True
+
+        timing = advance(
+            shadow, inst, 0 if icache_hit else stall, dcache_extra,
+            control_penalty,
+        )
+        trace.rows.append(
+            TraceRow(index=index, text=disassemble_instruction(inst),
+                     timing=timing)
+        )
+        core.run(max_instructions=1)
+    return trace

@@ -1,0 +1,56 @@
+"""The VISA framework: safe real-time execution on an unsafe pipeline.
+
+This package implements the paper's primary contribution:
+
+* :mod:`repro.visa.spec` — the virtual simple architecture specification
+  (Table 1) tying together the analyzer and both cores;
+* :mod:`repro.visa.dvs` — the Xscale-derived 37-point frequency/voltage
+  table (§5.2);
+* :mod:`repro.visa.checkpoints` — EQ 1 sub-task checkpoints and watchdog
+  increments (§2.1–2.2);
+* :mod:`repro.visa.pet` — predicted-execution-time selection from AET
+  histories: last-N and histogram policies (§4.3);
+* :mod:`repro.visa.speculation` — the frequency-speculation solvers:
+  EQ 2 (conventional, for the explicitly-safe processor) and EQ 4 (the
+  VISA adaptation) (§4.1–4.2);
+* :mod:`repro.visa.runtime` — the run-time system: periodic task
+  execution, watchdog-driven recovery into simple mode, DVS re-evaluation
+  every tenth task, and per-phase records for the power model (§4–5).
+
+Extensions beyond the paper's evaluation:
+
+* :mod:`repro.visa.smt` — the SMT application (§1.1/§8 future work);
+* :mod:`repro.visa.concurrency` — conventional concurrency: background
+  work in each period's slack (§1.1);
+* :mod:`repro.visa.binary` — timed binaries: parameterized WCET appended
+  to the program (§1.2).
+"""
+
+from repro.visa.checkpoints import CheckpointPlan, build_plan
+from repro.visa.dvs import DVSTable, Setting
+from repro.visa.pet import HistogramPET, LastNPET
+from repro.visa.runtime import RuntimeConfig, TaskRun, VISARuntime
+from repro.visa.spec import VISASpec
+from repro.visa.speculation import (
+    FrequencyPair,
+    lowest_safe_frequency,
+    solve_eq2,
+    solve_eq4,
+)
+
+__all__ = [
+    "CheckpointPlan",
+    "build_plan",
+    "DVSTable",
+    "Setting",
+    "HistogramPET",
+    "LastNPET",
+    "RuntimeConfig",
+    "TaskRun",
+    "VISARuntime",
+    "VISASpec",
+    "FrequencyPair",
+    "lowest_safe_frequency",
+    "solve_eq2",
+    "solve_eq4",
+]

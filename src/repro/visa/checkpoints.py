@@ -1,0 +1,95 @@
+"""Sub-task checkpoints and watchdog increments (paper §2.1–2.2, EQ 1).
+
+For sub-task *i* (0-based here; the paper is 1-based):
+
+    checkpoint_i = deadline - ovhd - sum_{k=i}^{s-1} WCET_{k, f_rec}
+
+i.e. the latest time at which sub-task *i* may still be unfinished while
+leaving room to (1) switch to simple mode and the recovery frequency,
+(2) re-run all of sub-task *i* from scratch (worst-case analysis covers
+the sub-task as a whole, §2.1), and (3) run the remaining sub-tasks at
+their recovery-frequency WCETs.
+
+The watchdog counter enforces checkpoints incrementally (§2.2): sub-task
+0's prologue sets it to ``floor(checkpoint_0 * f)``; each later sub-task's
+prologue adds ``floor((checkpoint_i - checkpoint_{i-1}) * f)``.  In the
+DVS application the counting frequency is the *speculative* frequency
+(§4.2), while the checkpoints themselves use the recovery frequency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import InfeasibleError
+from repro.wcet.analyzer import TaskWCET
+
+
+@dataclass
+class CheckpointPlan:
+    """Checkpoints (seconds from task start) and watchdog increments.
+
+    Attributes:
+        deadline: Task deadline, seconds.
+        ovhd: Mode/frequency switch overhead, seconds.
+        checkpoints: Per-sub-task latest-unfinished times, seconds.
+        increments: Per-sub-task watchdog increments, in cycles at the
+            counting frequency (the values the runtime writes into the
+            program's ``__visa_incr`` array).
+        count_freq_hz: The frequency the watchdog counts at.
+    """
+
+    deadline: float
+    ovhd: float
+    checkpoints: list[float]
+    increments: list[int]
+    count_freq_hz: float
+
+
+def checkpoint_times(
+    deadline: float, ovhd: float, wcet_rec: TaskWCET
+) -> list[float]:
+    """EQ 1 checkpoints for every sub-task.
+
+    Raises:
+        InfeasibleError: if any checkpoint is non-positive (the deadline
+            cannot be guaranteed even with immediate recovery).
+    """
+    count = len(wcet_rec.subtasks)
+    checkpoints = []
+    for i in range(count):
+        checkpoint = deadline - ovhd - wcet_rec.tail_seconds(i)
+        if checkpoint <= 0:
+            raise InfeasibleError(
+                f"checkpoint {i} is {checkpoint * 1e6:.2f} us: deadline "
+                f"{deadline * 1e6:.2f} us cannot be guaranteed at "
+                f"{wcet_rec.freq_hz / 1e6:.0f} MHz recovery"
+            )
+        checkpoints.append(checkpoint)
+    return checkpoints
+
+
+def watchdog_increments(checkpoints: list[float], count_freq_hz: float) -> list[int]:
+    """Per-sub-task watchdog increments in cycles (paper §2.2)."""
+    increments = [math.floor(checkpoints[0] * count_freq_hz)]
+    for prev, cur in zip(checkpoints, checkpoints[1:]):
+        increments.append(math.floor((cur - prev) * count_freq_hz))
+    return increments
+
+
+def build_plan(
+    deadline: float,
+    ovhd: float,
+    wcet_rec: TaskWCET,
+    count_freq_hz: float,
+) -> CheckpointPlan:
+    """Compute the full checkpoint plan for one task configuration."""
+    checkpoints = checkpoint_times(deadline, ovhd, wcet_rec)
+    return CheckpointPlan(
+        deadline=deadline,
+        ovhd=ovhd,
+        checkpoints=checkpoints,
+        increments=watchdog_increments(checkpoints, count_freq_hz),
+        count_freq_hz=count_freq_hz,
+    )

@@ -1,0 +1,149 @@
+"""SMT application of VISA (paper §1.1, §8 — modelled future work).
+
+The paper's most ambitious application: run soft/non-real-time threads
+*simultaneously* with the hard real-time task on an SMT processor.  The
+hard task only needs as much bandwidth as the hypothetical simple pipeline
+to meet its checkpoints; whatever the wide OOO core has left over feeds the
+background threads.  If contention ever makes the hard task miss a
+checkpoint, the core falls back to simple mode **and idles the other
+threads** ("they are not context-switched out, but no new instructions are
+fetched"), restoring the full VISA guarantee.
+
+Model
+-----
+
+Static bandwidth partitioning, the standard first-order SMT model: with
+``n`` background threads at fetch aggressiveness ``alpha``, the real-time
+thread's effective share of every bandwidth resource (fetch/dispatch/
+issue/commit width, cache ports) and every partitioned buffer (ROB, IQ,
+LSQ) is ``1 / (1 + alpha * n)``.  The slots not used by the RT thread are
+reported as *background slot-cycles* — the throughput VISA makes safe to
+harvest.  Wrong answers here can only create checkpoint misses, never
+deadline misses, which is precisely the property the paper exploits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.pipelines.ooo.core import ComplexCore, OOOParams
+from repro.visa.runtime import Phase, RuntimeConfig, TaskRun, VISARuntime
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class SMTConfig:
+    """Co-scheduling configuration.
+
+    Attributes:
+        background_threads: Number of simultaneously-running non-RT threads.
+        alpha: Per-thread bandwidth aggressiveness (1.0 = equal sharing;
+            below 1.0 models background threads with lower fetch priority,
+            e.g. ICOUNT biased toward the RT thread).
+    """
+
+    background_threads: int = 0
+    alpha: float = 1.0
+
+    @property
+    def rt_share(self) -> float:
+        """Fraction of core bandwidth the real-time thread receives."""
+        return 1.0 / (1.0 + self.alpha * self.background_threads)
+
+
+def partitioned_params(base: OOOParams, config: SMTConfig) -> OOOParams:
+    """The complex core's resources as seen by the real-time thread."""
+    share = config.rt_share
+
+    def width(value: int) -> int:
+        return max(1, math.floor(value * share))
+
+    def entries(value: int) -> int:
+        return max(4, math.floor(value * share))
+
+    return OOOParams(
+        fetch_width=width(base.fetch_width),
+        dispatch_width=width(base.dispatch_width),
+        issue_width=width(base.issue_width),
+        commit_width=width(base.commit_width),
+        rob_entries=entries(base.rob_entries),
+        iq_entries=entries(base.iq_entries),
+        lsq_entries=entries(base.lsq_entries),
+        num_fus=max(1, math.floor(base.num_fus * share)),
+        cache_ports=max(1, math.floor(base.cache_ports * share)),
+        issue_to_ex=base.issue_to_ex,
+        frontend_depth=base.frontend_depth,
+    )
+
+
+@dataclass
+class SMTReport:
+    """Throughput accounting for one run sequence."""
+
+    background_slot_cycles: int
+    rt_complex_cycles: int
+    recovery_cycles: int
+    missed_checkpoints: int
+
+    @property
+    def background_share(self) -> float:
+        total = self.background_slot_cycles + self.rt_complex_cycles
+        return self.background_slot_cycles / total if total else 0.0
+
+
+class SMTVISARuntime(VISARuntime):
+    """VISA runtime on an SMT core sharing bandwidth with other threads.
+
+    Identical safety machinery to :class:`VISARuntime`; only the complex-
+    mode core is bandwidth-partitioned.  Simple mode (recovery) idles the
+    background threads, so it keeps the full-width in-order timing.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        config: RuntimeConfig,
+        smt: SMTConfig,
+        **kwargs,
+    ):
+        super().__init__(workload, config, **kwargs)
+        self.smt = smt
+        base = self.core.params
+        self.core = ComplexCore(
+            self.machine,
+            state=self.core.state,
+            freq_hz=self.core.freq_hz,
+            params=partitioned_params(base, smt),
+        )
+        self._full_issue_width = base.issue_width
+
+    def report(self, runs: list[TaskRun]) -> SMTReport:
+        """Aggregate background-thread throughput across ``runs``.
+
+        Background threads use the issue slots the RT thread's partition
+        does not cover, during complex-mode phases; in recovery phases
+        they are idled (zero slots), per the paper.
+        """
+        rt_width = self.core.params.issue_width
+        spare = self._full_issue_width - rt_width
+        background = 0
+        rt_cycles = 0
+        recovery = 0
+        for run in runs:
+            for phase in run.phases:
+                if phase.kind == "spec" and phase.mode == "complex":
+                    background += spare * phase.cycles
+                    rt_cycles += rt_width * phase.cycles
+                elif phase.kind == "recovery":
+                    recovery += phase.cycles
+                elif phase.kind == "idle":
+                    # The RT task is done; the whole core belongs to the
+                    # background threads until the next period.
+                    background += self._full_issue_width * phase.cycles
+        return SMTReport(
+            background_slot_cycles=background,
+            rt_complex_cycles=rt_cycles,
+            recovery_cycles=recovery,
+            missed_checkpoints=sum(r.mispredicted for r in runs),
+        )

@@ -1,0 +1,57 @@
+"""The virtual simple architecture specification (paper §3.1, Table 1).
+
+A :class:`VISASpec` is the contract between three parties:
+
+* the **static timing analyzer**, which bounds WCET against it,
+* the **explicitly-safe processor** (``simple-fixed``), which implements
+  it literally, and
+* the **complex processor**, whose simple mode must match its timing.
+
+Keeping it in one object makes the "same VISA" relationship explicit and
+lets tests verify all three parties agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.program import Program
+from repro.memory.cache import CacheConfig
+from repro.memory.machine import Machine, MachineConfig, mem_stall_cycles
+from repro.pipelines.inorder_engine import BRANCH_PENALTY
+from repro.wcet.analyzer import WCETAnalyzer
+
+
+@dataclass(frozen=True)
+class VISASpec:
+    """Timing specification of the hypothetical simple pipeline.
+
+    Defaults are Table 1: 64 KB / 4-way / 64 B L1 caches with 1-cycle hits,
+    100 ns worst-case memory stall, MIPS R10K execution latencies (encoded
+    in :mod:`repro.isa.opcodes`), six pipeline stages, scalar in-order
+    issue, BTFN static branch prediction with a 4-cycle misprediction
+    penalty.
+    """
+
+    icache: CacheConfig = field(default_factory=CacheConfig)
+    dcache: CacheConfig = field(default_factory=CacheConfig)
+    mem_stall_ns: float = 100.0
+    branch_penalty: int = BRANCH_PENALTY
+
+    def machine_config(self) -> MachineConfig:
+        """Cache geometry for a machine implementing this VISA."""
+        return MachineConfig(icache=self.icache, dcache=self.dcache)
+
+    def machine(self, program: Program) -> Machine:
+        """A fresh machine (memory + caches + devices) for ``program``."""
+        return Machine(program, self.machine_config())
+
+    def analyzer(self, program: Program) -> WCETAnalyzer:
+        """A WCET analyzer bound to this specification."""
+        return WCETAnalyzer(
+            program, cache_config=self.icache, mem_stall_ns=self.mem_stall_ns
+        )
+
+    def stall_cycles(self, freq_hz: float) -> int:
+        """Worst-case memory stall in cycles at ``freq_hz``."""
+        return mem_stall_cycles(freq_hz, self.mem_stall_ns)

@@ -1,0 +1,144 @@
+"""Frequency speculation solvers (paper §4.1–4.2, EQ 2 and EQ 4).
+
+Conventional frequency speculation [Rotenberg 01] (EQ 2) needs safe WCETs
+*on the processor that executes* — which for a complex pipeline may be
+impossible to produce.  The VISA adaptation (EQ 4) replaces the recovery
+terms with WCETs on the hypothetical simple pipeline, because recovery
+switches to simple mode:
+
+    sum_{j<=i} PET_{j, f_spec} + ovhd + sum_{k>=i} WCET_{k, f_rec} <= deadline
+
+for every sub-task i (any one may be the mispredicted one).  Both solvers
+search the DVS table for the feasible pair minimizing the speculative
+frequency first and the recovery frequency second ("the lowest
+{f_spec, f_rec} pair", §4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import InfeasibleError
+from repro.visa.dvs import DVSTable, Setting
+from repro.wcet.analyzer import TaskWCET
+
+WCETFn = Callable[[float], TaskWCET]
+
+
+@dataclass(frozen=True)
+class FrequencyPair:
+    """A speculative/recovery frequency assignment."""
+
+    spec: Setting
+    rec: Setting
+
+
+def lowest_safe_frequency(
+    wcet_fn: WCETFn, deadline: float, table: DVSTable
+) -> Setting:
+    """Lowest setting whose *non-speculative* WCET meets the deadline.
+
+    This is the explicitly-safe baseline: run the whole task at one
+    frequency such that the summed sub-task WCETs fit the deadline.
+    """
+    for setting in table:
+        if wcet_fn(setting.freq_hz).total_seconds <= deadline:
+            return setting
+    raise InfeasibleError(
+        f"deadline {deadline * 1e6:.2f} us infeasible even at "
+        f"{table.highest.freq_hz / 1e6:.0f} MHz"
+    )
+
+
+def _eq4_feasible(
+    pets_cycles: list[int],
+    wcet_rec: TaskWCET,
+    f_spec: float,
+    deadline: float,
+    ovhd: float,
+) -> bool:
+    prefix = 0.0
+    for i in range(len(pets_cycles)):
+        prefix += pets_cycles[i] / f_spec
+        if prefix + ovhd + wcet_rec.tail_seconds(i) > deadline:
+            return False
+    return True
+
+
+def solve_eq4(
+    pets_cycles: list[int],
+    wcet_fn: WCETFn,
+    deadline: float,
+    ovhd: float,
+    table: DVSTable,
+) -> FrequencyPair:
+    """Minimum {f_spec, f_rec} satisfying EQ 4 for every sub-task.
+
+    Args:
+        pets_cycles: Per-sub-task PETs in complex-core cycles.
+        wcet_fn: Frequency -> per-sub-task VISA WCETs (recovery bound).
+        deadline: Task deadline, seconds.
+        ovhd: Frequency/mode switch overhead, seconds.
+        table: The DVS operating points.
+
+    Raises:
+        InfeasibleError: when no pair in the table is safe.
+    """
+    for spec in table:
+        for rec in table:
+            wcet_rec = wcet_fn(rec.freq_hz)
+            if _eq4_feasible(pets_cycles, wcet_rec, spec.freq_hz, deadline, ovhd):
+                return FrequencyPair(spec=spec, rec=rec)
+    raise InfeasibleError(
+        f"EQ 4 infeasible for deadline {deadline * 1e6:.2f} us"
+    )
+
+
+def _eq2_feasible(
+    pets_cycles: list[int],
+    wcet_spec: TaskWCET,
+    wcet_rec: TaskWCET,
+    f_spec: float,
+    deadline: float,
+    ovhd: float,
+) -> bool:
+    count = len(pets_cycles)
+    prefix = 0.0
+    for i in range(count):
+        total = (
+            prefix
+            + wcet_spec.subtask_seconds(i)
+            + ovhd
+            + wcet_rec.tail_seconds(i + 1)
+        )
+        if total > deadline:
+            return False
+        prefix += pets_cycles[i] / f_spec
+    return True
+
+
+def solve_eq2(
+    pets_cycles: list[int],
+    wcet_fn: WCETFn,
+    deadline: float,
+    ovhd: float,
+    table: DVSTable,
+) -> FrequencyPair:
+    """Conventional frequency speculation (EQ 2) for the safe pipeline.
+
+    The executing pipeline is itself analyzable, so the mispredicted
+    sub-task is bounded by its WCET *at the speculative frequency*; no
+    mode switch exists, only a frequency switch.
+    """
+    for spec in table:
+        wcet_spec = wcet_fn(spec.freq_hz)
+        for rec in table:
+            wcet_rec = wcet_fn(rec.freq_hz)
+            if _eq2_feasible(
+                pets_cycles, wcet_spec, wcet_rec, spec.freq_hz, deadline, ovhd
+            ):
+                return FrequencyPair(spec=spec, rec=rec)
+    raise InfeasibleError(
+        f"EQ 2 infeasible for deadline {deadline * 1e6:.2f} us"
+    )

@@ -1,0 +1,25 @@
+"""Static worst-case execution time analysis for the VISA pipeline.
+
+This package reimplements the structure of the paper's timing-analysis
+toolset (Figure 1, §3.3):
+
+* control-flow graph construction from the binary (:mod:`repro.wcet.cfg`),
+* loop analysis with user loop bounds (:mod:`repro.wcet.loops`),
+* static I-cache analysis producing Table 2 categorizations
+  (:mod:`repro.wcet.icache_static`),
+* a VISA pipeline model that *shares the timing recurrence* with the
+  dynamic simulator (:mod:`repro.wcet.pipeline_model`),
+* a bottom-up fix-point timing tree with per-sub-task WCETs
+  (:mod:`repro.wcet.analyzer`), and
+* trace-based worst-case D-cache padding (:mod:`repro.wcet.dcache_pad`),
+  mirroring the paper's interim approach to data caches, and
+* static D-cache analysis (:mod:`repro.wcet.dcache_static`) — the paper's
+  stated future work, implemented: sound input-independent miss bounds.
+
+The headline safety invariant — WCET >= actual execution time on the
+simple pipeline — is exercised extensively by the test suite.
+"""
+
+from repro.wcet.analyzer import SubtaskWCET, TaskWCET, WCETAnalyzer
+
+__all__ = ["WCETAnalyzer", "TaskWCET", "SubtaskWCET"]

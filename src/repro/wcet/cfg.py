@@ -1,0 +1,248 @@
+"""Control-flow graph construction from an assembled program.
+
+Functions are discovered from the call graph (``jal`` targets, plus the
+program entry).  Within a function, ``jal`` is treated as a sequential
+instruction carrying a call annotation; ``jr ra`` terminates a function.
+Indirect calls (``jalr``) and computed jumps are rejected — like the
+paper's analyzer, we require the statically analyzable code style the
+C-lab suite guarantees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AnalysisError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.isa.program import Program
+from repro.isa.registers import RA
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction sequence.
+
+    Attributes:
+        start: Address of the first instruction.
+        instructions: The instructions, in order.
+        successors: Out-edges as (kind, target-address) pairs; kinds are
+            ``"fall"`` (fallthrough), ``"taken"`` (branch taken),
+            ``"jump"`` (unconditional direct jump), ``"return"``.
+        call_target: Entry address of the callee when the block ends in
+            ``jal`` (the call returns to the fallthrough successor).
+    """
+
+    start: int
+    instructions: list[Instruction] = field(default_factory=list)
+    successors: list[tuple[str, int | None]] = field(default_factory=list)
+    call_target: int | None = None
+
+    @property
+    def end(self) -> int:
+        return self.start + 4 * len(self.instructions)
+
+    @property
+    def last(self) -> Instruction:
+        return self.instructions[-1]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BB {self.start:#x}..{self.end:#x}>"
+
+
+@dataclass
+class FunctionCFG:
+    """CFG of one function."""
+
+    entry: int
+    blocks: dict[int, BasicBlock]
+    #: Blocks ending in ``jr ra``.
+    return_blocks: list[int]
+    name: str = ""
+
+    def block(self, addr: int) -> BasicBlock:
+        return self.blocks[addr]
+
+    def predecessors(self) -> dict[int, list[int]]:
+        preds: dict[int, list[int]] = {addr: [] for addr in self.blocks}
+        for addr, block in self.blocks.items():
+            for _kind, succ in block.successors:
+                if succ is not None and succ in preds:
+                    preds[succ].append(addr)
+        return preds
+
+
+@dataclass
+class ProgramCFG:
+    """All function CFGs plus the call graph."""
+
+    program: Program
+    functions: dict[int, FunctionCFG]
+    #: caller entry -> set of callee entries
+    call_graph: dict[int, set[int]]
+
+    @property
+    def entry_function(self) -> FunctionCFG:
+        return self.functions[self.program.entry]
+
+    def check_no_recursion(self) -> None:
+        """Raise if the call graph has a cycle (unanalyzable)."""
+        color: dict[int, int] = {}
+
+        def visit(node: int, stack: tuple[int, ...]) -> None:
+            if color.get(node) == 2:
+                return
+            if color.get(node) == 1:
+                names = " -> ".join(hex(a) for a in stack + (node,))
+                raise AnalysisError(f"recursive call cycle: {names}")
+            color[node] = 1
+            for callee in self.call_graph.get(node, ()):
+                visit(callee, stack + (node,))
+            color[node] = 2
+
+        for func in self.functions:
+            visit(func, ())
+
+
+def _function_entries(program: Program) -> set[int]:
+    entries = {program.entry}
+    for inst in program.instructions:
+        if inst.op is Op.JAL:
+            entries.add(inst.jump_target())
+    return entries
+
+
+def build_cfg(program: Program) -> ProgramCFG:
+    """Build per-function CFGs and the call graph.
+
+    Raises:
+        AnalysisError: on indirect calls, computed jumps, or control flow
+            that escapes the text segment.
+    """
+    entries = _function_entries(program)
+    functions: dict[int, FunctionCFG] = {}
+    call_graph: dict[int, set[int]] = {}
+    for entry in sorted(entries):
+        cfg = _build_function(program, entry, entries)
+        functions[entry] = cfg
+        call_graph[entry] = {
+            block.call_target
+            for block in cfg.blocks.values()
+            if block.call_target is not None
+        }
+        for name, addr in program.symbols.items():
+            if addr == entry:
+                cfg.name = name
+                break
+    pcfg = ProgramCFG(program, functions, call_graph)
+    pcfg.check_no_recursion()
+    return pcfg
+
+
+def _build_function(
+    program: Program, entry: int, all_entries: set[int]
+) -> FunctionCFG:
+    # Discover reachable instructions, treating jal as sequential.
+    leaders: set[int] = {entry}
+    reachable: set[int] = set()
+    worklist = [entry]
+    while worklist:
+        addr = worklist.pop()
+        if addr in reachable:
+            continue
+        if not program.contains(addr):
+            raise AnalysisError(f"control flow leaves text segment at {addr:#x}")
+        reachable.add(addr)
+        inst = program.inst_at(addr)
+        for succ in _successor_addrs(inst, entry, all_entries):
+            worklist.append(succ)
+    # Leaders: targets of control transfers and instructions after them.
+    for addr in reachable:
+        inst = program.inst_at(addr)
+        if inst.is_branch:
+            leaders.add(inst.branch_target())
+            leaders.add(addr + 4)
+        elif inst.op is Op.J:
+            leaders.add(inst.jump_target())
+        elif inst.op is Op.JAL:
+            leaders.add(addr + 4)
+        elif inst.op is Op.JR:
+            pass
+    for mark in program.subtask_marks:
+        if mark in reachable:
+            leaders.add(mark)
+    leaders &= reachable
+
+    blocks: dict[int, BasicBlock] = {}
+    return_blocks: list[int] = []
+    for leader in sorted(leaders):
+        block = BasicBlock(start=leader)
+        addr = leader
+        while True:
+            inst = program.inst_at(addr)
+            block.instructions.append(inst)
+            next_addr = addr + 4
+            ends = False
+            if inst.is_branch:
+                block.successors = [
+                    ("taken", inst.branch_target()),
+                    ("fall", next_addr),
+                ]
+                ends = True
+            elif inst.op is Op.J:
+                block.successors = [("jump", inst.jump_target())]
+                ends = True
+            elif inst.op is Op.JAL:
+                target = inst.jump_target()
+                if target == entry:
+                    raise AnalysisError(f"direct recursion at {addr:#x}")
+                block.call_target = target
+                block.successors = [("fall", next_addr)]
+                ends = True
+            elif inst.op is Op.JR:
+                if inst.rs != RA:
+                    raise AnalysisError(
+                        f"computed jump (jr non-ra) at {addr:#x} is not analyzable"
+                    )
+                block.successors = [("return", None)]
+                return_blocks.append(leader)
+                ends = True
+            elif inst.op is Op.JALR:
+                raise AnalysisError(f"indirect call at {addr:#x} is not analyzable")
+            elif inst.op is Op.HALT:
+                block.successors = [("return", None)]
+                return_blocks.append(leader)
+                ends = True
+            elif next_addr in leaders:
+                block.successors = [("fall", next_addr)]
+                ends = True
+            if ends:
+                break
+            addr = next_addr
+        blocks[leader] = block
+    # Deduplicate: a block ending in halt and one ending in jr could both
+    # be return blocks; that's fine.  Validate successors stay in function.
+    for block in blocks.values():
+        for kind, succ in block.successors:
+            if succ is not None and succ not in blocks:
+                raise AnalysisError(
+                    f"edge from {block.start:#x} to {succ:#x} leaves the "
+                    f"function at {entry:#x}"
+                )
+    return FunctionCFG(entry=entry, blocks=blocks, return_blocks=return_blocks)
+
+
+def _successor_addrs(
+    inst: Instruction, entry: int, all_entries: set[int]
+) -> list[int]:
+    addr = inst.addr
+    assert addr is not None
+    if inst.is_branch:
+        return [inst.branch_target(), addr + 4]
+    if inst.op is Op.J:
+        return [inst.jump_target()]
+    if inst.op is Op.JAL:
+        return [addr + 4]  # call returns here
+    if inst.op in (Op.JR, Op.JALR, Op.HALT):
+        return []
+    return [addr + 4]

@@ -1,0 +1,505 @@
+"""Static D-cache analysis — the paper's §3.3 "future work", implemented.
+
+The paper's toolchain had a static D-cache module (White et al. [39, 40])
+that was not re-integrated in time, so WCETs were padded from dynamic
+traces.  This module provides the static alternative: a sound per-sub-task
+bound on cold D-cache misses, derived from the MiniC source rather than a
+trace, so the bound holds for *every* input — removing the one empirical
+link in the WCET chain.
+
+Method (a source-level variant of data-reference range analysis):
+
+1. Re-run the compiler front half (parse + inline) to get the AST that
+   ``main()`` actually executes, and split its top-level statements into
+   sub-task regions at the ``__subtask`` markers — the same partition the
+   code generator emits.
+2. For every array reference in a region, bound the *index interval* by
+   interval arithmetic over literals and counted-loop induction variables
+   (a ``for`` loop's ``__loopbound`` plus its affine init/step give the
+   variable's range; anything else widens to the whole array, which is
+   still sound for in-bounds programs).
+3. Convert index intervals to address ranges using the linked program's
+   symbols, add the statically-known fixed costs (scalar globals, the
+   stack frame, the float-constant pool, the VISA instrumentation
+   arrays), and count distinct cache blocks.
+4. Check LRU persistence exactly as the I-cache analysis does: if any
+   cache set would receive more distinct blocks than its associativity,
+   the once-per-block accounting is unsound and the analysis *refuses*
+   (callers fall back to trace padding) instead of under-reporting.
+
+The resulting per-region block counts are valid ``dcache_bounds`` for
+:class:`repro.wcet.analyzer.WCETAnalyzer`: each block can miss at most
+once per task instance from a cold cache, and the region partition charges
+it to every region that touches it (covering warm-start reuse too).
+
+Assumption (stated, and asserted by the functional test suite): array
+indices stay within their declared bounds — the same assumption every
+static data-cache analysis in the literature makes for C without runtime
+checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+from repro.isa import layout
+from repro.isa.program import Program
+from repro.memory.cache import CacheConfig
+from repro.minicc import c_ast as ast
+from repro.minicc.inline import inline_module
+from repro.minicc.parser import parse
+from repro.workloads.base import Workload
+
+#: Interval of possible values; None means unknown (widen to the array).
+Interval = tuple[int, int] | None
+
+
+def _ival(lo: int, hi: int) -> Interval:
+    return (min(lo, hi), max(lo, hi))
+
+
+def _add(a: Interval, b: Interval) -> Interval:
+    if a is None or b is None:
+        return None
+    return (a[0] + b[0], a[1] + b[1])
+
+
+def _sub(a: Interval, b: Interval) -> Interval:
+    if a is None or b is None:
+        return None
+    return (a[0] - b[1], a[1] - b[0])
+
+
+def _mul(a: Interval, b: Interval) -> Interval:
+    if a is None or b is None:
+        return None
+    products = [a[0] * b[0], a[0] * b[1], a[1] * b[0], a[1] * b[1]]
+    return (min(products), max(products))
+
+
+def _shift(a: Interval, b: Interval, left: bool) -> Interval:
+    if a is None or b is None or b[0] < 0 or b[1] > 31:
+        return None
+    if left:
+        return _ival(min(a[0] << s for s in (b[0], b[1])),
+                     max(a[1] << s for s in (b[0], b[1])))
+    return _ival(a[0] >> b[1], a[1] >> b[0])
+
+
+class _IndexBounds:
+    """Interval evaluation of index expressions under loop-variable ranges."""
+
+    def __init__(self, env: dict[str, Interval]):
+        self.env = env
+
+    def eval(self, expr: ast.Expr) -> Interval:
+        if isinstance(expr, ast.IntLit):
+            return (expr.value, expr.value)
+        if isinstance(expr, ast.Var):
+            return self.env.get(expr.name)
+        if isinstance(expr, ast.Unary) and expr.op == "-":
+            inner = self.eval(expr.operand)
+            return None if inner is None else (-inner[1], -inner[0])
+        if isinstance(expr, ast.Binary):
+            left, right = self.eval(expr.left), self.eval(expr.right)
+            if expr.op == "+":
+                return _add(left, right)
+            if expr.op == "-":
+                return _sub(left, right)
+            if expr.op == "*":
+                return _mul(left, right)
+            if expr.op == "<<":
+                return _shift(left, right, left=True)
+            if expr.op == ">>":
+                return _shift(left, right, left=False)
+            return None
+        return None
+
+
+def _loop_var_range(stmt: ast.For) -> tuple[str, Interval] | None:
+    """Range of a counted for-loop's induction variable.
+
+    Uses the loop's (mandatory) bound with its affine init/step; the
+    condition itself may be data-dependent (srt's triangular loop), the
+    bound still caps the iteration count.
+    """
+    if not (
+        isinstance(stmt.init, ast.Assign)
+        and isinstance(stmt.init.target, ast.Var)
+        and isinstance(stmt.init.value, ast.IntLit)
+        and isinstance(stmt.step, ast.Assign)
+        and isinstance(stmt.step.target, ast.Var)
+        and stmt.step.target.name == stmt.init.target.name
+        and isinstance(stmt.step.value, ast.Binary)
+        and stmt.step.value.op in ("+", "-")
+        and isinstance(stmt.step.value.left, ast.Var)
+        and stmt.step.value.left.name == stmt.init.target.name
+        and isinstance(stmt.step.value.right, ast.IntLit)
+        and stmt.bound is not None
+        and stmt.bound > 0
+    ):
+        return None
+    start = stmt.init.value.value
+    delta = stmt.step.value.right.value
+    if stmt.step.value.op == "-":
+        delta = -delta
+    if delta == 0:
+        return None
+    last = start + delta * (stmt.bound - 1)
+    return stmt.init.target.name, _ival(start, last)
+
+
+@dataclass
+class _ArrayInfo:
+    base: int
+    dims: tuple[int, ...]
+
+    @property
+    def total_words(self) -> int:
+        total = 1
+        for d in self.dims:
+            total *= d
+        return max(1, total)
+
+
+class StaticDCacheAnalyzer:
+    """Derives per-sub-task cold D-cache miss bounds from MiniC source."""
+
+    def __init__(
+        self,
+        source: str,
+        program: Program,
+        cache: CacheConfig | None = None,
+    ):
+        self.cache = cache or CacheConfig()
+        self.program = program
+        module = inline_module(parse(source))
+        self.module = module
+        self.arrays: dict[str, _ArrayInfo] = {}
+        self.scalars: dict[str, int] = {}
+        for g in module.globals:
+            if g.name not in program.symbols:
+                raise AnalysisError(f"global {g.name!r} missing from program")
+            if g.dims:
+                self.arrays[g.name] = _ArrayInfo(
+                    base=program.symbols[g.name], dims=g.dims
+                )
+            else:
+                self.scalars[g.name] = program.symbols[g.name]
+        mains = [f for f in module.functions if f.name == "main"]
+        if not mains:
+            raise AnalysisError("no main() in source")
+        self.main = mains[0]
+        self.float_consts = _count_float_literals(module)
+        self.num_locals = _count_locals(self.main)
+
+    # -- public API -------------------------------------------------------------
+
+    def bounds(self) -> list[int]:
+        """Per-sub-task cold-miss bounds (one entry for unmarked programs).
+
+        Raises:
+            AnalysisError: if the touched blocks of any region conflict in
+                some cache set beyond the associativity (the once-per-block
+                bound would be unsound; fall back to trace calibration).
+        """
+        regions = self._regions()
+        out = []
+        for region in regions:
+            ranges = self._region_ranges(region)
+            blocks = self._blocks_of(ranges)
+            self._check_persistence(blocks)
+            out.append(len(blocks))
+        return out
+
+    # -- region structure --------------------------------------------------------
+
+    def _regions(self) -> list[list[ast.Stmt]]:
+        regions: list[list[ast.Stmt]] = [[]]
+        for stmt in self.main.body.stmts:
+            if isinstance(stmt, ast.Subtask):
+                if stmt.index == 0:
+                    continue  # prologue merges into the first region
+                regions.append([])
+            elif isinstance(stmt, ast.TaskEnd):
+                continue
+            else:
+                regions[-1].append(stmt)
+        return regions
+
+    # -- reference collection -----------------------------------------------------
+
+    def _region_ranges(self, stmts: list[ast.Stmt]) -> list[tuple[int, int]]:
+        ranges: list[tuple[int, int]] = []
+        # Fixed per-region costs: the stack frame (spills, saves), the
+        # float-constant pool, and the VISA instrumentation arrays.
+        frame_bytes = 4 * (self.num_locals + 20)
+        stack_top = layout.STACK_TOP
+        ranges.append((stack_top - frame_bytes, stack_top))
+        if self.float_consts:
+            pool = 4 * self.float_consts
+            # The pool sits in .data after the globals; bound it by symbol
+            # when present, else charge its worst-case block span.
+            ranges.append((self.program.data_base, self.program.data_base))
+            ranges.append((-pool, -1))  # sentinel handled in _blocks_of
+        for name in (layout.VISA_INCR_SYMBOL, layout.VISA_AET_SYMBOL):
+            if name in self.program.symbols:
+                base = self.program.symbols[name]
+                count = max(1, self.program.num_subtasks)
+                ranges.append((base, base + 4 * count - 1))
+        for addr in self.scalars.values():
+            ranges.append((addr, addr + 3))
+
+        env: dict[str, Interval] = {}
+        self._walk_stmts(stmts, env, ranges)
+        return ranges
+
+    def _walk_stmts(self, stmts, env, ranges) -> None:
+        for stmt in stmts:
+            self._walk_stmt(stmt, env, ranges)
+
+    def _walk_stmt(self, stmt, env, ranges) -> None:
+        if isinstance(stmt, ast.Block):
+            self._walk_stmts(stmt.stmts, env, ranges)
+        elif isinstance(stmt, ast.Decl):
+            if stmt.init is not None:
+                self._walk_expr(stmt.init, env, ranges)
+            env[stmt.name] = _IndexBounds(env).eval(stmt.init) if stmt.init else None
+        elif isinstance(stmt, (ast.ExprStmt, ast.Out, ast.Return)):
+            expr = getattr(stmt, "expr", None) or getattr(stmt, "value", None)
+            if expr is not None:
+                self._walk_expr(expr, env, ranges)
+        elif isinstance(stmt, ast.If):
+            self._walk_expr(stmt.cond, env, ranges)
+            self._walk_stmt(stmt.then, dict(env), ranges)
+            if stmt.els is not None:
+                self._walk_stmt(stmt.els, dict(env), ranges)
+        elif isinstance(stmt, ast.While):
+            self._walk_expr(stmt.cond, env, ranges)
+            body_env = dict(env)
+            _kill_assigned(stmt.body, body_env)
+            self._walk_stmt(stmt.body, body_env, ranges)
+        elif isinstance(stmt, ast.For):
+            inner = dict(env)
+            _kill_assigned(stmt.body, inner)
+            var_range = _loop_var_range(stmt)
+            if var_range is not None:
+                inner[var_range[0]] = var_range[1]
+            elif (
+                isinstance(stmt.init, ast.Assign)
+                and isinstance(stmt.init.target, ast.Var)
+            ):
+                inner[stmt.init.target.name] = None
+            if stmt.init is not None:
+                self._walk_expr(stmt.init, env, ranges)
+            if stmt.cond is not None:
+                self._walk_expr(stmt.cond, inner, ranges)
+            if stmt.step is not None:
+                self._walk_expr(stmt.step, inner, ranges)
+            self._walk_stmt(stmt.body, inner, ranges)
+
+    def _walk_expr(self, expr, env, ranges) -> None:
+        if isinstance(expr, ast.Index):
+            self._record_index(expr, env, ranges)
+            for index_expr in expr.indices:
+                self._walk_expr(index_expr, env, ranges)
+        elif isinstance(expr, ast.Binary):
+            self._walk_expr(expr.left, env, ranges)
+            self._walk_expr(expr.right, env, ranges)
+        elif isinstance(expr, (ast.Unary, ast.Cast)):
+            self._walk_expr(expr.operand, env, ranges)
+        elif isinstance(expr, ast.Assign):
+            self._walk_expr(expr.value, env, ranges)
+            if isinstance(expr.target, ast.Index):
+                self._record_index(expr.target, env, ranges)
+                for index_expr in expr.target.indices:
+                    self._walk_expr(index_expr, env, ranges)
+            elif isinstance(expr.target, ast.Var):
+                env[expr.target.name] = _IndexBounds(env).eval(expr.value)
+        elif isinstance(expr, ast.Call):
+            for arg in expr.args:
+                self._walk_expr(arg, env, ranges)
+            # Un-inlined calls may touch anything addressable: widen to
+            # every array (sound; rare, since inlining runs first).
+            for info in self.arrays.values():
+                ranges.append((info.base, info.base + 4 * info.total_words - 1))
+            for addr in self.scalars.values():
+                ranges.append((addr, addr + 3))
+
+    def _record_index(self, expr: ast.Index, env, ranges) -> None:
+        info = self.arrays.get(expr.name)
+        if info is None:
+            raise AnalysisError(f"unknown array {expr.name!r}")
+        bounds = _IndexBounds(env)
+        if len(info.dims) == 1:
+            interval = bounds.eval(expr.indices[0])
+            total = info.dims[0]
+        else:
+            rows = bounds.eval(expr.indices[0])
+            cols = bounds.eval(expr.indices[1])
+            ncols = (info.dims[1], info.dims[1])
+            interval = _add(_mul(rows, ncols), cols)
+            total = info.total_words
+        if interval is None:
+            interval = (0, total - 1)
+        lo = max(0, interval[0])
+        hi = min(total - 1, interval[1])
+        if lo > hi:
+            return
+        ranges.append((info.base + 4 * lo, info.base + 4 * hi + 3))
+
+    # -- block accounting ----------------------------------------------------------
+
+    def _blocks_of(self, ranges: list[tuple[int, int]]) -> set[int]:
+        shift = self.cache.block_shift
+        blocks: set[int] = set()
+        float_pool_blocks = 0
+        for lo, hi in ranges:
+            if lo < 0:  # float-pool sentinel: size-only charge
+                float_pool_blocks = max(
+                    float_pool_blocks, (hi - lo) // self.cache.block_bytes + 2
+                )
+                continue
+            blocks.update(range(lo >> shift, (hi >> shift) + 1))
+        if float_pool_blocks:
+            # Model the pool as its own fresh blocks (disjoint from arrays).
+            sentinel_base = (1 << 40) >> shift
+            blocks.update(range(sentinel_base, sentinel_base + float_pool_blocks))
+        return blocks
+
+    def _check_persistence(self, blocks: set[int]) -> None:
+        per_set: dict[int, int] = {}
+        for block in blocks:
+            index = block % self.cache.num_sets
+            per_set[index] = per_set.get(index, 0) + 1
+            if per_set[index] > self.cache.assoc:
+                raise AnalysisError(
+                    "data working set conflicts exceed associativity; "
+                    "static once-per-block bound would be unsound — use "
+                    "trace calibration instead"
+                )
+
+
+def _kill_assigned(stmt: ast.Stmt, env: dict[str, Interval]) -> None:
+    """Drop env entries for variables the statement may reassign."""
+
+    def walk_expr(expr):
+        if isinstance(expr, ast.Assign) and isinstance(expr.target, ast.Var):
+            env.pop(expr.target.name, None)
+            walk_expr(expr.value)
+        elif isinstance(expr, ast.Binary):
+            walk_expr(expr.left)
+            walk_expr(expr.right)
+        elif isinstance(expr, (ast.Unary, ast.Cast)):
+            walk_expr(expr.operand)
+        elif isinstance(expr, ast.Call):
+            for arg in expr.args:
+                walk_expr(arg)
+        elif isinstance(expr, ast.Index):
+            for index_expr in expr.indices:
+                walk_expr(index_expr)
+
+    def walk(node):
+        if isinstance(node, ast.Block):
+            for inner in node.stmts:
+                walk(inner)
+        elif isinstance(node, ast.Decl):
+            env.pop(node.name, None)
+        elif isinstance(node, ast.ExprStmt):
+            walk_expr(node.expr)
+        elif isinstance(node, (ast.Out, ast.Return)):
+            if getattr(node, "value", None) is not None:
+                walk_expr(node.value)
+        elif isinstance(node, ast.If):
+            walk_expr(node.cond)
+            walk(node.then)
+            if node.els is not None:
+                walk(node.els)
+        elif isinstance(node, (ast.While, ast.For)):
+            if isinstance(node, ast.For):
+                for part in (node.init, node.cond, node.step):
+                    if part is not None:
+                        walk_expr(part)
+            else:
+                walk_expr(node.cond)
+            walk(node.body)
+
+    walk(stmt)
+
+
+def static_dcache_bounds(workload: Workload) -> list[int]:
+    """Sound per-sub-task D-cache miss bounds for a MiniC workload.
+
+    A drop-in, input-independent alternative to
+    :func:`repro.wcet.dcache_pad.calibrate_dcache_bounds`.
+    """
+    analyzer = StaticDCacheAnalyzer(workload.source, workload.program)
+    return analyzer.bounds()
+
+
+def _count_float_literals(module: ast.Module) -> int:
+    count = 0
+
+    def walk_expr(expr):
+        nonlocal count
+        if isinstance(expr, ast.FloatLit):
+            count += 1
+        elif isinstance(expr, ast.Binary):
+            walk_expr(expr.left)
+            walk_expr(expr.right)
+        elif isinstance(expr, (ast.Unary, ast.Cast)):
+            walk_expr(expr.operand)
+        elif isinstance(expr, ast.Assign):
+            walk_expr(expr.target)
+            walk_expr(expr.value)
+        elif isinstance(expr, ast.Call):
+            for arg in expr.args:
+                walk_expr(arg)
+        elif isinstance(expr, ast.Index):
+            for index_expr in expr.indices:
+                walk_expr(index_expr)
+
+    def walk(stmt):
+        if isinstance(stmt, ast.Block):
+            for inner in stmt.stmts:
+                walk(inner)
+        elif isinstance(stmt, ast.Decl) and stmt.init is not None:
+            walk_expr(stmt.init)
+        elif isinstance(stmt, ast.ExprStmt):
+            walk_expr(stmt.expr)
+        elif isinstance(stmt, (ast.Out, ast.Return)):
+            if getattr(stmt, "value", None) is not None:
+                walk_expr(stmt.value)
+        elif isinstance(stmt, ast.If):
+            walk_expr(stmt.cond)
+            walk(stmt.then)
+            if stmt.els is not None:
+                walk(stmt.els)
+        elif isinstance(stmt, (ast.While, ast.For)):
+            walk(stmt.body)
+
+    for function in module.functions:
+        walk(function.body)
+    return count
+
+
+def _count_locals(function: ast.Function) -> int:
+    count = len(function.params)
+
+    def walk(stmt):
+        nonlocal count
+        if isinstance(stmt, ast.Decl):
+            count += 1
+        elif isinstance(stmt, ast.Block):
+            for inner in stmt.stmts:
+                walk(inner)
+        elif isinstance(stmt, ast.If):
+            walk(stmt.then)
+            if stmt.els is not None:
+                walk(stmt.els)
+        elif isinstance(stmt, (ast.While, ast.For)):
+            walk(stmt.body)
+
+    walk(function.body)
+    return count

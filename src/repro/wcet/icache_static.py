@@ -1,0 +1,89 @@
+"""Static instruction-cache analysis (paper §3.3, Table 2).
+
+For each analysis scope (sub-task region, loop, function) we compute the
+set of cache blocks its instructions occupy — including all transitively
+called functions — and classify each block:
+
+* **always hit (h)** — the block is guaranteed resident (a previous
+  reference in the same scope loaded it and it cannot have been evicted).
+* **first miss (fm)** — the block is *persistent* in the scope: once
+  loaded it cannot be evicted, so it misses at most once per scope entry.
+  A block is persistent when the number of distinct blocks in the scope
+  mapping to its cache set does not exceed the associativity (a standard
+  sound persistence criterion for LRU).
+* **always miss (m)** — the block may be evicted between references
+  (conflicting blocks exceed the associativity); every reference is
+  charged a miss.
+* **first hit (fh)** — guaranteed resident on first reference but not
+  after; our conservative treatment folds this case into *always miss*
+  (strictly safe, and immaterial for code footprints far below the cache
+  capacity, as in the C-lab suite).
+
+The timing analyzer charges each ``fm`` block one miss at the entry of the
+outermost scope where it is persistent, and treats its references as hits
+inside; ``m`` blocks are charged at every cache-block transition along a
+path (see :mod:`repro.wcet.pipeline_model`).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.memory.cache import CacheConfig
+
+#: Table 2 category labels.
+ALWAYS_MISS = "m"
+ALWAYS_HIT = "h"
+FIRST_MISS = "fm"
+FIRST_HIT = "fh"
+
+
+def blocks_of_addresses(addrs, config: CacheConfig) -> set[int]:
+    """Cache-block numbers covering the given instruction addresses."""
+    shift = config.block_shift
+    return {addr >> shift for addr in addrs}
+
+
+def persistent_blocks(blocks: set[int], config: CacheConfig) -> set[int]:
+    """Blocks of the scope guaranteed to stay resident once loaded.
+
+    A block survives if its cache set receives at most ``assoc`` distinct
+    blocks from within the scope (LRU can then never evict it).
+    """
+    per_set: dict[int, list[int]] = defaultdict(list)
+    for block in blocks:
+        per_set[block % config.num_sets].append(block)
+    persistent: set[int] = set()
+    for members in per_set.values():
+        if len(members) <= config.assoc:
+            persistent.update(members)
+    return persistent
+
+
+@dataclass
+class ScopeCacheInfo:
+    """I-cache facts for one analysis scope."""
+
+    blocks: set[int]
+    persistent: set[int]
+
+    def categorize(self, block: int, already_covered: set[int]) -> str:
+        """Table 2 category of a reference to ``block`` within this scope.
+
+        Args:
+            block: Cache-block number of the reference.
+            already_covered: Blocks charged as persistent by an enclosing
+                scope (their first miss happened at the outer entry).
+        """
+        if block in already_covered:
+            return ALWAYS_HIT
+        if block in self.persistent:
+            return FIRST_MISS
+        return ALWAYS_MISS
+
+
+def scope_info(addrs, config: CacheConfig) -> ScopeCacheInfo:
+    """Build :class:`ScopeCacheInfo` for a set of instruction addresses."""
+    blocks = blocks_of_addresses(addrs, config)
+    return ScopeCacheInfo(blocks=blocks, persistent=persistent_blocks(blocks, config))

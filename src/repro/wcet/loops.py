@@ -1,0 +1,151 @@
+"""Dominator and natural-loop analysis over a function CFG.
+
+Produces the loop-nesting tree the timing analyzer processes bottom-up
+(paper §3.3: "the WCET for an outer loop is not calculated until the times
+for all of its inner loops are known").  Loop bounds come from the
+program's ``.loopbound`` annotations, keyed by loop-header address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AnalysisError
+from repro.isa.program import Program
+from repro.wcet.cfg import FunctionCFG
+
+
+def dominators(cfg: FunctionCFG) -> dict[int, set[int]]:
+    """Classic iterative dominator computation.
+
+    Returns, for each block address, the set of addresses dominating it.
+    """
+    addrs = list(cfg.blocks)
+    preds = cfg.predecessors()
+    dom: dict[int, set[int]] = {a: set(addrs) for a in addrs}
+    dom[cfg.entry] = {cfg.entry}
+    changed = True
+    while changed:
+        changed = False
+        for addr in addrs:
+            if addr == cfg.entry:
+                continue
+            incoming = [dom[p] for p in preds[addr] if p in dom]
+            new = set.intersection(*incoming) if incoming else set()
+            new = new | {addr}
+            if new != dom[addr]:
+                dom[addr] = new
+                changed = True
+    return dom
+
+
+@dataclass
+class Loop:
+    """One natural loop.
+
+    Attributes:
+        header: Loop-header block address.
+        blocks: All block addresses in the loop (header included).
+        bound: Maximum body iterations (from ``.loopbound``).
+        children: Immediately nested loops.
+        parent: Enclosing loop, if any.
+    """
+
+    header: int
+    blocks: set[int]
+    bound: int
+    children: list["Loop"] = field(default_factory=list)
+    parent: "Loop | None" = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Loop @{self.header:#x} x{self.bound} ({len(self.blocks)} blocks)>"
+
+
+@dataclass
+class LoopForest:
+    """All loops of one function, as a nesting forest."""
+
+    roots: list[Loop]
+    by_header: dict[int, Loop]
+
+    def innermost(self, addr: int) -> Loop | None:
+        """The innermost loop containing block ``addr`` (None if outside)."""
+        best: Loop | None = None
+        for loop in self.by_header.values():
+            if addr in loop.blocks:
+                if best is None or len(loop.blocks) < len(best.blocks):
+                    best = loop
+        return best
+
+
+def find_loops(cfg: FunctionCFG, program: Program) -> LoopForest:
+    """Identify natural loops and build the nesting forest.
+
+    Raises:
+        AnalysisError: on irreducible control flow (a back edge whose
+            target does not dominate its source) or a loop lacking a
+            ``.loopbound`` annotation.
+    """
+    dom = dominators(cfg)
+    # Back edges: u -> h where h dominates u.
+    bodies: dict[int, set[int]] = {}
+    preds = cfg.predecessors()
+    for addr, block in cfg.blocks.items():
+        for _kind, succ in block.successors:
+            if succ is None:
+                continue
+            if succ in dom[addr]:  # back edge addr -> succ
+                body = bodies.setdefault(succ, {succ})
+                _collect_body(addr, succ, preds, body)
+            elif addr in dom.get(succ, set()) and succ in cfg.blocks:
+                continue
+    # Irreducibility check: any edge into a loop body that bypasses the
+    # header makes the "natural loop" model unsound.
+    for header, body in bodies.items():
+        for addr in body:
+            if addr == header:
+                continue
+            for pred in preds[addr]:
+                if pred not in body:
+                    raise AnalysisError(
+                        f"irreducible control flow: edge {pred:#x} -> "
+                        f"{addr:#x} enters loop at {header:#x} past its header"
+                    )
+    loops: dict[int, Loop] = {}
+    for header, body in bodies.items():
+        bound = program.loop_bounds.get(header)
+        if bound is None:
+            raise AnalysisError(
+                f"loop at {program.describe(header)} has no .loopbound "
+                "annotation"
+            )
+        loops[header] = Loop(header=header, blocks=body, bound=bound)
+    # Nesting: loop A is a child of the smallest loop strictly containing it.
+    roots: list[Loop] = []
+    for loop in loops.values():
+        parent: Loop | None = None
+        for other in loops.values():
+            if other is loop:
+                continue
+            if loop.header in other.blocks and loop.blocks <= other.blocks:
+                if parent is None or len(other.blocks) < len(parent.blocks):
+                    parent = other
+        loop.parent = parent
+        if parent is None:
+            roots.append(loop)
+        else:
+            parent.children.append(loop)
+    return LoopForest(roots=roots, by_header=loops)
+
+
+def _collect_body(
+    tail: int, header: int, preds: dict[int, list[int]], body: set[int]
+) -> None:
+    """Standard natural-loop body collection (walk predecessors from tail)."""
+    stack = [tail]
+    while stack:
+        addr = stack.pop()
+        if addr in body:
+            continue
+        body.add(addr)
+        stack.extend(preds[addr])

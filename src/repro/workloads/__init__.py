@@ -1,0 +1,26 @@
+"""C-lab hard real-time benchmark suite (paper §5.3), rewritten in MiniC.
+
+Six kernels — ``adpcm``, ``cnt``, ``fft``, ``lms``, ``mm``, ``srt`` — with
+the paper's sub-task structure (chunks peeled off the outermost loop; code
+before/after the loop merged into the first/last sub-tasks) and Table 3's
+sub-task counts in the ``paper`` scale preset.
+
+Use :func:`repro.workloads.suite.get_workload` /
+:func:`repro.workloads.suite.all_workloads`.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.suite import (
+    EXTRA_WORKLOAD_NAMES,
+    WORKLOAD_NAMES,
+    all_workloads,
+    get_workload,
+)
+
+__all__ = [
+    "Workload",
+    "WORKLOAD_NAMES",
+    "EXTRA_WORKLOAD_NAMES",
+    "all_workloads",
+    "get_workload",
+]

@@ -1,0 +1,143 @@
+"""Workload infrastructure: compiled benchmark + inputs + reference model.
+
+A :class:`Workload` owns the MiniC source of one C-lab kernel, compiles it
+on demand, generates deterministic pseudo-random inputs per task instance,
+loads them into a machine's data segment, and checks outputs against a pure
+Python reference implementation (so both pipelines are validated
+functionally, not just for timing).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.isa.program import Program
+from repro.memory.machine import Machine
+from repro.minicc import compile_source
+
+InputGen = Callable[[random.Random], list]
+Reference = Callable[[dict[str, list]], dict[str, list]]
+
+
+@dataclass(frozen=True)
+class InputSpec:
+    """One input array: data-segment symbol + per-instance generator."""
+
+    symbol: str
+    generate: InputGen
+
+
+@dataclass
+class Workload:
+    """A compiled benchmark with its input generator and reference model.
+
+    Attributes:
+        name: Benchmark name (``adpcm`` .. ``srt``).
+        scale: ``"default"`` (laptop-sized) or ``"paper"`` (original sizes).
+        source: MiniC source text.
+        subtasks: Number of sub-tasks marked in the source.
+        inputs: Input arrays regenerated for every task instance.
+        outputs: Data-segment symbols holding results to verify.
+        reference: Pure-Python model mapping inputs to expected outputs.
+        params: Benchmark size parameters, for reporting.
+    """
+
+    name: str
+    scale: str
+    source: str
+    subtasks: int
+    inputs: list[InputSpec]
+    outputs: dict[str, int]  # symbol -> number of words to read back
+    reference: Reference
+    params: dict[str, int] = field(default_factory=dict)
+    _program: Program | None = field(default=None, repr=False)
+
+    @property
+    def program(self) -> Program:
+        """The compiled program (compiled once, cached)."""
+        if self._program is None:
+            self._program = compile_source(self.source)
+            if self._program.num_subtasks != self.subtasks:
+                raise ReproError(
+                    f"{self.name}: source marks "
+                    f"{self._program.num_subtasks} sub-tasks, "
+                    f"expected {self.subtasks}"
+                )
+        return self._program
+
+    def generate_inputs(self, seed: int) -> dict[str, list]:
+        """Deterministic inputs for task instance ``seed``.
+
+        The per-workload salt uses a *stable* hash (CRC-32), not Python's
+        per-process-randomized ``hash()``, so the exact same inputs — and
+        therefore the exact same cycle counts — reproduce across runs.
+        """
+        salt = zlib.crc32(self.name.encode()) & 0xFFFF
+        rng = random.Random(salt * 1_000_003 + seed)
+        return {spec.symbol: spec.generate(rng) for spec in self.inputs}
+
+    def apply_inputs(self, machine: Machine, inputs: dict[str, list]) -> None:
+        """Write input arrays into the machine's data segment."""
+        for symbol, values in inputs.items():
+            base = self.program.address_of(symbol)
+            for i, value in enumerate(values):
+                machine.memory.write(base + 4 * i, value)
+
+    def read_outputs(self, machine: Machine) -> dict[str, list]:
+        """Read declared output arrays back from the data segment."""
+        out: dict[str, list] = {}
+        for symbol, count in self.outputs.items():
+            base = self.program.address_of(symbol)
+            out[symbol] = [machine.memory.read(base + 4 * i) for i in range(count)]
+        return out
+
+    def check_outputs(
+        self, machine: Machine, inputs: dict[str, list], rel_tol: float = 1e-9
+    ) -> None:
+        """Assert machine outputs match the reference model.
+
+        Raises:
+            ReproError: on any mismatch.
+        """
+        expected = self.reference(inputs)
+        actual = self.read_outputs(machine)
+        for symbol, want in expected.items():
+            got = actual[symbol]
+            if len(got) != len(want):
+                raise ReproError(
+                    f"{self.name}: {symbol} length {len(got)} != {len(want)}"
+                )
+            for i, (g, w) in enumerate(zip(got, want)):
+                if isinstance(w, float):
+                    ok = abs(g - w) <= rel_tol * max(1.0, abs(w))
+                else:
+                    ok = g == w
+                if not ok:
+                    raise ReproError(
+                        f"{self.name}: {symbol}[{i}] = {g!r}, expected {w!r}"
+                    )
+
+
+def chunk_ranges(total: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into ``parts`` contiguous chunks.
+
+    Earlier chunks get the remainder, matching how one peels loop
+    iterations off by hand.
+
+    >>> chunk_ranges(7, 3)
+    [(0, 3), (3, 5), (5, 7)]
+    """
+    if parts <= 0 or total < parts:
+        raise ValueError(f"cannot split {total} iterations into {parts} chunks")
+    base, extra = divmod(total, parts)
+    ranges = []
+    start = 0
+    for p in range(parts):
+        size = base + (1 if p < extra else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges

@@ -1,0 +1,1 @@
+"""The six C-lab kernels: adpcm, cnt, fft, lms, mm, srt."""

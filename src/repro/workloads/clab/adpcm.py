@@ -1,0 +1,225 @@
+"""``adpcm`` — IMA ADPCM speech encode + decode (C-lab ``adpcm``).
+
+Encodes a PCM sample buffer to 4-bit ADPCM codes, then decodes them back.
+Sub-tasks (8, per Table 3): four chunks of the encode loop and four chunks
+of the decode loop; predictor-state initialization merges into the first
+sub-task.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.base import InputSpec, Workload, chunk_ranges
+
+SIZES = {"tiny": 16, "default": 80, "paper": 8000}
+SUBTASKS = 8
+
+STEP_TABLE = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+    19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+    50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+    130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+    337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+    876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+    5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+]
+INDEX_TABLE = [-1, -1, -1, -1, 2, 4, 6, 8]
+
+
+def _fmt(values: list[int], per_line: int = 10) -> str:
+    lines = []
+    for start in range(0, len(values), per_line):
+        lines.append(", ".join(str(v) for v in values[start:start + per_line]))
+    return ",\n    ".join(lines)
+
+
+def _source(nsamp: int) -> str:
+    enc_chunks = chunk_ranges(nsamp, SUBTASKS // 2)
+    dec_chunks = chunk_ranges(nsamp, SUBTASKS // 2)
+    parts = [
+        f"int steptab[{len(STEP_TABLE)}] = {{\n    {_fmt(STEP_TABLE)}\n}};",
+        f"int idxtab[8] = {{ {', '.join(map(str, INDEX_TABLE))} }};",
+        f"int pcm[{nsamp}];",
+        f"int code[{nsamp}];",
+        f"int out[{nsamp}];",
+        "int valpred;",
+        "int valindex;",
+        "int dvalpred;",
+        "int dvalindex;",
+        "",
+        "int encode_one(int sample) {",
+        "  int delta; int sign; int step; int vpdiff; int c;",
+        "  delta = sample - valpred;",
+        "  sign = 0;",
+        "  if (delta < 0) {",
+        "    sign = 8;",
+        "    delta = -delta;",
+        "  }",
+        "  step = steptab[valindex];",
+        "  c = 0;",
+        "  vpdiff = step >> 3;",
+        "  if (delta >= step) {",
+        "    c = 4;",
+        "    delta = delta - step;",
+        "    vpdiff = vpdiff + step;",
+        "  }",
+        "  step = step >> 1;",
+        "  if (delta >= step) {",
+        "    c = c | 2;",
+        "    delta = delta - step;",
+        "    vpdiff = vpdiff + step;",
+        "  }",
+        "  step = step >> 1;",
+        "  if (delta >= step) {",
+        "    c = c | 1;",
+        "    vpdiff = vpdiff + step;",
+        "  }",
+        "  if (sign > 0) {",
+        "    valpred = valpred - vpdiff;",
+        "  } else {",
+        "    valpred = valpred + vpdiff;",
+        "  }",
+        "  if (valpred > 32767) { valpred = 32767; }",
+        "  if (valpred < -32768) { valpred = -32768; }",
+        "  valindex = valindex + idxtab[c];",
+        "  if (valindex < 0) { valindex = 0; }",
+        "  if (valindex > 88) { valindex = 88; }",
+        "  return c | sign;",
+        "}",
+        "",
+        "int decode_one(int c) {",
+        "  int sign; int step; int vpdiff; int cm;",
+        "  sign = c & 8;",
+        "  cm = c & 7;",
+        "  step = steptab[dvalindex];",
+        "  vpdiff = step >> 3;",
+        "  if (cm & 4) { vpdiff = vpdiff + step; }",
+        "  if (cm & 2) { vpdiff = vpdiff + (step >> 1); }",
+        "  if (cm & 1) { vpdiff = vpdiff + (step >> 2); }",
+        "  if (sign > 0) {",
+        "    dvalpred = dvalpred - vpdiff;",
+        "  } else {",
+        "    dvalpred = dvalpred + vpdiff;",
+        "  }",
+        "  if (dvalpred > 32767) { dvalpred = 32767; }",
+        "  if (dvalpred < -32768) { dvalpred = -32768; }",
+        "  dvalindex = dvalindex + idxtab[cm];",
+        "  if (dvalindex < 0) { dvalindex = 0; }",
+        "  if (dvalindex > 88) { dvalindex = 88; }",
+        "  return dvalpred;",
+        "}",
+        "",
+        "void main() {",
+        "  int n;",
+    ]
+    for t, (start, end) in enumerate(enc_chunks):
+        parts.append(f"  __subtask({t});")
+        if t == 0:
+            parts += [
+                "  valpred = 0; valindex = 0;",
+                "  dvalpred = 0; dvalindex = 0;",
+            ]
+        parts += [
+            f"  for (n = {start}; n < {end}; n = n + 1) {{",
+            "    code[n] = encode_one(pcm[n]);",
+            "  }",
+        ]
+    for t, (start, end) in enumerate(dec_chunks):
+        parts += [
+            f"  __subtask({SUBTASKS // 2 + t});",
+            f"  for (n = {start}; n < {end}; n = n + 1) {{",
+            "    out[n] = decode_one(code[n]);",
+            "  }",
+        ]
+    parts += ["  __taskend();", "}"]
+    return "\n".join(parts) + "\n"
+
+
+def _encode_one(sample: int, state: dict) -> int:
+    delta = sample - state["valpred"]
+    sign = 0
+    if delta < 0:
+        sign = 8
+        delta = -delta
+    step = STEP_TABLE[state["valindex"]]
+    c = 0
+    vpdiff = step >> 3
+    if delta >= step:
+        c = 4
+        delta -= step
+        vpdiff += step
+    step >>= 1
+    if delta >= step:
+        c |= 2
+        delta -= step
+        vpdiff += step
+    step >>= 1
+    if delta >= step:
+        c |= 1
+        vpdiff += step
+    if sign > 0:
+        state["valpred"] -= vpdiff
+    else:
+        state["valpred"] += vpdiff
+    state["valpred"] = max(-32768, min(32767, state["valpred"]))
+    state["valindex"] = max(0, min(88, state["valindex"] + INDEX_TABLE[c]))
+    return c | sign
+
+
+def _decode_one(c: int, state: dict) -> int:
+    sign = c & 8
+    cm = c & 7
+    step = STEP_TABLE[state["dvalindex"]]
+    vpdiff = step >> 3
+    if cm & 4:
+        vpdiff += step
+    if cm & 2:
+        vpdiff += step >> 1
+    if cm & 1:
+        vpdiff += step >> 2
+    if sign > 0:
+        state["dvalpred"] -= vpdiff
+    else:
+        state["dvalpred"] += vpdiff
+    state["dvalpred"] = max(-32768, min(32767, state["dvalpred"]))
+    state["dvalindex"] = max(0, min(88, state["dvalindex"] + INDEX_TABLE[cm]))
+    return state["dvalpred"]
+
+
+def _reference(nsamp: int):
+    def ref(inputs: dict[str, list]) -> dict[str, list]:
+        state = {"valpred": 0, "valindex": 0, "dvalpred": 0, "dvalindex": 0}
+        codes = [_encode_one(s, state) for s in inputs["pcm"]]
+        out = [_decode_one(c, state) for c in codes]
+        return {"code": codes, "out": out}
+
+    return ref
+
+
+def make(scale: str = "default") -> Workload:
+    """Build the adpcm workload at the given scale preset."""
+    nsamp = SIZES[scale]
+
+    def gen_pcm(rng: random.Random) -> list[int]:
+        # Speech-like random walk bounded to 16-bit samples.
+        samples = []
+        value = 0
+        for _ in range(nsamp):
+            value += rng.randint(-2000, 2000)
+            value = max(-32000, min(32000, value))
+            samples.append(value)
+        return samples
+
+    return Workload(
+        name="adpcm",
+        scale=scale,
+        source=_source(nsamp),
+        subtasks=SUBTASKS,
+        inputs=[InputSpec("pcm", gen_pcm)],
+        outputs={"code": nsamp, "out": nsamp},
+        reference=_reference(nsamp),
+        params={"nsamp": nsamp},
+    )

@@ -1,0 +1,92 @@
+"""``cnt`` — count and sum positive/negative matrix elements.
+
+C-lab's ``cnt`` scans an integer matrix, counting and summing positive and
+negative entries.  Sub-tasks (5, per Table 3) are chunks of the outer row
+loop; initialization merges into the first sub-task and the result stores
+into the last.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.base import InputSpec, Workload, chunk_ranges
+
+SIZES = {"tiny": 10, "default": 20, "paper": 64}
+SUBTASKS = 5
+
+
+def _source(n: int) -> str:
+    rows = chunk_ranges(n, SUBTASKS)
+    parts = [
+        f"int mat[{n}][{n}];",
+        "int results[4];",
+        "",
+        "void main() {",
+        "  int i; int j; int x;",
+        "  int poscnt; int possum; int negcnt; int negsum;",
+    ]
+    for k, (start, end) in enumerate(rows):
+        parts.append(f"  __subtask({k});")
+        if k == 0:
+            parts.append("  poscnt = 0; possum = 0; negcnt = 0; negsum = 0;")
+        parts += [
+            f"  for (i = {start}; i < {end}; i = i + 1) {{",
+            f"    for (j = 0; j < {n}; j = j + 1) {{",
+            "      x = mat[i][j];",
+            "      if (x > 0) {",
+            "        poscnt = poscnt + 1;",
+            "        possum = possum + x;",
+            "      } else {",
+            "        negcnt = negcnt + 1;",
+            "        negsum = negsum + x;",
+            "      }",
+            "    }",
+            "  }",
+        ]
+    parts += [
+        "  results[0] = poscnt;",
+        "  results[1] = possum;",
+        "  results[2] = negcnt;",
+        "  results[3] = negsum;",
+        "  __taskend();",
+        "}",
+    ]
+    return "\n".join(parts) + "\n"
+
+
+def _reference(n: int):
+    def ref(inputs: dict[str, list]) -> dict[str, list]:
+        mat = inputs["mat"]
+        poscnt = possum = negcnt = negsum = 0
+        for x in mat:
+            if x > 0:
+                poscnt += 1
+                possum += x
+            else:
+                negcnt += 1
+                negsum += x
+        return {"results": [poscnt, possum, negcnt, negsum]}
+
+    return ref
+
+
+def make(scale: str = "default") -> Workload:
+    """Build the cnt workload at the given scale preset."""
+    n = SIZES[scale]
+
+    def gen_mat(rng: random.Random) -> list[int]:
+        # The original C-lab cnt fills the matrix with rand() % 25, so the
+        # sign test is heavily biased (zeros take the "negative" path).
+        return [rng.randint(0, 24) for _ in range(n * n)]
+
+    return Workload(
+        name="cnt",
+        scale=scale,
+        source=_source(n),
+        subtasks=SUBTASKS,
+        inputs=[InputSpec("mat", gen_mat)],
+        outputs={"results": 4},
+        reference=_reference(n),
+        params={"n": n},
+    )

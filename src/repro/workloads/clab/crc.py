@@ -1,0 +1,96 @@
+"""``crc`` — table-driven CRC-16/MODBUS over a message buffer.
+
+Not part of the paper's six evaluated benchmarks, but a standard member of
+the C-lab/WCET-benchmark family; included so the library covers the suite
+users expect.  Sub-tasks are chunks of the message loop.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.base import InputSpec, Workload, chunk_ranges
+
+SIZES = {"tiny": 32, "default": 128, "paper": 1024}
+SUBTASKS = 8
+POLY = 0xA001  # reflected CRC-16/IBM
+
+
+def _crc_table() -> list[int]:
+    table = []
+    for i in range(256):
+        value = i
+        for _ in range(8):
+            if value & 1:
+                value = (value >> 1) ^ POLY
+            else:
+                value >>= 1
+        table.append(value)
+    return table
+
+
+def _fmt(values: list[int], per_line: int = 8) -> str:
+    lines = []
+    for start in range(0, len(values), per_line):
+        lines.append(", ".join(str(v) for v in values[start:start + per_line]))
+    return ",\n    ".join(lines)
+
+
+def _source(n: int) -> str:
+    table = _crc_table()
+    parts = [
+        f"int crctab[256] = {{\n    {_fmt(table)}\n}};",
+        f"int msg[{n}];",
+        "int crc_out[1];",
+        "",
+        "void main() {",
+        "  int i; int crc; int idx;",
+    ]
+    for t, (start, end) in enumerate(chunk_ranges(n, SUBTASKS)):
+        parts.append(f"  __subtask({t});")
+        if t == 0:
+            parts.append("  crc = 0xFFFF;")
+        parts += [
+            f"  for (i = {start}; i < {end}; i = i + 1) {{",
+            "    idx = (crc ^ msg[i]) & 255;",
+            "    crc = ((crc >> 8) & 16777215) ^ crctab[idx];",
+            "  }",
+        ]
+    parts += [
+        "  crc_out[0] = crc;",
+        "  __taskend();",
+        "}",
+    ]
+    return "\n".join(parts) + "\n"
+
+
+def _reference(n: int):
+    table = _crc_table()
+
+    def ref(inputs: dict[str, list]) -> dict[str, list]:
+        crc = 0xFFFF
+        for byte in inputs["msg"]:
+            idx = (crc ^ byte) & 255
+            crc = ((crc >> 8) & 0xFFFFFF) ^ table[idx]
+        return {"crc_out": [crc]}
+
+    return ref
+
+
+def make(scale: str = "default") -> Workload:
+    """Build the crc workload at the given scale preset."""
+    n = SIZES[scale]
+
+    def gen(rng: random.Random) -> list[int]:
+        return [rng.randint(0, 255) for _ in range(n)]
+
+    return Workload(
+        name="crc",
+        scale=scale,
+        source=_source(n),
+        subtasks=SUBTASKS,
+        inputs=[InputSpec("msg", gen)],
+        outputs={"crc_out": 1},
+        reference=_reference(n),
+        params={"n": n},
+    )

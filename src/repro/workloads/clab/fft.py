@@ -1,0 +1,151 @@
+"""``fft`` — radix-2 decimation-in-time FFT (C-lab ``fft1``).
+
+Structure: bit-reversal permutation (sub-task 0), one sub-task per
+butterfly stage (log2 N stages, each generated with constant strides so
+loop bounds are inferable), and the magnitude computation split into enough
+chunks to reach 10 sub-tasks total (Table 3).
+
+Twiddle factors and the bit-reversal table are compile-time constant data,
+as a real-time DSP kernel would ship them.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.workloads.base import InputSpec, Workload, chunk_ranges
+
+SIZES = {"tiny": 32, "default": 64, "paper": 256}
+SUBTASKS = 10
+
+
+def _bit_reverse_table(n: int) -> list[int]:
+    bits = n.bit_length() - 1
+    return [int(f"{i:0{bits}b}"[::-1], 2) for i in range(n)]
+
+
+def _twiddles(n: int) -> tuple[list[float], list[float]]:
+    wre = [math.cos(2.0 * math.pi * t / n) for t in range(n // 2)]
+    wim = [-math.sin(2.0 * math.pi * t / n) for t in range(n // 2)]
+    return wre, wim
+
+
+def _fmt(values: list, per_line: int = 8) -> str:
+    lines = []
+    for start in range(0, len(values), per_line):
+        lines.append(", ".join(repr(v) for v in values[start:start + per_line]))
+    return ",\n    ".join(lines)
+
+
+def _source(n: int) -> str:
+    stages = n.bit_length() - 1
+    mag_chunks = SUBTASKS - 1 - stages
+    if mag_chunks < 1:
+        raise ValueError(f"fft size {n} too large for {SUBTASKS} sub-tasks")
+    wre, wim = _twiddles(n)
+    brt = _bit_reverse_table(n)
+    parts = [
+        f"float re[{n}];",
+        f"float im[{n}];",
+        f"float mag[{n}];",
+        f"float wre[{n // 2}] = {{\n    {_fmt(wre)}\n}};",
+        f"float wim[{n // 2}] = {{\n    {_fmt(wim)}\n}};",
+        f"int brt[{n}] = {{\n    {_fmt(brt, 16)}\n}};",
+        "",
+        "void main() {",
+        "  int i; int j; int k; int a; int b;",
+        "  float tr; float ti; float wr; float wi; float xr; float xi;",
+        "  __subtask(0);",
+        f"  for (i = 0; i < {n}; i = i + 1) {{",
+        "    j = brt[i];",
+        "    if (j > i) {",
+        "      xr = re[i]; re[i] = re[j]; re[j] = xr;",
+        "      xi = im[i]; im[i] = im[j]; im[j] = xi;",
+        "    }",
+        "  }",
+    ]
+    for s in range(stages):
+        half = 1 << s
+        step = half * 2
+        stride = n // step
+        parts += [
+            f"  __subtask({s + 1});",
+            f"  for (k = 0; k < {n}; k = k + {step}) {{",
+            f"    for (j = 0; j < {half}; j = j + 1) {{",
+            f"      wr = wre[j * {stride}];",
+            f"      wi = wim[j * {stride}];",
+            f"      a = k + j;",
+            f"      b = a + {half};",
+            "      tr = wr * re[b] - wi * im[b];",
+            "      ti = wr * im[b] + wi * re[b];",
+            "      re[b] = re[a] - tr;",
+            "      im[b] = im[a] - ti;",
+            "      re[a] = re[a] + tr;",
+            "      im[a] = im[a] + ti;",
+            "    }",
+            "  }",
+        ]
+    for c, (start, end) in enumerate(chunk_ranges(n, mag_chunks)):
+        parts += [
+            f"  __subtask({stages + 1 + c});",
+            f"  for (i = {start}; i < {end}; i = i + 1) {{",
+            "    mag[i] = re[i] * re[i] + im[i] * im[i];",
+            "  }",
+        ]
+    parts += ["  __taskend();", "}"]
+    return "\n".join(parts) + "\n"
+
+
+def _reference(n: int):
+    wre, wim = _twiddles(n)
+    brt = _bit_reverse_table(n)
+
+    def ref(inputs: dict[str, list]) -> dict[str, list]:
+        re = list(inputs["re"])
+        im = list(inputs["im"])
+        for i in range(n):
+            j = brt[i]
+            if j > i:
+                re[i], re[j] = re[j], re[i]
+                im[i], im[j] = im[j], im[i]
+        stages = n.bit_length() - 1
+        for s in range(stages):
+            half = 1 << s
+            step = half * 2
+            stride = n // step
+            for k in range(0, n, step):
+                for j in range(half):
+                    wr = wre[j * stride]
+                    wi = wim[j * stride]
+                    a = k + j
+                    b = a + half
+                    tr = wr * re[b] - wi * im[b]
+                    ti = wr * im[b] + wi * re[b]
+                    re[b] = re[a] - tr
+                    im[b] = im[a] - ti
+                    re[a] = re[a] + tr
+                    im[a] = im[a] + ti
+        mag = [re[i] * re[i] + im[i] * im[i] for i in range(n)]
+        return {"re": re, "im": im, "mag": mag}
+
+    return ref
+
+
+def make(scale: str = "default") -> Workload:
+    """Build the fft workload at the given scale preset."""
+    n = SIZES[scale]
+
+    def gen_signal(rng: random.Random) -> list[float]:
+        return [rng.uniform(-1.0, 1.0) for _ in range(n)]
+
+    return Workload(
+        name="fft",
+        scale=scale,
+        source=_source(n),
+        subtasks=SUBTASKS,
+        inputs=[InputSpec("re", gen_signal), InputSpec("im", gen_signal)],
+        outputs={"re": n, "im": n, "mag": n},
+        reference=_reference(n),
+        params={"n": n},
+    )

@@ -1,0 +1,90 @@
+"""``fir`` — integer FIR filter (C-lab ``fir``).
+
+Another non-evaluated member of the benchmark family: a fixed-point FIR
+filter over a sample buffer.  Sub-tasks are chunks of the output loop.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.base import InputSpec, Workload, chunk_ranges
+
+SIZES = {
+    "tiny": {"nsamp": 24, "ntap": 8},
+    "default": {"nsamp": 64, "ntap": 16},
+    "paper": {"nsamp": 512, "ntap": 32},
+}
+SUBTASKS = 8
+
+
+def _coefficients(ntap: int) -> list[int]:
+    # A symmetric low-pass-ish integer kernel.
+    half = ntap // 2
+    return [1 + min(i, ntap - 1 - i) * 3 for i in range(ntap)] + [0] * 0
+
+
+def _fmt(values: list[int]) -> str:
+    return ", ".join(str(v) for v in values)
+
+
+def _source(nsamp: int, ntap: int) -> str:
+    coef = _coefficients(ntap)
+    total = nsamp + ntap
+    parts = [
+        f"int coef[{ntap}] = {{ {_fmt(coef)} }};",
+        f"int x[{total}];",
+        f"int y[{nsamp}];",
+        "",
+        "void main() {",
+        "  int n; int k; int acc;",
+    ]
+    for t, (start, end) in enumerate(chunk_ranges(nsamp, SUBTASKS)):
+        parts += [
+            f"  __subtask({t});",
+            f"  for (n = {start}; n < {end}; n = n + 1) {{",
+            "    acc = 0;",
+            f"    for (k = 0; k < {ntap}; k = k + 1) {{",
+            "      acc = acc + coef[k] * x[n + k];",
+            "    }",
+            "    y[n] = acc >> 6;",
+            "  }",
+        ]
+    parts += ["  __taskend();", "}"]
+    return "\n".join(parts) + "\n"
+
+
+def _reference(nsamp: int, ntap: int):
+    coef = _coefficients(ntap)
+
+    def ref(inputs: dict[str, list]) -> dict[str, list]:
+        x = inputs["x"]
+        y = []
+        for n in range(nsamp):
+            acc = 0
+            for k in range(ntap):
+                acc += coef[k] * x[n + k]
+            y.append(acc >> 6)
+        return {"y": y}
+
+    return ref
+
+
+def make(scale: str = "default") -> Workload:
+    """Build the fir workload at the given scale preset."""
+    sizes = SIZES[scale]
+    nsamp, ntap = sizes["nsamp"], sizes["ntap"]
+
+    def gen(rng: random.Random) -> list[int]:
+        return [rng.randint(-1000, 1000) for _ in range(nsamp + ntap)]
+
+    return Workload(
+        name="fir",
+        scale=scale,
+        source=_source(nsamp, ntap),
+        subtasks=SUBTASKS,
+        inputs=[InputSpec("x", gen)],
+        outputs={"y": nsamp},
+        reference=_reference(nsamp, ntap),
+        params=dict(sizes),
+    )

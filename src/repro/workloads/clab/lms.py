@@ -1,0 +1,99 @@
+"""``lms`` — least-mean-squares adaptive FIR filter (C-lab ``lms``).
+
+Per sample: FIR output from the current weights, error against the desired
+signal, then the LMS weight update.  Sub-tasks (10) are chunks of the
+sample loop; the weight-clearing prologue merges into the first sub-task.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.base import InputSpec, Workload, chunk_ranges
+
+SIZES = {
+    "tiny": {"nsamp": 12, "ntap": 8},
+    "default": {"nsamp": 40, "ntap": 16},
+    "paper": {"nsamp": 256, "ntap": 32},
+}
+SUBTASKS = 10
+MU = 0.05
+
+
+def _source(nsamp: int, ntap: int) -> str:
+    total = nsamp + ntap  # input has NTAP-1 history samples in front
+    parts = [
+        f"float x[{total}];",
+        f"float d[{nsamp}];",
+        f"float w[{ntap}];",
+        f"float err[{nsamp}];",
+        "",
+        "void main() {",
+        "  int n; int k;",
+        "  float y; float e;",
+    ]
+    for t, (start, end) in enumerate(chunk_ranges(nsamp, SUBTASKS)):
+        parts.append(f"  __subtask({t});")
+        if t == 0:
+            parts += [
+                f"  for (k = 0; k < {ntap}; k = k + 1) {{",
+                "    w[k] = 0.0;",
+                "  }",
+            ]
+        parts += [
+            f"  for (n = {start}; n < {end}; n = n + 1) {{",
+            "    y = 0.0;",
+            f"    for (k = 0; k < {ntap}; k = k + 1) {{",
+            f"      y = y + w[k] * x[n + {ntap} - 1 - k];",
+            "    }",
+            "    e = d[n] - y;",
+            "    err[n] = e;",
+            f"    for (k = 0; k < {ntap}; k = k + 1) {{",
+            f"      w[k] = w[k] + {MU!r} * e * x[n + {ntap} - 1 - k];",
+            "    }",
+            "  }",
+        ]
+    parts += ["  __taskend();", "}"]
+    return "\n".join(parts) + "\n"
+
+
+def _reference(nsamp: int, ntap: int):
+    def ref(inputs: dict[str, list]) -> dict[str, list]:
+        x = inputs["x"]
+        d = inputs["d"]
+        w = [0.0] * ntap
+        err = [0.0] * nsamp
+        for n in range(nsamp):
+            y = 0.0
+            for k in range(ntap):
+                y = y + w[k] * x[n + ntap - 1 - k]
+            e = d[n] - y
+            err[n] = e
+            for k in range(ntap):
+                w[k] = w[k] + MU * e * x[n + ntap - 1 - k]
+        return {"w": w, "err": err}
+
+    return ref
+
+
+def make(scale: str = "default") -> Workload:
+    """Build the lms workload at the given scale preset."""
+    sizes = SIZES[scale]
+    nsamp, ntap = sizes["nsamp"], sizes["ntap"]
+
+    def gen_x(rng: random.Random) -> list[float]:
+        return [rng.uniform(-1.0, 1.0) for _ in range(nsamp + ntap)]
+
+    def gen_d(rng: random.Random) -> list[float]:
+        return [rng.uniform(-1.0, 1.0) for _ in range(nsamp)]
+
+    return Workload(
+        name="lms",
+        scale=scale,
+        source=_source(nsamp, ntap),
+        subtasks=SUBTASKS,
+        inputs=[InputSpec("x", gen_x), InputSpec("d", gen_d)],
+        outputs={"w": ntap, "err": nsamp},
+        reference=_reference(nsamp, ntap),
+        params=dict(sizes),
+    )

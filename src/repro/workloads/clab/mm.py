@@ -1,0 +1,74 @@
+"""``mm`` — integer matrix multiplication (C-lab ``matmult``).
+
+Sub-tasks (10) are chunks of the outer row loop of the product.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.base import InputSpec, Workload, chunk_ranges
+
+SIZES = {"tiny": 10, "default": 12, "paper": 50}
+SUBTASKS = 10
+
+
+def _source(n: int) -> str:
+    rows = chunk_ranges(n, SUBTASKS)
+    parts = [
+        f"int A[{n}][{n}];",
+        f"int B[{n}][{n}];",
+        f"int C[{n}][{n}];",
+        "",
+        "void main() {",
+        "  int i; int j; int k; int sum;",
+    ]
+    for t, (start, end) in enumerate(rows):
+        parts += [
+            f"  __subtask({t});",
+            f"  for (i = {start}; i < {end}; i = i + 1) {{",
+            f"    for (j = 0; j < {n}; j = j + 1) {{",
+            "      sum = 0;",
+            f"      for (k = 0; k < {n}; k = k + 1) {{",
+            "        sum = sum + A[i][k] * B[k][j];",
+            "      }",
+            "      C[i][j] = sum;",
+            "    }",
+            "  }",
+        ]
+    parts += ["  __taskend();", "}"]
+    return "\n".join(parts) + "\n"
+
+
+def _reference(n: int):
+    def ref(inputs: dict[str, list]) -> dict[str, list]:
+        a, b = inputs["A"], inputs["B"]
+        c = [0] * (n * n)
+        for i in range(n):
+            for j in range(n):
+                total = 0
+                for k in range(n):
+                    total += a[i * n + k] * b[k * n + j]
+                c[i * n + j] = total
+        return {"C": c}
+
+    return ref
+
+
+def make(scale: str = "default") -> Workload:
+    """Build the mm workload at the given scale preset."""
+    n = SIZES[scale]
+
+    def gen(rng: random.Random) -> list[int]:
+        return [rng.randint(-10, 10) for _ in range(n * n)]
+
+    return Workload(
+        name="mm",
+        scale=scale,
+        source=_source(n),
+        subtasks=SUBTASKS,
+        inputs=[InputSpec("A", gen), InputSpec("B", gen)],
+        outputs={"C": n * n},
+        reference=_reference(n),
+        params={"n": n},
+    )

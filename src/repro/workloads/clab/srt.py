@@ -1,0 +1,84 @@
+"""``srt`` — bubblesort (C-lab ``srt``/``bsort``).
+
+The paper singles this kernel out (§6.1): static analysis over-estimates it
+by ~2x because (a) the swap test is a forward branch the analyzer must
+assume taken, and (b) the inner loop shrinks every pass (triangular) and an
+early exit fires once the array is sorted, while the analyzer must assume
+the full rectangular iteration space.  Both sources of pessimism are
+present here: the inner loop carries a constant ``__loopbound`` (its trip
+count is data-dependent) and a ``swapped`` flag skips remaining passes.
+
+Sub-tasks (10) are chunks of the outer pass loop.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.base import InputSpec, Workload, chunk_ranges
+
+SIZES = {"tiny": 20, "default": 40, "paper": 400}
+SUBTASKS = 10
+
+
+def _source(n: int, subtasks: int = SUBTASKS) -> str:
+    passes = chunk_ranges(n - 1, subtasks)
+    parts = [
+        f"int arr[{n}];",
+        "",
+        "void main() {",
+        "  int i; int j; int t; int swapped; int done;",
+    ]
+    for k, (start, end) in enumerate(passes):
+        parts.append(f"  __subtask({k});")
+        if k == 0:
+            parts.append("  done = 0;")
+        parts += [
+            f"  for (i = {start}; i < {end}; i = i + 1) {{",
+            "    if (done == 0) {",
+            "      swapped = 0;",
+            # Data-dependent trip count: the analyzer must use the bound.
+            f"      for (j = 0; j < {n} - 1 - i; j = j + 1) "
+            f"__loopbound({n - 1}) {{",
+            "        if (arr[j] > arr[j + 1]) {",
+            "          t = arr[j];",
+            "          arr[j] = arr[j + 1];",
+            "          arr[j + 1] = t;",
+            "          swapped = 1;",
+            "        }",
+            "      }",
+            "      if (swapped == 0) {",
+            "        done = 1;",
+            "      }",
+            "    }",
+            "  }",
+        ]
+    parts += ["  __taskend();", "}"]
+    return "\n".join(parts) + "\n"
+
+
+def _reference(n: int):
+    def ref(inputs: dict[str, list]) -> dict[str, list]:
+        return {"arr": sorted(inputs["arr"])}
+
+    return ref
+
+
+def make(scale: str = "default", subtasks: int = SUBTASKS) -> Workload:
+    """srt workload; ``subtasks`` overrides the Table 3 count (used by the
+    checkpoint-granularity ablation)."""
+    n = SIZES[scale]
+
+    def gen(rng: random.Random) -> list[int]:
+        return [rng.randint(-10_000, 10_000) for _ in range(n)]
+
+    return Workload(
+        name="srt",
+        scale=scale,
+        source=_source(n, subtasks),
+        subtasks=subtasks,
+        inputs=[InputSpec("arr", gen)],
+        outputs={"arr": n},
+        reference=_reference(n),
+        params={"n": n},
+    )

@@ -1,0 +1,196 @@
+"""Assembler tests: directives, pseudo-instructions, symbols, errors."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa import layout
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble
+from repro.isa.opcodes import Op
+
+
+def ops_of(program):
+    return [inst.op for inst in program.instructions]
+
+
+class TestBasics:
+    def test_empty_text(self):
+        program = assemble(".text\nmain: halt\n")
+        assert ops_of(program) == [Op.HALT]
+        assert program.entry == program.symbols["main"]
+
+    def test_comments_ignored(self):
+        program = assemble("# full line\nmain: add t0, t1, t2 # trailing\nhalt")
+        assert ops_of(program) == [Op.ADD, Op.HALT]
+
+    def test_labels_on_own_line(self):
+        program = assemble("main:\n  nop\nend:\n  halt\n")
+        assert program.symbols["end"] == program.text_base + 4
+
+    def test_multiple_labels_same_address(self):
+        program = assemble("a: b: c: halt")
+        assert program.symbols["a"] == program.symbols["b"] == program.symbols["c"]
+
+    def test_memory_operand_forms(self):
+        program = assemble("main: lw t0, 8(sp)\nlw t1, (sp)\nhalt")
+        assert program.instructions[0].imm == 8
+        assert program.instructions[1].imm == 0
+
+
+class TestDataDirectives:
+    def test_word_and_float(self):
+        program = assemble(
+            ".data\nints: .word 1, -2, 0x10\nfls: .float 1.5, -0.25\n"
+            ".text\nmain: halt"
+        )
+        base = program.symbols["ints"]
+        assert [program.data[base + 4 * i] for i in range(3)] == [1, -2, 16]
+        fbase = program.symbols["fls"]
+        assert program.data[fbase] == 1.5
+        assert program.data[fbase + 4] == -0.25
+
+    def test_space_zero_fills(self):
+        program = assemble(".data\nbuf: .space 12\n.text\nmain: halt")
+        base = program.symbols["buf"]
+        assert all(program.data[base + 4 * i] == 0 for i in range(3))
+
+    def test_align(self):
+        program = assemble(
+            ".data\na: .word 1\n.align 6\nb: .word 2\n.text\nmain: halt"
+        )
+        assert program.symbols["b"] % 64 == 0
+
+    def test_word_symbol_reference(self):
+        program = assemble(
+            ".data\nptr: .word target\ntarget: .word 7\n.text\nmain: halt"
+        )
+        assert program.data[program.symbols["ptr"]] == program.symbols["target"]
+
+    def test_space_must_be_word_multiple(self):
+        with pytest.raises(AssemblerError):
+            assemble(".data\nx: .space 3\n.text\nmain: halt")
+
+
+class TestPseudoInstructions:
+    def test_li_small(self):
+        program = assemble("main: li t0, 42\nhalt")
+        assert ops_of(program)[0] == Op.ADDI
+
+    def test_li_large_expands_to_lui_ori(self):
+        program = assemble("main: li t0, 0x12345678\nhalt")
+        assert ops_of(program)[:2] == [Op.LUI, Op.ORI]
+
+    def test_li_16bit_unsigned_uses_ori(self):
+        program = assemble("main: li t0, 0xFFFF\nhalt")
+        assert ops_of(program)[0] == Op.ORI
+
+    def test_la_resolves_symbol(self):
+        program = assemble(".data\nv: .word 1\n.text\nmain: la t0, v\nhalt")
+        lui, ori = program.instructions[:2]
+        addr = program.symbols["v"]
+        assert (lui.imm & 0xFFFF) == (addr >> 16) & 0xFFFF
+        assert (ori.imm & 0xFFFF) == addr & 0xFFFF
+
+    def test_b_is_direct_jump(self):
+        """Unconditional jumps must not be branches: a forward beq
+        zero,zero would mispredict under BTFN every time."""
+        program = assemble("main: b end\nnop\nend: halt")
+        assert ops_of(program)[0] == Op.J
+
+    def test_branch_aliases(self):
+        program = assemble("main: bgt t0, t1, x\nble t0, t1, x\nx: halt")
+        assert ops_of(program)[:2] == [Op.BLT, Op.BGE]
+        # operands swapped
+        assert program.instructions[0].rs == 9  # t1
+
+    def test_beqz_bnez_move_not_neg(self):
+        program = assemble(
+            "main: beqz t0, x\nbnez t0, x\nmove t1, t2\nnot t1, t2\n"
+            "neg t1, t2\nsubi t1, t2, 5\nx: halt"
+        )
+        assert ops_of(program)[:6] == [
+            Op.BEQ, Op.BNE, Op.ADD, Op.NOR, Op.SUB, Op.ADDI,
+        ]
+        assert program.instructions[5].imm == -5
+
+
+class TestAnnotations:
+    def test_loopbound_attaches_to_next_label(self):
+        program = assemble(
+            "main: li t0, 3\n.loopbound 3\nloop: subi t0, t0, 1\n"
+            "bgtz t0, loop\nhalt"
+        )
+        assert program.loop_bounds == {program.symbols["loop"]: 3}
+
+    def test_loopbound_without_label_fails(self):
+        with pytest.raises(AssemblerError):
+            assemble("main: nop\n.loopbound 4\n")
+
+    def test_subtask_marks_and_arrays(self):
+        program = assemble(
+            "main:\n.subtask 0\nnop\n.subtask 1\nnop\n.taskend\nhalt"
+        )
+        assert program.num_subtasks == 2
+        assert layout.VISA_INCR_SYMBOL in program.symbols
+        assert layout.VISA_AET_SYMBOL in program.symbols
+        marks = program.subtask_boundaries()
+        assert len(marks) == 2 and marks[0] < marks[1]
+
+    def test_subtask_out_of_order_fails(self):
+        with pytest.raises(AssemblerError):
+            assemble("main:\n.subtask 1\nhalt")
+
+    def test_taskend_without_subtask_fails(self):
+        with pytest.raises(AssemblerError):
+            assemble("main:\n.taskend\nhalt")
+
+
+class TestErrors:
+    def test_unknown_instruction(self):
+        with pytest.raises(AssemblerError):
+            assemble("main: frobnicate t0, t1")
+
+    def test_undefined_symbol(self):
+        with pytest.raises(AssemblerError):
+            assemble("main: j nowhere")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("a: nop\na: halt")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError):
+            assemble("main: add t0, t1")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError):
+            assemble("main: add q0, t1, t2")
+
+    def test_instruction_in_data_segment(self):
+        with pytest.raises(AssemblerError):
+            assemble(".data\nadd t0, t1, t2")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble("main: nop\nadd t0, t1\n")
+        assert "line 2" in str(excinfo.value)
+
+
+class TestDisassemblerRoundTrip:
+    def test_disassemble_reassembles(self):
+        source = (
+            ".data\narr: .word 1, 2\n.text\n"
+            "main: la t0, arr\nlw t1, 0(t0)\nadd t2, t1, t1\n"
+            "fadd f2, f4, f6\nflw f0, 4(t0)\nbne t1, zero, main\nhalt\n"
+        )
+        program = assemble(source)
+        for i, word in enumerate(program.words):
+            text = disassemble(word, program.text_base + 4 * i)
+            # Re-assemble each instruction in isolation (labels become
+            # absolute addresses, which the assembler accepts as ints).
+            rebuilt = assemble(f"main: {text}\n")
+            back = rebuilt.instructions[0]
+            orig = program.instructions[i]
+            if orig.is_branch or orig.is_direct_jump:
+                continue  # targets shift when re-anchored at a new address
+            assert back.op == orig.op

@@ -1,0 +1,123 @@
+"""Additional assembler edge cases and program-visible device access."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa import layout
+from repro.isa.assembler import MAX_SUBTASKS, assemble
+from repro.isa.opcodes import Op
+from repro.memory.machine import Machine
+from repro.pipelines.inorder import InOrderCore
+
+
+class TestImmediateEdges:
+    def test_li_exactly_minus_32768(self):
+        program = assemble("main: li t0, -32768\nhalt")
+        assert program.instructions[0].op == Op.ADDI
+        core = InOrderCore(Machine(program))
+        core.run()
+        assert core.state.int_regs[8] == -32768
+
+    def test_li_32768_uses_ori(self):
+        program = assemble("main: li t0, 32768\nhalt")
+        assert program.instructions[0].op == Op.ORI
+        core = InOrderCore(Machine(program))
+        core.run()
+        assert core.state.int_regs[8] == 32768
+
+    def test_li_negative_large(self):
+        program = assemble("main: li t0, -123456\nhalt")
+        core = InOrderCore(Machine(program))
+        core.run()
+        assert core.state.int_regs[8] == -123456
+
+    def test_li_lui_only_when_low_bits_zero(self):
+        program = assemble("main: li t0, 0x12340000\nhalt")
+        assert [i.op for i in program.instructions] == [Op.LUI, Op.HALT]
+
+
+class TestSymbolArithmetic:
+    def test_la_with_offset(self):
+        program = assemble(
+            ".data\narr: .word 1, 2, 3\n.text\nmain: la t0, arr+8\nhalt"
+        )
+        core = InOrderCore(Machine(program))
+        core.run()
+        assert core.state.int_regs[8] == program.symbols["arr"] + 8
+
+    def test_word_with_symbol_offset(self):
+        program = assemble(
+            ".data\nbase: .word 0\nptr: .word base+4\n.text\nmain: halt"
+        )
+        assert (
+            program.data[program.symbols["ptr"]]
+            == program.symbols["base"] + 4
+        )
+
+
+class TestSubtaskLimits:
+    def test_max_subtasks_enforced(self):
+        lines = ["main:"]
+        for k in range(MAX_SUBTASKS + 1):
+            lines.append(f".subtask {k}")
+            lines.append("nop")
+        lines.append("halt")
+        with pytest.raises(AssemblerError):
+            assemble("\n".join(lines))
+
+    def test_visa_arrays_cache_line_aligned(self):
+        program = assemble("main:\n.subtask 0\nnop\n.taskend\nhalt")
+        assert program.symbols[layout.VISA_INCR_SYMBOL] % 64 == 0
+        assert program.symbols[layout.VISA_AET_SYMBOL] % 64 == 0
+
+
+class TestProgramDeviceAccess:
+    def test_program_reads_watchdog_counter(self):
+        """A program can read the live watchdog value via a plain load."""
+        source = f"""
+        main:
+            lui t1, {layout.MMIO_BASE >> 16}
+            li  t0, 5000
+            sw  t0, {layout.WATCHDOG_COUNT & 0xFFFF}(t1)
+            li  t0, 1
+            sw  t0, {layout.WATCHDOG_CTRL & 0xFFFF}(t1)
+            lw  s0, {layout.WATCHDOG_COUNT & 0xFFFF}(t1)
+            halt
+        """
+        core = InOrderCore(Machine(assemble(source)))
+        core.run()
+        remaining = core.state.int_regs[16]
+        assert 0 < remaining <= 5000
+
+    def test_program_measures_own_cycles(self):
+        source = f"""
+        main:
+            lui t1, {layout.MMIO_BASE >> 16}
+            sw  zero, {layout.CYCLE_COUNT & 0xFFFF}(t1)
+            nop
+            nop
+            nop
+            lw  s0, {layout.CYCLE_COUNT & 0xFFFF}(t1)
+            halt
+        """
+        core = InOrderCore(Machine(assemble(source)))
+        core.run()
+        measured = core.state.int_regs[16]
+        assert 3 <= measured <= 20  # a few pipeline cycles elapsed
+
+    def test_watchdog_add_from_program(self):
+        source = f"""
+        main:
+            lui t1, {layout.MMIO_BASE >> 16}
+            li  t0, 100
+            sw  t0, {layout.WATCHDOG_COUNT & 0xFFFF}(t1)
+            li  t0, 1
+            sw  t0, {layout.WATCHDOG_CTRL & 0xFFFF}(t1)
+            li  t0, 900
+            sw  t0, {layout.WATCHDOG_ADD & 0xFFFF}(t1)
+            lw  s0, {layout.WATCHDOG_COUNT & 0xFFFF}(t1)
+            halt
+        """
+        core = InOrderCore(Machine(assemble(source)))
+        core.run()
+        assert core.state.int_regs[16] > 900  # budget extended

@@ -1,0 +1,116 @@
+"""CFG construction and loop analysis tests."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.isa.assembler import assemble
+from repro.wcet.cfg import build_cfg
+from repro.wcet.loops import dominators, find_loops
+
+
+def cfg_of(source):
+    return build_cfg(assemble(source))
+
+
+class TestBasicBlocks:
+    def test_straight_line_is_one_block(self):
+        pcfg = cfg_of("main:\nnop\nnop\nhalt")
+        func = pcfg.entry_function
+        assert len(func.blocks) == 1
+        assert len(func.blocks[func.entry].instructions) == 3
+
+    def test_branch_splits_blocks(self):
+        pcfg = cfg_of("main:\nbeqz t0, end\nnop\nend:\nhalt")
+        func = pcfg.entry_function
+        assert len(func.blocks) == 3
+        first = func.blocks[func.entry]
+        kinds = {kind for kind, _ in first.successors}
+        assert kinds == {"taken", "fall"}
+
+    def test_call_discovers_function(self):
+        pcfg = cfg_of("main:\njal f\nhalt\nf:\njr ra\n")
+        assert len(pcfg.functions) == 2
+        program = pcfg.program
+        assert program.symbols["f"] in pcfg.functions
+        main = pcfg.entry_function
+        caller = main.blocks[main.entry]
+        assert caller.call_target == program.symbols["f"]
+
+    def test_call_graph(self):
+        pcfg = cfg_of(
+            "main:\njal a\nhalt\na:\njal b\njr ra\nb:\njr ra\n"
+        )
+        syms = pcfg.program.symbols
+        assert pcfg.call_graph[syms["main"]] == {syms["a"]}
+        assert pcfg.call_graph[syms["a"]] == {syms["b"]}
+
+    def test_subtask_marks_force_leaders(self):
+        pcfg = cfg_of("main:\n.subtask 0\nnop\n.subtask 1\nnop\n.taskend\nhalt")
+        func = pcfg.entry_function
+        for mark in pcfg.program.subtask_marks:
+            assert mark in func.blocks
+
+    def test_recursion_rejected(self):
+        with pytest.raises(AnalysisError):
+            cfg_of("main:\njal f\nhalt\nf:\njal f\njr ra\n")
+
+    def test_indirect_call_rejected(self):
+        with pytest.raises(AnalysisError):
+            cfg_of("main:\nla t0, f\njalr ra, t0\nhalt\nf:\njr ra\n")
+
+    def test_computed_jump_rejected(self):
+        with pytest.raises(AnalysisError):
+            cfg_of("main:\nla t0, x\njr t0\nx:\nhalt\n")
+
+
+LOOP_SOURCE = """
+main:
+    li t0, 10
+.loopbound 10
+outer:
+    li t1, 5
+.loopbound 5
+inner:
+    subi t1, t1, 1
+    bgtz t1, inner
+    subi t0, t0, 1
+    bgtz t0, outer
+    halt
+"""
+
+
+class TestDominatorsAndLoops:
+    def test_entry_dominates_everything(self):
+        pcfg = cfg_of(LOOP_SOURCE)
+        func = pcfg.entry_function
+        dom = dominators(func)
+        for addr in func.blocks:
+            assert func.entry in dom[addr]
+
+    def test_nested_loops_found(self):
+        pcfg = cfg_of(LOOP_SOURCE)
+        func = pcfg.entry_function
+        forest = find_loops(func, pcfg.program)
+        syms = pcfg.program.symbols
+        assert set(forest.by_header) == {syms["outer"], syms["inner"]}
+        outer = forest.by_header[syms["outer"]]
+        inner = forest.by_header[syms["inner"]]
+        assert inner.parent is outer
+        assert outer.children == [inner]
+        assert outer.bound == 10 and inner.bound == 5
+        assert inner.blocks < outer.blocks
+
+    def test_missing_loopbound_rejected(self):
+        source = "main:\nli t0, 3\nloop:\nsubi t0, t0, 1\nbgtz t0, loop\nhalt"
+        pcfg = cfg_of(source)
+        with pytest.raises(AnalysisError) as excinfo:
+            find_loops(pcfg.entry_function, pcfg.program)
+        assert "loopbound" in str(excinfo.value)
+
+    def test_innermost_lookup(self):
+        pcfg = cfg_of(LOOP_SOURCE)
+        func = pcfg.entry_function
+        forest = find_loops(func, pcfg.program)
+        syms = pcfg.program.symbols
+        assert forest.innermost(syms["inner"]).header == syms["inner"]
+        assert forest.innermost(func.entry) is None

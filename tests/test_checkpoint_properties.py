@@ -1,0 +1,78 @@
+"""Property tests on EQ 1 checkpoint mathematics."""
+
+import math
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.errors import InfeasibleError
+from repro.visa.checkpoints import build_plan, checkpoint_times, watchdog_increments
+from repro.wcet.analyzer import SubtaskWCET, TaskWCET
+
+
+def make_task(freq_hz, cycles):
+    stall = math.ceil(freq_hz * 100e-9)
+    task = TaskWCET(freq_hz=freq_hz, stall=stall)
+    for i, c in enumerate(cycles):
+        task.subtasks.append(SubtaskWCET(index=i, cycles=c, stall=stall))
+    return task
+
+
+WCETS = st.lists(st.integers(100, 50_000), min_size=1, max_size=12)
+FREQS = st.sampled_from([100e6, 250e6, 500e6, 1e9])
+
+
+@settings(max_examples=100, deadline=None)
+@given(cycles=WCETS, freq=FREQS, slack=st.floats(0.01, 2.0),
+       ovhd=st.floats(0.0, 5e-6))
+def test_checkpoint_invariants(cycles, freq, slack, ovhd):
+    task = make_task(freq, cycles)
+    deadline = task.total_seconds * (1.0 + slack) + ovhd
+    try:
+        checkpoints = checkpoint_times(deadline, ovhd, task)
+    except InfeasibleError:
+        assume(False)
+        return
+    # 1. Monotone non-decreasing (later sub-tasks check later).
+    assert checkpoints == sorted(checkpoints)
+    # 2. Every checkpoint leaves exactly enough for recovery: the gap to
+    #    the deadline equals ovhd + the WCET tail from that sub-task on.
+    for i, checkpoint in enumerate(checkpoints):
+        gap = deadline - checkpoint
+        assert abs(gap - (ovhd + task.tail_seconds(i))) < 1e-12
+    # 3. The last checkpoint precedes the deadline by at least its own
+    #    WCET plus ovhd (time to redo the final sub-task in simple mode).
+    assert deadline - checkpoints[-1] >= ovhd + task.subtask_seconds(len(cycles) - 1) - 1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(cycles=WCETS, freq=FREQS, count_freq=FREQS, slack=st.floats(0.05, 2.0))
+def test_watchdog_increments_track_checkpoints(cycles, freq, count_freq, slack):
+    task = make_task(freq, cycles)
+    deadline = task.total_seconds * (1.0 + slack) + 1e-6
+    try:
+        plan = build_plan(deadline, 1e-6, task, count_freq)
+    except InfeasibleError:
+        assume(False)
+        return
+    # Increments are non-negative and cumulative sums approximate the
+    # checkpoints in counting-frequency cycles (floor rounding only ever
+    # fires the watchdog *early*, which is the safe direction).
+    assert all(inc >= 0 for inc in plan.increments)
+    cumulative = 0
+    for checkpoint, increment in zip(plan.checkpoints, plan.increments):
+        cumulative += increment
+        exact = checkpoint * count_freq
+        assert cumulative <= exact + 1e-6
+        assert cumulative >= exact - len(cycles) - 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(cycles=WCETS, freq=FREQS)
+def test_tighter_deadline_means_earlier_checkpoints(cycles, freq):
+    task = make_task(freq, cycles)
+    loose_deadline = task.total_seconds * 2 + 1e-6
+    tight_deadline = task.total_seconds * 1.5 + 1e-6
+    loose = checkpoint_times(loose_deadline, 1e-6, task)
+    tight = checkpoint_times(tight_deadline, 1e-6, task)
+    for t, l in zip(tight, loose):
+        assert t <= l

@@ -1,0 +1,108 @@
+"""Structural tests on generated assembly (calling convention, frames)."""
+
+import re
+
+from repro.minicc import compile_to_asm
+
+
+def asm_lines(source, inline=False):
+    return [
+        line.strip()
+        for line in compile_to_asm(source, inline=inline).splitlines()
+        if line.strip()
+    ]
+
+
+class TestFrames:
+    def test_prologue_saves_ra_and_fp(self):
+        lines = asm_lines("void main() { }")
+        start = lines.index("main:")
+        body = lines[start + 1:start + 5]
+        assert any(l.startswith("subi sp, sp,") for l in body)
+        assert any(l.startswith("sw ra,") for l in body)
+        assert any(l.startswith("sw fp,") for l in body)
+
+    def test_main_ends_with_halt(self):
+        lines = asm_lines("void main() { }")
+        assert "halt" in lines
+
+    def test_leaf_restores_and_returns(self):
+        source = "int id(int x) { return x; } void main() { int y; y = id(1); }"
+        lines = asm_lines(source)
+        start = lines.index("id:")
+        end = lines.index("jr ra", start)
+        tail = lines[start:end + 1]
+        assert any(l.startswith("lw ra,") for l in tail)
+        assert any(l.startswith("addi sp, sp,") for l in tail)
+
+    def test_callee_saved_registers_preserved(self):
+        # A function with scalar locals uses s-registers and must save them.
+        source = """
+        int work(int a) {
+          int x; int y;
+          x = a * 2;
+          y = x + 1;
+          return y;
+        }
+        void main() { int r; r = work(5); }
+        """
+        lines = asm_lines(source)
+        start = lines.index("work:")
+        end = lines.index("jr ra", start)
+        body = lines[start:end + 1]
+        saves = [l for l in body if re.match(r"sw s\d,", l)]
+        restores = [l for l in body if re.match(r"lw s\d,", l)]
+        assert saves and len(saves) == len(restores)
+
+
+class TestRegisterHomes:
+    def test_scalar_locals_avoid_memory_in_loop(self):
+        """Loop-carried scalars live in registers: the loop body must not
+        load/store the induction variable from the stack."""
+        source = """
+        void main() {
+          int i; int acc;
+          acc = 0;
+          for (i = 0; i < 10; i = i + 1) { acc = acc + i; }
+          __out(acc);
+        }
+        """
+        text = compile_to_asm(source)
+        loop_body = text.split(".Lfor")[1]
+        assert "(fp)" not in loop_body.split(".Lendfor")[0]
+
+    def test_spilled_locals_use_fp_offsets(self):
+        decls = " ".join(f"int v{i};" for i in range(12))
+        uses = " ".join(f"v{i} = {i};" for i in range(12))
+        source = f"void main() {{ {decls} {uses} }}"
+        text = compile_to_asm(source)
+        assert "(fp)" in text  # ran out of s-registers: some spill
+
+
+class TestAnnotationsEmitted:
+    def test_loopbound_precedes_header_label(self):
+        source = "void main() { int i; for (i = 0; i < 7; i = i + 1) { } }"
+        lines = asm_lines(source)
+        idx = next(i for i, l in enumerate(lines) if l == ".loopbound 7")
+        assert lines[idx + 1].startswith(".Lfor")
+
+    def test_subtask_directives(self):
+        source = """
+        void main() {
+          __subtask(0);
+          __subtask(1);
+          __taskend();
+        }
+        """
+        lines = asm_lines(source)
+        assert ".subtask 0" in lines
+        assert ".subtask 1" in lines
+        assert ".taskend" in lines
+
+    def test_float_constants_pooled(self):
+        source = """
+        float a; float b;
+        void main() { a = 2.5; b = 2.5; }
+        """
+        text = compile_to_asm(source)
+        assert text.count(".float 2.5") == 1  # deduplicated constant pool

@@ -1,0 +1,80 @@
+"""Reproducibility: identical configurations produce identical results.
+
+EXPERIMENTS.md promises determinism (seeded inputs, no randomness in the
+simulators); these tests make that promise load-bearing.
+"""
+
+from repro.memory.machine import Machine
+from repro.pipelines.inorder import InOrderCore
+from repro.pipelines.ooo.core import ComplexCore
+from repro.power.model import PowerModel
+from repro.power.report import energy_of_runs
+from repro.visa.runtime import RuntimeConfig, VISARuntime
+from repro.visa.spec import VISASpec
+from repro.wcet.dcache_pad import calibrate_dcache_bounds
+from repro.workloads import get_workload
+
+OVHD = 2e-6
+
+
+def _run_sequence():
+    workload = get_workload("cnt", "tiny")
+    bounds = calibrate_dcache_bounds(workload, seeds=2)
+    analyzer = VISASpec().analyzer(workload.program)
+    analyzer.dcache_bounds = bounds
+    deadline = 1.2 * analyzer.analyze(1e9).total_seconds + OVHD
+    runtime = VISARuntime(
+        workload,
+        RuntimeConfig(deadline=deadline, instances=14, ovhd=OVHD),
+        dcache_bounds=bounds,
+    )
+    runs = runtime.run(flush_instances={12})
+    return runs
+
+
+def _signature(runs):
+    return [
+        (
+            r.index,
+            r.mispredicted,
+            round(r.completion_seconds, 12),
+            r.f_spec.freq_hz,
+            r.f_rec.freq_hz,
+            tuple((p.kind, p.cycles) for p in r.phases),
+        )
+        for r in runs
+    ]
+
+
+class TestRuntimeDeterminism:
+    def test_full_runtime_sequence_reproducible(self):
+        first = _signature(_run_sequence())
+        second = _signature(_run_sequence())
+        assert first == second
+
+    def test_energy_reproducible(self):
+        model = PowerModel("complex", standby=True)
+        a = energy_of_runs(_run_sequence(), model)
+        b = energy_of_runs(_run_sequence(), model)
+        assert a.energy_joules == b.energy_joules
+        assert a.seconds == b.seconds
+
+
+class TestCoreDeterminism:
+    def test_both_cores_cycle_exact_across_runs(self):
+        workload = get_workload("fft", "tiny")
+        for core_cls in (InOrderCore, ComplexCore):
+            cycles = set()
+            for _ in range(2):
+                machine = Machine(workload.program)
+                workload.apply_inputs(machine, workload.generate_inputs(5))
+                cycles.add(core_cls(machine).run().end_cycle)
+            assert len(cycles) == 1
+
+    def test_wcet_analysis_deterministic(self):
+        workload = get_workload("lms", "tiny")
+        values = set()
+        for _ in range(2):
+            analyzer = VISASpec().analyzer(workload.program)
+            values.add(analyzer.analyze(1e9).total_cycles)
+        assert len(values) == 1

@@ -1,0 +1,76 @@
+"""Disassembler tests beyond the assembler round-trip."""
+
+from hypothesis import given, strategies as st
+
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble, disassemble_instruction
+from repro.isa.encoding import encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import INFO, Fmt, Op
+
+
+class TestRendering:
+    def test_r_type(self):
+        inst = Instruction(Op.ADD, rd=8, rs=9, rt=10)
+        assert disassemble_instruction(inst) == "add t0, t1, t2"
+
+    def test_shift(self):
+        inst = Instruction(Op.SLL, rd=8, rt=9, shamt=4)
+        assert disassemble_instruction(inst) == "sll t0, t1, 4"
+
+    def test_memory_operand(self):
+        inst = Instruction(Op.LW, rt=8, rs=29, imm=-8)
+        assert disassemble_instruction(inst) == "lw t0, -8(sp)"
+
+    def test_fp_registers(self):
+        inst = Instruction(Op.FADD, rd=2, rs=4, rt=6)
+        assert disassemble_instruction(inst) == "fadd f2, f4, f6"
+
+    def test_fp_compare_mixes_banks(self):
+        inst = Instruction(Op.FLT_, rd=8, rs=2, rt=4)
+        assert disassemble_instruction(inst) == "flt t0, f2, f4"
+
+    def test_branch_with_address(self):
+        inst = Instruction(Op.BEQ, rs=8, rt=9, imm=3, addr=0x400000)
+        assert disassemble_instruction(inst) == "beq t0, t1, 0x400010"
+
+    def test_branch_without_address(self):
+        inst = Instruction(Op.BNE, rs=8, rt=9, imm=-2)
+        assert disassemble_instruction(inst) == "bne t0, t1, .-2"
+
+    def test_jump_target(self):
+        inst = Instruction(Op.J, target=0x400020 >> 2, addr=0x400000)
+        assert disassemble_instruction(inst) == "j 0x400020"
+
+    def test_halt_bare(self):
+        assert disassemble_instruction(Instruction(Op.HALT)) == "halt"
+
+    def test_word_level(self):
+        word = encode(Instruction(Op.ADDI, rt=8, rs=0, imm=5))
+        assert disassemble(word) == "addi t0, zero, 5"
+
+
+@given(st.sampled_from(sorted(INFO, key=lambda op: op.value)))
+def test_disassembly_reassembles_for_every_op(op):
+    """Every opcode's canonical rendering round-trips the assembler."""
+    inst = Instruction(op, rd=1, rs=2, rt=3, shamt=1, imm=4,
+                       target=(0x400010 >> 2), addr=0x400000)
+    text = disassemble_instruction(inst)
+    program = assemble(f"main: {text}\n")
+    assert program.instructions[0].op == op
+
+
+def test_full_program_disassembly_consistency():
+    source = (
+        ".data\nbuf: .space 16\n.text\n"
+        "main:\nla t0, buf\nli t1, 4\n"
+        "loop:\nsw t1, 0(t0)\naddi t0, t0, 4\nsubi t1, t1, 1\n"
+        "bgtz t1, loop\nhalt\n"
+    )
+    program = assemble(source)
+    for i, word in enumerate(program.words):
+        addr = program.text_base + 4 * i
+        text = disassemble(word, addr)
+        assert text  # never raises, never empty
+        inst = program.instructions[i]
+        assert text.split()[0] == inst.op.value

@@ -1,0 +1,82 @@
+"""Experiment driver tests (smoke-scale) and common helpers."""
+
+import pytest
+
+from repro.experiments import common, figure2, figure3, figure4, table3
+
+
+class TestHelpers:
+    def test_flush_set_fractions(self):
+        # Fractions apply to the steady-state window (after warm-up).
+        assert common.flush_set(40, 0.0) == set()
+        assert len(common.flush_set(40, 0.1)) == 2
+        assert len(common.flush_set(40, 0.3)) == 6
+        assert all(20 <= i < 40 for i in common.flush_set(40, 0.3))
+
+    def test_flush_set_avoids_warmup(self):
+        flushed = common.flush_set(40, 0.5)
+        assert min(flushed) >= 20
+
+    def test_flush_set_custom_start(self):
+        flushed = common.flush_set(10, 0.5, start=0)
+        assert len(flushed) == 5
+
+    def test_format_table_alignment(self):
+        text = common.format_table(
+            ["a", "long"], [["1", "2"], ["333", "4"]]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(map(len, lines))) == 1  # rectangular
+
+    def test_setup_deadlines_ordered(self):
+        prep = common.setup("cnt", "tiny")
+        assert prep.wcet_1ghz_seconds < prep.deadline_tight
+        assert prep.deadline_tight < prep.deadline_loose
+        assert len(prep.dcache_bounds) == prep.workload.subtasks
+
+    def test_setup_cached(self):
+        assert common.setup("cnt", "tiny") is common.setup("cnt", "tiny")
+
+
+class TestTable3:
+    def test_rows_tiny(self):
+        rows = table3.run(scale="tiny")
+        assert len(rows) == 6
+        for row in rows:
+            assert row.wcet_over_simple >= 1.0
+            assert row.simple_over_complex > 1.0
+            assert row.dyn_instructions > 1000
+        text = table3.render(rows)
+        assert "WCET/simple" in text
+
+
+@pytest.fixture
+def single_benchmark(monkeypatch):
+    """Restrict the figure sweeps to one benchmark for smoke tests."""
+    for module in (figure2, figure3, figure4):
+        monkeypatch.setattr(module, "WORKLOAD_NAMES", ("cnt",))
+
+
+class TestFigureSmoke:
+    def test_figure2_shape(self, single_benchmark):
+        rows = figure2.run(scale="tiny", instances=24)
+        assert {r.deadline_kind for r in rows} == {"T", "L"}
+        for row in rows:
+            assert -1.0 < row.savings < 1.0
+            assert row.complex_mhz <= 1000
+        assert "savings%" in figure2.render(rows)
+
+    def test_figure3_shape(self, single_benchmark):
+        rows = figure3.run(scale="tiny", instances=24)
+        assert len(rows) == 1
+        assert "simple MHz" in figure3.render(rows)
+
+    def test_figure4_deadline_safety_under_flushes(self, single_benchmark):
+        rows = figure4.run(scale="tiny", instances=24, rates=(0.0, 0.25))
+        assert len(rows) == 2
+        flushed_row = rows[1]
+        assert flushed_row.flushed == 3  # 25% of the steady-state window
+        # figure4.run asserts deadline_met internally; arriving here means
+        # every flushed instance recovered in time.
+        assert "missed ckpts" in figure4.render(rows)

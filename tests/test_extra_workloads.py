@@ -1,0 +1,76 @@
+"""Tests for the extra (non-paper) suite members: crc, fir."""
+
+import pytest
+
+from repro.memory.machine import Machine
+from repro.pipelines.inorder import InOrderCore
+from repro.pipelines.ooo.core import ComplexCore
+from repro.visa.runtime import RuntimeConfig, VISARuntime
+from repro.visa.spec import VISASpec
+from repro.wcet.dcache_pad import calibrate_dcache_bounds
+from repro.workloads import EXTRA_WORKLOAD_NAMES, WORKLOAD_NAMES, get_workload
+
+
+class TestRegistry:
+    def test_extras_not_in_paper_set(self):
+        assert set(EXTRA_WORKLOAD_NAMES) == {"crc", "fir"}
+        assert not set(EXTRA_WORKLOAD_NAMES) & set(WORKLOAD_NAMES)
+
+    @pytest.mark.parametrize("name", EXTRA_WORKLOAD_NAMES)
+    def test_available_via_get_workload(self, name):
+        workload = get_workload(name, "tiny")
+        assert workload.program.num_subtasks == workload.subtasks == 8
+
+
+@pytest.mark.parametrize("name", EXTRA_WORKLOAD_NAMES)
+class TestFunctional:
+    def test_both_cores_match_reference(self, name):
+        workload = get_workload(name, "tiny")
+        for core_cls in (InOrderCore, ComplexCore):
+            machine = Machine(workload.program)
+            inputs = workload.generate_inputs(7)
+            workload.apply_inputs(machine, inputs)
+            result = core_cls(machine).run()
+            assert result.reason == "halt"
+            workload.check_outputs(machine, inputs)
+
+    def test_wcet_covers_random_inputs(self, name):
+        workload = get_workload(name, "tiny")
+        analyzer = VISASpec().analyzer(workload.program)
+        analyzer.dcache_bounds = calibrate_dcache_bounds(workload, seeds=2)
+        wcet = analyzer.analyze(1e9).total_cycles
+        for seed in range(5):
+            machine = Machine(workload.program)
+            workload.apply_inputs(machine, workload.generate_inputs(100 + seed))
+            result = InOrderCore(machine).run()
+            assert wcet >= result.end_cycle
+
+
+def test_crc_known_vector():
+    """CRC-16/MODBUS (poly 0xA001 reflected, init 0xFFFF) of b'123456789'
+    has the published check value 0x4B37."""
+    workload = get_workload("crc", "tiny")
+    machine = Machine(workload.program)
+    message = list(b"123456789")
+    n = workload.params["n"]
+    padded = message + [0] * (n - len(message))
+    table_ref = workload.reference({"msg": message})
+    assert table_ref["crc_out"] == [0x4B37]
+    workload.apply_inputs(machine, {"msg": padded})
+    InOrderCore(machine).run()
+    workload.check_outputs(machine, {"msg": padded})
+
+
+def test_fir_runs_under_visa_runtime():
+    workload = get_workload("fir", "tiny")
+    bounds = calibrate_dcache_bounds(workload, seeds=2)
+    analyzer = VISASpec().analyzer(workload.program)
+    analyzer.dcache_bounds = bounds
+    deadline = 1.2 * analyzer.analyze(1e9).total_seconds + 2e-6
+    runtime = VISARuntime(
+        workload,
+        RuntimeConfig(deadline=deadline, instances=12, ovhd=2e-6),
+        dcache_bounds=bounds,
+    )
+    runs = runtime.run()
+    assert all(r.deadline_met for r in runs)

@@ -1,0 +1,109 @@
+"""Encoding/decoding tests, including an exhaustive hypothesis round-trip."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EncodingError
+from repro.isa.encoding import decode, encode, is_valid_word
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import BY_ENCODING, INFO, Fmt, Op
+
+
+def all_ops():
+    return sorted(INFO, key=lambda op: op.value)
+
+
+REG = st.integers(min_value=0, max_value=31)
+SHAMT = st.integers(min_value=0, max_value=31)
+IMM = st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1)
+TARGET = st.integers(min_value=0, max_value=(1 << 26) - 1)
+
+
+@st.composite
+def instructions(draw):
+    op = draw(st.sampled_from(all_ops()))
+    fmt = INFO[op].fmt
+    if fmt in (Fmt.R, Fmt.F):
+        return Instruction(
+            op, rd=draw(REG), rs=draw(REG), rt=draw(REG), shamt=draw(SHAMT)
+        )
+    if fmt is Fmt.I:
+        return Instruction(op, rs=draw(REG), rt=draw(REG), imm=draw(IMM))
+    return Instruction(op, target=draw(TARGET))
+
+
+class TestRoundTrip:
+    @given(instructions())
+    def test_encode_decode_round_trip(self, inst):
+        word = encode(inst)
+        assert 0 <= word <= 0xFFFFFFFF
+        back = decode(word)
+        assert back.op == inst.op
+        fmt = INFO[inst.op].fmt
+        if fmt in (Fmt.R, Fmt.F):
+            assert (back.rd, back.rs, back.rt, back.shamt) == (
+                inst.rd, inst.rs, inst.rt, inst.shamt
+            )
+        elif fmt is Fmt.I:
+            assert (back.rs, back.rt, back.imm) == (inst.rs, inst.rt, inst.imm)
+        else:
+            assert back.target == inst.target
+
+    @given(instructions())
+    def test_operand_maps_survive_round_trip(self, inst):
+        back = decode(encode(inst))
+        assert back.sources == inst.sources
+        assert back.dest == inst.dest
+
+    def test_every_op_has_unique_encoding(self):
+        words = {encode(Instruction(op)) for op in all_ops()}
+        assert len(words) == len(all_ops())
+
+
+class TestDecodeErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(EncodingError):
+            decode(0xFFFFFFFF & (0x3E << 26))
+
+    def test_unknown_funct(self):
+        with pytest.raises(EncodingError):
+            decode(0x3F)  # SPECIAL with funct 0x3F is unassigned
+
+    def test_negative_word(self):
+        with pytest.raises(EncodingError):
+            decode(-1)
+
+    def test_oversized_word(self):
+        with pytest.raises(EncodingError):
+            decode(1 << 32)
+
+    def test_is_valid_word(self):
+        assert is_valid_word(encode(Instruction(Op.ADD, rd=1, rs=2, rt=3)))
+        assert not is_valid_word((0x3E << 26))
+
+
+class TestEncodeErrors:
+    def test_imm_overflow(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Op.ADDI, rt=1, rs=2, imm=1 << 16))
+
+    def test_imm_underflow(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Op.ADDI, rt=1, rs=2, imm=-(1 << 15) - 1))
+
+    def test_lui_unsigned_imm_accepted(self):
+        word = encode(Instruction(Op.LUI, rt=1, imm=0xFFFF))
+        assert decode(word).op == Op.LUI
+
+    def test_target_overflow(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Op.J, target=1 << 26))
+
+
+class TestEncodingTable:
+    def test_no_encoding_collisions(self):
+        assert len(BY_ENCODING) == len(all_ops())
+
+    def test_branch_offsets_sign_extend(self):
+        inst = Instruction(Op.BEQ, rs=1, rt=2, imm=-5)
+        assert decode(encode(inst)).imm == -5

@@ -1,0 +1,79 @@
+"""Tests for register naming and ABI constants."""
+
+import pytest
+
+from repro.isa import registers as regs
+
+
+class TestParseIntReg:
+    def test_abi_names(self):
+        assert regs.parse_int_reg("zero") == 0
+        assert regs.parse_int_reg("sp") == 29
+        assert regs.parse_int_reg("ra") == 31
+        assert regs.parse_int_reg("t0") == 8
+        assert regs.parse_int_reg("s7") == 23
+
+    def test_numeric_names(self):
+        for i in range(32):
+            assert regs.parse_int_reg(f"r{i}") == i
+
+    def test_dollar_prefix(self):
+        assert regs.parse_int_reg("$t1") == 9
+        assert regs.parse_int_reg("$r31") == 31
+
+    def test_case_insensitive(self):
+        assert regs.parse_int_reg("SP") == 29
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            regs.parse_int_reg("x99")
+
+    def test_fp_name_rejected(self):
+        with pytest.raises(KeyError):
+            regs.parse_int_reg("f3")
+
+
+class TestParseFpReg:
+    def test_all_fp_regs(self):
+        for i in range(32):
+            assert regs.parse_fp_reg(f"f{i}") == i
+
+    def test_dollar_prefix(self):
+        assert regs.parse_fp_reg("$f12") == 12
+
+    def test_int_name_rejected(self):
+        with pytest.raises(KeyError):
+            regs.parse_fp_reg("t0")
+
+
+class TestRoundTrip:
+    def test_int_names_round_trip(self):
+        for i in range(32):
+            assert regs.parse_int_reg(regs.int_reg_name(i)) == i
+
+    def test_fp_names_round_trip(self):
+        for i in range(32):
+            assert regs.parse_fp_reg(regs.fp_reg_name(i)) == i
+
+
+class TestConstants:
+    def test_abi_register_numbers(self):
+        assert regs.ZERO == 0
+        assert regs.AT == 1
+        assert regs.V0 == 2
+        assert regs.A0 == 4
+        assert regs.GP == 28
+        assert regs.SP == 29
+        assert regs.FP == 30
+        assert regs.RA == 31
+
+    def test_reg_classes_disjoint(self):
+        reserved = {regs.ZERO, regs.AT, regs.K0, regs.K1, regs.GP,
+                    regs.SP, regs.FP, regs.RA}
+        assert not (set(regs.CALLER_SAVED_INT) & reserved)
+        assert not (set(regs.CALLEE_SAVED_INT) & reserved)
+        assert not (set(regs.CALLER_SAVED_INT) & set(regs.CALLEE_SAVED_INT))
+
+    def test_name_table_complete(self):
+        assert len(regs.INT_REG_NAMES) == 32
+        assert len(set(regs.INT_REG_NAMES)) == 32

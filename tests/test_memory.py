@@ -1,0 +1,151 @@
+"""Main memory and cache model tests, including a differential LRU check."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MemoryError_
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.main_memory import MainMemory
+
+
+class TestMainMemory:
+    def test_default_zero(self):
+        assert MainMemory().read(0x1000) == 0
+
+    def test_write_read(self):
+        mem = MainMemory()
+        mem.write(0x1000, 42)
+        mem.write(0x1004, -1.5)
+        assert mem.read(0x1000) == 42
+        assert mem.read(0x1004) == -1.5
+
+    def test_int_wraps_to_s32(self):
+        mem = MainMemory()
+        mem.write(0x0, (1 << 31))
+        assert mem.read(0x0) == -(1 << 31)
+
+    def test_misaligned_raises(self):
+        mem = MainMemory()
+        with pytest.raises(MemoryError_):
+            mem.read(0x1001)
+        with pytest.raises(MemoryError_):
+            mem.write(0x1002, 1)
+
+    def test_rejects_non_numeric(self):
+        mem = MainMemory()
+        with pytest.raises(MemoryError_):
+            mem.write(0x1000, "hello")
+        with pytest.raises(MemoryError_):
+            mem.write(0x1000, True)
+
+    def test_image_load(self):
+        mem = MainMemory({0x100: 7, 0x104: 2.5})
+        assert mem.read(0x100) == 7
+        assert mem.read(0x104) == 2.5
+
+
+class TestCacheConfig:
+    def test_table1_geometry(self):
+        config = CacheConfig()
+        assert config.size_bytes == 64 * 1024
+        assert config.assoc == 4
+        assert config.block_bytes == 64
+        assert config.num_sets == 256
+        assert config.hit_cycles == 1
+
+    def test_set_index_and_tag(self):
+        config = CacheConfig(size_bytes=1024, assoc=2, block_bytes=64)
+        assert config.num_sets == 8
+        assert config.set_index(0x0) == 0
+        assert config.set_index(64) == 1
+        assert config.set_index(64 * 8) == 0
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, assoc=3, block_bytes=64)
+        with pytest.raises(ValueError):
+            CacheConfig(block_bytes=48)
+
+
+class TestCacheBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = Cache()
+        assert not cache.access(0x1000)
+        assert cache.access(0x1000)
+        assert cache.access(0x103C)  # same 64B block
+
+    def test_lru_eviction(self):
+        config = CacheConfig(size_bytes=512, assoc=2, block_bytes=64)
+        cache = Cache(config)
+        sets = config.num_sets
+        a, b, c = 0, 64 * sets, 2 * 64 * sets  # all map to set 0
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # a is MRU
+        cache.access(c)  # evicts b
+        assert cache.probe(a)
+        assert not cache.probe(b)
+        assert cache.probe(c)
+
+    def test_flush(self):
+        cache = Cache()
+        cache.access(0x1000)
+        cache.flush()
+        assert not cache.probe(0x1000)
+        assert not cache.access(0x1000)
+
+    def test_stats(self):
+        cache = Cache()
+        cache.access(0x0)
+        cache.access(0x0)
+        cache.access(0x40)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
+        assert cache.stats.miss_rate == pytest.approx(2 / 3)
+
+
+class _ReferenceLRU:
+    """Brute-force fully-explicit LRU model for differential testing."""
+
+    def __init__(self, config):
+        self.config = config
+        self.sets = {}
+
+    def access(self, addr):
+        block = self.config.block_of(addr)
+        index = self.config.set_index(addr)
+        entries = self.sets.setdefault(index, [])
+        hit = block in entries
+        if hit:
+            entries.remove(block)
+        entries.insert(0, block)
+        del entries[self.config.assoc:]
+        return hit
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=4095), min_size=1, max_size=300),
+    st.sampled_from([(512, 1, 64), (512, 2, 64), (1024, 4, 64), (2048, 4, 32)]),
+)
+def test_cache_matches_reference_lru(addresses, geometry):
+    size, assoc, block = geometry
+    config = CacheConfig(size_bytes=size, assoc=assoc, block_bytes=block)
+    cache = Cache(config)
+    reference = _ReferenceLRU(config)
+    for raw in addresses:
+        addr = raw * 4
+        assert cache.access(addr) == reference.access(addr)
+
+
+def test_resident_blocks_tracks_contents():
+    cache = Cache(CacheConfig(size_bytes=512, assoc=2, block_bytes=64))
+    rng = random.Random(0)
+    touched = set()
+    for _ in range(100):
+        addr = rng.randrange(0, 1 << 14) & ~3
+        cache.access(addr)
+        touched.add(cache.config.block_of(addr))
+    assert cache.resident_blocks() <= touched

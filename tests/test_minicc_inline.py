@@ -1,0 +1,157 @@
+"""Function-inlining pass tests."""
+
+import pytest
+
+from repro.memory.machine import Machine
+from repro.minicc import compile_source, compile_to_asm
+from repro.minicc.inline import inline_module
+from repro.minicc.parser import parse
+from repro.pipelines.inorder import InOrderCore
+
+
+def run_console(source, inline):
+    program = compile_source(source, inline=inline)
+    machine = Machine(program)
+    result = InOrderCore(machine).run()
+    assert result.reason == "halt"
+    return [v for _, v in machine.mmio.console], result.end_cycle
+
+
+SERIAL_HELPER = """
+int state;
+int step(int x) {
+  int d;
+  d = x - state;
+  if (d < 0) { d = -d; }
+  state = state + (d >> 1);
+  return state;
+}
+void main() {
+  int i; int acc;
+  state = 0;
+  acc = 0;
+  for (i = 0; i < 20; i = i + 1) {
+    acc = acc + step(i * 7);
+  }
+  __out(acc);
+}
+"""
+
+
+class TestSemanticsPreserved:
+    def test_outputs_identical(self):
+        with_inline, _ = run_console(SERIAL_HELPER, inline=True)
+        without, _ = run_console(SERIAL_HELPER, inline=False)
+        assert with_inline == without
+
+    def test_inlined_version_has_no_call(self):
+        asm = compile_to_asm(SERIAL_HELPER, inline=True)
+        assert "jal step" not in asm
+
+    def test_inlining_speeds_up_simple_core(self):
+        _, fast = run_console(SERIAL_HELPER, inline=True)
+        _, slow = run_console(SERIAL_HELPER, inline=False)
+        assert fast < slow
+
+    def test_void_helper_inlined(self):
+        source = """
+        int log[8]; int cursor;
+        void record(int v) { log[cursor] = v; cursor = cursor + 1; }
+        void main() {
+          cursor = 0;
+          record(3); record(5);
+          __out(log[0] + log[1]);
+        }
+        """
+        with_inline, _ = run_console(source, inline=True)
+        assert with_inline == [8]
+        assert "jal record" not in compile_to_asm(source, inline=True)
+
+    def test_nested_helpers_flatten(self):
+        source = """
+        int sq(int x) { return x * x; }
+        int sumsq(int a, int b) {
+          int r;
+          r = sq(a);
+          r = r + sq(b);
+          return r;
+        }
+        void main() { int y; y = sumsq(3, 4); __out(y); }
+        """
+        values, _ = run_console(source, inline=True)
+        assert values == [25]
+        asm = compile_to_asm(source, inline=True)
+        assert "jal" not in asm
+
+
+class TestEligibility:
+    def test_early_return_not_inlined(self):
+        source = """
+        int clamp(int x) {
+          if (x > 10) { return 10; }
+          return x;
+        }
+        void main() { int y; y = clamp(42); __out(y); }
+        """
+        asm = compile_to_asm(source, inline=True)
+        assert "jal clamp" in asm  # multiple returns: left alone
+        values, _ = run_console(source, inline=True)
+        assert values == [10]
+
+    def test_expression_call_hoisted_and_inlined(self):
+        source = """
+        int two() { return 2; }
+        void main() { __out(1 + two()); }
+        """
+        asm = compile_to_asm(source, inline=True)
+        assert "jal two" not in asm  # hoisted into a temp, then inlined
+        values, _ = run_console(source, inline=True)
+        assert values == [3]
+
+    def test_short_circuit_call_never_hoisted(self):
+        """Hoisting out of a && right-hand side would evaluate the call
+        unconditionally — semantics must win over optimization."""
+        source = """
+        int hits;
+        int bump() { hits = hits + 1; return 1; }
+        void main() {
+          hits = 0;
+          if (0 && bump()) { }
+          __out(hits);
+        }
+        """
+        for inline in (False, True):
+            values, _ = run_console(source, inline=inline)
+            assert values == [0]
+        assert "jal bump" in compile_to_asm(source, inline=True)
+
+    def test_call_argument_with_call_not_inlined(self):
+        source = """
+        int inc(int x) { return x + 1; }
+        void main() { int y; y = inc(inc(1)); __out(y); }
+        """
+        values, _ = run_console(source, inline=True)
+        assert values == [3]
+
+    def test_shadowing_avoided_by_renaming(self):
+        source = """
+        int twist(int i) { int t; t = i * 2; return t; }
+        void main() {
+          int i; int t; int acc;
+          acc = 0;
+          t = 100;
+          for (i = 0; i < 3; i = i + 1) {
+            int r;
+            r = twist(i);
+            acc = acc + r;
+          }
+          __out(acc + t);
+        }
+        """
+        values, _ = run_console(source, inline=True)
+        assert values == [0 + 2 + 4 + 100]
+
+    def test_idempotent_on_no_calls(self):
+        module = parse("void main() { __out(1); }")
+        rewritten = inline_module(module)
+        assert len(rewritten.functions) == 1

@@ -1,0 +1,95 @@
+"""Memory-mapped device tests: watchdog, cycle counter, registers."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.isa import layout
+from repro.memory.mmio import MMIODevices
+
+
+class TestCycleCounter:
+    def test_free_running(self):
+        dev = MMIODevices()
+        assert dev.read(layout.CYCLE_COUNT, now=100) == 100
+
+    def test_reset_via_write(self):
+        dev = MMIODevices()
+        dev.write(layout.CYCLE_COUNT, 0, now=100)
+        assert dev.read(layout.CYCLE_COUNT, now=150) == 50
+
+    def test_reset_to_value(self):
+        dev = MMIODevices()
+        dev.write(layout.CYCLE_COUNT, 10, now=100)
+        assert dev.read(layout.CYCLE_COUNT, now=100) == 10
+
+
+class TestWatchdog:
+    def test_disabled_never_expires(self):
+        dev = MMIODevices()
+        dev.write(layout.WATCHDOG_COUNT, 5, now=0)
+        assert not dev.watchdog_expired(1_000_000)
+
+    def test_set_enable_expire(self):
+        dev = MMIODevices()
+        dev.write(layout.WATCHDOG_COUNT, 100, now=0)
+        dev.write(layout.WATCHDOG_CTRL, 1, now=0)
+        assert not dev.watchdog_expired(99)
+        assert dev.watchdog_expired(100)
+
+    def test_add_advances_deadline(self):
+        dev = MMIODevices()
+        dev.write(layout.WATCHDOG_COUNT, 100, now=0)
+        dev.write(layout.WATCHDOG_CTRL, 1, now=0)
+        dev.write(layout.WATCHDOG_ADD, 50, now=40)
+        assert not dev.watchdog_expired(149)
+        assert dev.watchdog_expired(150)
+
+    def test_counter_reads_decrement(self):
+        dev = MMIODevices()
+        dev.write(layout.WATCHDOG_COUNT, 100, now=0)
+        dev.write(layout.WATCHDOG_CTRL, 1, now=0)
+        assert dev.read(layout.WATCHDOG_COUNT, now=30) == 70
+        assert dev.read(layout.WATCHDOG_COUNT, now=200) == 0  # clamped
+
+    def test_disable_preserves_remaining(self):
+        dev = MMIODevices()
+        dev.write(layout.WATCHDOG_COUNT, 100, now=0)
+        dev.write(layout.WATCHDOG_CTRL, 1, now=0)
+        dev.write(layout.WATCHDOG_CTRL, 0, now=60)
+        assert dev.read(layout.WATCHDOG_COUNT, now=999) == 40
+        dev.write(layout.WATCHDOG_CTRL, 1, now=1000)
+        assert dev.watchdog_expired(1040)
+        assert not dev.watchdog_expired(1039)
+
+    def test_ctrl_readback(self):
+        dev = MMIODevices()
+        assert dev.read(layout.WATCHDOG_CTRL, now=0) == 0
+        dev.write(layout.WATCHDOG_CTRL, 1, now=0)
+        assert dev.read(layout.WATCHDOG_CTRL, now=0) == 1
+
+
+class TestOtherDevices:
+    def test_console_logs_writes(self):
+        dev = MMIODevices()
+        dev.write(layout.CONSOLE_OUT, 42, now=7)
+        dev.write(layout.CONSOLE_OUT, -1, now=9)
+        assert dev.console == [(7, 42), (9, -1)]
+
+    def test_frequency_registers(self):
+        dev = MMIODevices()
+        dev.write(layout.FREQ_CUR, 500_000_000, now=0)
+        dev.write(layout.FREQ_REC, 1_000_000_000, now=0)
+        assert dev.read(layout.FREQ_CUR, now=0) == 500_000_000
+        assert dev.read(layout.FREQ_REC, now=0) == 1_000_000_000
+
+    def test_unmapped_raises(self):
+        dev = MMIODevices()
+        with pytest.raises(MemoryError_):
+            dev.read(layout.MMIO_BASE + 0x100, now=0)
+        with pytest.raises(MemoryError_):
+            dev.write(layout.MMIO_BASE + 0x100, 1, now=0)
+
+    def test_non_integer_write_raises(self):
+        dev = MMIODevices()
+        with pytest.raises(MemoryError_):
+            dev.write(layout.CONSOLE_OUT, 1.5, now=0)

@@ -1,0 +1,113 @@
+"""OOO scheduling-structure unit tests."""
+
+from repro.pipelines.ooo.core import _WidthMap
+
+
+class TestWidthMap:
+    def test_allocates_within_width(self):
+        wm = _WidthMap(2)
+        assert wm.alloc(5) == 5
+        assert wm.alloc(5) == 5
+        assert wm.alloc(5) == 6  # third in cycle 5 spills to 6
+
+    def test_probe_does_not_allocate(self):
+        wm = _WidthMap(1)
+        assert wm.probe(3) == 3
+        assert wm.probe(3) == 3
+        wm.alloc(3)
+        assert wm.probe(3) == 4
+
+    def test_requests_monotone_per_cycle(self):
+        wm = _WidthMap(4)
+        cycles = [wm.alloc(0) for _ in range(10)]
+        assert cycles == [0, 0, 0, 0, 1, 1, 1, 1, 2, 2]
+
+    def test_later_request_unaffected_by_earlier_cycles(self):
+        wm = _WidthMap(1)
+        wm.alloc(0)
+        assert wm.alloc(100) == 100
+
+
+class TestRunawayGuards:
+    def test_complex_core_respects_instruction_limit(self):
+        from repro.isa.assembler import assemble
+        from repro.memory.machine import Machine
+        from repro.pipelines.ooo.core import ComplexCore
+
+        program = assemble("main:\nloop: j loop\n")
+        core = ComplexCore(Machine(program))
+        result = core.run(max_instructions=50)
+        assert result.reason == "limit"
+        assert core.state.instret == 50
+
+    def test_complex_core_halted_short_circuit(self):
+        from repro.isa.assembler import assemble
+        from repro.memory.machine import Machine
+        from repro.pipelines.ooo.core import ComplexCore
+
+        program = assemble("main: halt")
+        core = ComplexCore(Machine(program))
+        core.run()
+        again = core.run()
+        assert again.reason == "halt"
+        assert again.instructions == 0
+
+
+class TestWatchdogOnComplexCore:
+    def test_watchdog_interrupts_complex_mode(self):
+        from repro.isa.assembler import assemble
+        from repro.memory.machine import Machine
+        from repro.pipelines.ooo.core import ComplexCore
+
+        source = (
+            "main:\n.subtask 0\nli t0, 10000\n"
+            "loop:\nsubi t0, t0, 1\nbgtz t0, loop\n.taskend\nhalt"
+        )
+        program = assemble(source)
+        machine = Machine(program)
+        incr = program.address_of("__visa_incr")
+        machine.memory.write(incr, 200)  # expires mid-loop
+        machine.mmio.exceptions_masked = False
+        core = ComplexCore(machine)
+        result = core.run()
+        assert result.reason == "watchdog"
+        assert result.exception_cycle is not None
+        assert not core.state.halted
+        # Finish in simple mode with exceptions masked (the §2.2 recipe).
+        machine.mmio.exceptions_masked = True
+        finish = core.simple_mode_core().run()
+        assert finish.reason == "halt"
+        assert core.state.int_regs[8] == 0  # loop ran to completion
+
+
+class TestCachePortPressure:
+    def test_two_ports_limit_load_throughput(self):
+        from repro.isa.assembler import assemble
+        from repro.memory.machine import Machine
+        from repro.pipelines.ooo.core import ComplexCore, OOOParams
+
+        # 8 independent loads per iteration, all cache-resident after the
+        # first pass: issue is bound by the 2 cache ports, not the 4 FUs.
+        body = "\n".join(
+            f"lw s{i}, {4 * i}(t0)" for i in range(8)
+        )
+        source = (
+            ".data\nbuf: .space 64\n.text\n"
+            "main:\nla t0, buf\nli t2, 60\n"
+            f"loop:\n{body}\nsubi t2, t2, 1\nbgtz t2, loop\nhalt"
+        )
+        program = assemble(source)
+
+        def warm_cycles(ports):
+            core = ComplexCore(
+                Machine(program), params=OOOParams(cache_ports=ports)
+            )
+            core.run()
+            return core.state.now
+
+        two_ports = warm_cycles(2)
+        four_ports = warm_cycles(4)
+        one_port = warm_cycles(1)
+        assert one_port > two_ports >= four_ports
+        # 8 loads/iter over 1 port needs >= 8 cycles/iter of port time.
+        assert one_port >= 60 * 8

@@ -1,0 +1,100 @@
+"""Spec-fidelity tests: the constants the paper fixes, verified in code.
+
+These tests pin the reproduction to the paper's §3.1/§3.2/§5.2 parameters
+so a refactor cannot silently drift away from the system being reproduced.
+"""
+
+import pytest
+
+from repro.isa.opcodes import LATENCY, FuClass
+from repro.memory.cache import CacheConfig
+from repro.pipelines.inorder_engine import BRANCH_PENALTY
+from repro.pipelines.ooo.core import OOOParams
+from repro.pipelines.ooo.predictor import GsharePredictor, IndirectPredictor
+from repro.visa.dvs import DVSTable
+from repro.visa.spec import VISASpec
+
+
+class TestTable1:
+    """Table 1: VISA caches and latencies."""
+
+    def test_cache_geometry(self):
+        spec = VISASpec()
+        for cache in (spec.icache, spec.dcache):
+            assert cache.size_bytes == 64 * 1024
+            assert cache.assoc == 4
+            assert cache.block_bytes == 64
+            assert cache.hit_cycles == 1
+
+    def test_worst_case_memory_stall_100ns(self):
+        spec = VISASpec()
+        assert spec.mem_stall_ns == 100.0
+        assert spec.stall_cycles(1e9) == 100
+        assert spec.stall_cycles(100e6) == 10
+
+    def test_r10k_style_latencies(self):
+        assert LATENCY[FuClass.IALU] == 1
+        assert LATENCY[FuClass.IMUL] == 6
+        assert LATENCY[FuClass.IDIV] == 35
+        assert LATENCY[FuClass.FPADD] == 2
+        assert LATENCY[FuClass.FPMUL] == 2
+        assert LATENCY[FuClass.FPDIV] == 12
+        assert LATENCY[FuClass.FPSQRT] == 18
+
+
+class TestSection31:
+    """§3.1: the six-stage scalar VISA pipeline."""
+
+    def test_branch_penalty_is_four_cycles(self):
+        assert BRANCH_PENALTY == 4
+        assert VISASpec().branch_penalty == 4
+
+
+class TestSection32:
+    """§3.2: the complex processor's structures."""
+
+    def test_structure_sizes(self):
+        params = OOOParams()
+        assert params.rob_entries == 128
+        assert params.iq_entries == 64
+        assert params.lsq_entries == 64
+        assert params.num_fus == 4
+        assert params.cache_ports == 2
+        assert params.fetch_width == 4
+
+    def test_predictor_sizes(self):
+        assert GsharePredictor().size == 1 << 16
+        assert IndirectPredictor().size == 1 << 16
+
+
+class TestSection52:
+    """§5.2: the Xscale-derived DVS settings."""
+
+    def test_dvs_endpoints_and_step(self):
+        table = DVSTable.xscale()
+        assert len(table) == 37
+        assert table.lowest.freq_hz == 100e6
+        assert table.lowest.volts == pytest.approx(0.70)
+        assert table.settings[1].freq_hz - table.settings[0].freq_hz == 25e6
+        assert table.settings[1].volts - table.settings[0].volts == (
+            pytest.approx(0.03)
+        )
+
+
+class TestCustomSpecsPropagate:
+    def test_custom_cache_reaches_machine_and_analyzer(self):
+        from repro.isa.assembler import assemble
+
+        custom = VISASpec(
+            icache=CacheConfig(size_bytes=8192, assoc=2, block_bytes=32),
+            dcache=CacheConfig(size_bytes=8192, assoc=2, block_bytes=32),
+        )
+        program = assemble("main:\nnop\nhalt")
+        machine = custom.machine(program)
+        assert machine.icache.config.size_bytes == 8192
+        analyzer = custom.analyzer(program)
+        assert analyzer.cache_config.block_bytes == 32
+
+    def test_custom_stall_time(self):
+        fast_memory = VISASpec(mem_stall_ns=40.0)
+        assert fast_memory.stall_cycles(1e9) == 40

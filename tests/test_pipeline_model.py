@@ -1,0 +1,104 @@
+"""Static pipeline-model unit tests: merge semantics, edge penalties."""
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.pipelines.inorder_engine import TimingState
+from repro.wcet.pipeline_model import PathState, edge_penalty, merge, step
+
+
+class TestPathState:
+    def test_fresh_state(self):
+        state = PathState.fresh()
+        assert state.cache_block is None
+        assert state.frontier == 0
+
+    def test_shift_charges_cycles(self):
+        state = PathState.fresh()
+        shifted = state.shift(50)
+        assert shifted.frontier == state.frontier + 50
+
+    def test_shift_zero_is_identity_object(self):
+        state = PathState.fresh()
+        assert state.shift(0) is state
+
+    def test_clone_is_independent(self):
+        state = PathState.fresh()
+        clone = state.clone()
+        step(clone, Instruction(Op.ADD, rd=1, rs=2, rt=3, addr=0x400000),
+             set(), 6, 100)
+        assert state.frontier == 0
+        assert clone.frontier > 0
+
+
+class TestMergeCacheBlock:
+    def test_equal_blocks_survive(self):
+        a, b = PathState.fresh(), PathState.fresh()
+        a.cache_block = b.cache_block = 0x1000
+        assert merge(a, b).cache_block == 0x1000
+
+    def test_different_blocks_become_unknown(self):
+        a, b = PathState.fresh(), PathState.fresh()
+        a.cache_block, b.cache_block = 0x1000, 0x2000
+        assert merge(a, b).cache_block is None
+
+    def test_merge_with_none_copies(self):
+        b = PathState.fresh()
+        b.timing = TimingState().shift(7)
+        merged = merge(None, b)
+        assert merged.frontier == b.frontier
+        assert merged is not b  # defensive copy
+
+
+class TestStepCacheCharging:
+    def test_covered_block_is_free(self):
+        inst = Instruction(Op.ADD, rd=1, rs=2, rt=3, addr=0x400000)
+        covered = {0x400000 >> 6}
+        charged = PathState.fresh()
+        step(charged, inst, set(), 6, 100)
+        free = PathState.fresh()
+        step(free, inst, covered, 6, 100)
+        assert charged.frontier - free.frontier == 100
+
+    def test_same_block_charged_once(self):
+        state = PathState.fresh()
+        for i in range(4):  # all in one 64-byte block
+            inst = Instruction(Op.ADD, rd=1, rs=2, rt=3, addr=0x400000 + 4 * i)
+            step(state, inst, set(), 6, 100)
+        # One miss (100) + 4 instructions of pipeline time, not 4 misses.
+        assert state.frontier < 100 + 40
+
+    def test_block_transition_recharges(self):
+        state = PathState.fresh()
+        step(state, Instruction(Op.ADD, rd=1, rs=2, rt=3, addr=0x400000),
+             set(), 6, 100)
+        mid = state.frontier
+        step(state, Instruction(Op.ADD, rd=1, rs=2, rt=3, addr=0x400040),
+             set(), 6, 100)
+        assert state.frontier - mid >= 100
+
+
+class TestEdgePenalty:
+    def branch(self, imm):
+        return Instruction(Op.BEQ, rs=1, rt=2, imm=imm, addr=0x400100)
+
+    def test_backward_branch_btfn(self):
+        backward = self.branch(-4)
+        assert not edge_penalty(backward, "taken")  # predicted taken
+        assert edge_penalty(backward, "fall")
+
+    def test_forward_branch_btfn(self):
+        forward = self.branch(4)
+        assert edge_penalty(forward, "taken")
+        assert not edge_penalty(forward, "fall")
+
+    def test_direct_jump_free(self):
+        jump = Instruction(Op.J, target=0x100, addr=0x400000)
+        assert not edge_penalty(jump, "jump")
+
+    def test_indirect_always_stalls(self):
+        ret = Instruction(Op.JR, rs=31, addr=0x400000)
+        assert edge_penalty(ret, "return")
+
+    def test_halt_free(self):
+        halt = Instruction(Op.HALT, addr=0x400000)
+        assert not edge_penalty(halt, "return")

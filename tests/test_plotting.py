@@ -1,0 +1,70 @@
+"""Terminal chart renderer tests."""
+
+from repro.experiments.plotting import grouped_chart, hbar_chart
+
+
+class TestHBarChart:
+    def test_positive_bars(self):
+        text = hbar_chart([("aa", 50.0), ("b", 25.0)], width=20)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("█") == 20
+        assert lines[1].count("█") == 10
+        assert "50.0%" in lines[0]
+
+    def test_labels_right_aligned(self):
+        text = hbar_chart([("long-name", 1.0), ("x", 1.0)])
+        lines = text.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_negative_values_extend_left_of_axis(self):
+        text = hbar_chart([("pos", 40.0), ("neg", -20.0)], width=30)
+        pos_line, neg_line = text.splitlines()
+        # The negative bar starts before the positive bar's zero column.
+        assert neg_line.index("█") < pos_line.index("█")
+        assert "-20.0%" in neg_line
+
+    def test_zero_value_marker(self):
+        text = hbar_chart([("z", 0.0), ("p", 10.0)])
+        assert "▌" in text.splitlines()[0]
+
+    def test_title_and_unit(self):
+        text = hbar_chart([("a", 1.0)], title="T", unit="W")
+        assert text.startswith("T\n")
+        assert "1.0W" in text
+
+    def test_empty(self):
+        assert hbar_chart([]) == "(no data)"
+
+
+class TestGroupedChart:
+    def test_shared_scale_across_groups(self):
+        groups = {
+            "g1": [("x", 100.0)],
+            "g2": [("x", 50.0)],
+        }
+        text = grouped_chart(groups, width=40)
+        blocks = text.split("\n\n")
+        assert len(blocks) == 2
+        bar1 = blocks[0].splitlines()[1]
+        bar2 = blocks[1].splitlines()[1]
+        assert bar1.count("█") == 2 * bar2.count("█")
+
+
+class TestFigureCharts:
+    def test_figure_chart_functions(self):
+        from repro.experiments.figure2 import Figure2Row
+        from repro.experiments import figure2, figure3, figure4
+
+        rows2 = [Figure2Row("mm", "T", 0.7, 0.72, 200, 700, 0)]
+        assert "mm (T)" in figure2.chart(rows2)
+
+        rows3 = [figure3.Figure3Row("mm", 0.5, 0.52, 200, 700)]
+        assert "mm" in figure3.chart(rows3)
+
+        rows4 = [
+            figure4.Figure4Row("mm", 0.0, 0.7, 0.71, 0, 0),
+            figure4.Figure4Row("mm", 0.3, 0.2, 0.21, 6, 6),
+        ]
+        chart = figure4.chart(rows4)
+        assert "0% flushed" in chart and "30% flushed" in chart

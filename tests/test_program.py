@@ -1,0 +1,126 @@
+"""Program-image and machine tests."""
+
+import pytest
+
+from repro.errors import MemoryError_, ReproError
+from repro.isa import layout
+from repro.isa.assembler import assemble
+from repro.memory.machine import Machine, MemoryBus, mem_stall_cycles
+
+
+class TestProgram:
+    def test_instruction_access(self):
+        program = assemble("main:\nnop\nadd t0, t1, t2\nhalt")
+        assert len(program.instructions) == 3
+        inst = program.inst_at(program.text_base + 4)
+        assert inst.op.value == "add"
+        assert inst.addr == program.text_base + 4
+
+    def test_inst_at_out_of_range(self):
+        program = assemble("main: halt")
+        with pytest.raises(ReproError):
+            program.inst_at(program.text_base + 100)
+        with pytest.raises(ReproError):
+            program.inst_at(program.text_base + 1)  # misaligned
+
+    def test_contains(self):
+        program = assemble("main:\nnop\nhalt")
+        assert program.contains(program.text_base)
+        assert program.contains(program.text_end - 4)
+        assert not program.contains(program.text_end)
+
+    def test_address_of(self):
+        program = assemble(".data\nv: .word 3\n.text\nmain: halt")
+        assert program.address_of("v") == program.data_base
+        with pytest.raises(KeyError):
+            program.address_of("nonexistent")
+
+    def test_subtask_boundaries_validation(self):
+        program = assemble("main:\n.subtask 0\nnop\n.subtask 1\nnop\n.taskend\nhalt")
+        marks = program.subtask_boundaries()
+        assert len(marks) == 2
+        assert program.num_subtasks == 2
+
+    def test_no_subtasks(self):
+        program = assemble("main: halt")
+        assert program.num_subtasks == 0
+        assert program.subtask_boundaries() == []
+
+    def test_describe_includes_source(self):
+        program = assemble("main:\nadd t0, t1, t2\nhalt")
+        text = program.describe(program.text_base)
+        assert "add" in text
+
+
+class TestMachine:
+    def test_loads_code_and_data(self):
+        program = assemble(".data\nv: .word 9\n.text\nmain: halt")
+        machine = Machine(program)
+        assert machine.memory.read(program.data_base) == 9
+        from repro.isa.semantics import to_s32, to_u32
+
+        assert to_u32(machine.memory.read(program.text_base)) == program.words[0]
+
+    def test_data_access_rejects_text_segment(self):
+        program = assemble("main:\nnop\nhalt")
+        machine = Machine(program)
+        with pytest.raises(MemoryError_):
+            machine.data_read(program.text_base, now=0)
+        with pytest.raises(MemoryError_):
+            machine.data_write(program.text_base, 1, now=0)
+
+    def test_mmio_routing(self):
+        program = assemble("main: halt")
+        machine = Machine(program)
+        machine.data_write(layout.CONSOLE_OUT, 5, now=10)
+        assert machine.mmio.console == [(10, 5)]
+        value, cacheable = machine.data_read(layout.CYCLE_COUNT, now=42)
+        assert value == 42
+        assert not cacheable
+
+    def test_flush(self):
+        program = assemble("main: halt")
+        machine = Machine(program)
+        machine.icache.access(0x400000)
+        machine.dcache.access(0x10000000)
+        machine.flush_caches_and_predictor()
+        assert not machine.icache.probe(0x400000)
+        assert not machine.dcache.probe(0x10000000)
+
+
+class TestMemoryBus:
+    def test_single_request_pays_penalty(self):
+        bus = MemoryBus(100)
+        assert bus.request(50) == 150
+
+    def test_contention_serializes(self):
+        """Back-to-back misses exceed the per-request worst case — the
+        §3.2 behaviour that only simple mode's blocking access avoids."""
+        bus = MemoryBus(100)
+        first = bus.request(0)
+        second = bus.request(10)
+        assert first == 100
+        assert second == 200  # waited for the bus: 190 cycles of latency
+
+    def test_idle_bus_resets_naturally(self):
+        bus = MemoryBus(100)
+        bus.request(0)
+        late = bus.request(500)
+        assert late == 600
+
+    def test_reset(self):
+        bus = MemoryBus(100)
+        bus.request(0)
+        bus.reset()
+        assert bus.request(0) == 100
+
+
+class TestStallCycles:
+    @pytest.mark.parametrize("freq,cycles", [
+        (1e9, 100), (500e6, 50), (100e6, 10), (250e6, 25), (975e6, 98),
+    ])
+    def test_table1_conversion(self, freq, cycles):
+        assert mem_stall_cycles(freq) == cycles
+
+    def test_custom_latency(self):
+        assert mem_stall_cycles(1e9, stall_ns=50) == 50

@@ -1,0 +1,116 @@
+"""Schedulability analysis tests (repro.rt)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rt import (
+    PeriodicTask,
+    edf_schedulable,
+    hyperperiod,
+    rm_response_times,
+    rm_schedulable,
+    rm_utilization_bound,
+    slack_fraction,
+    utilization,
+)
+
+
+def T(name, wcet, period, deadline=None):
+    return PeriodicTask(name, wcet, period, deadline)
+
+
+class TestBasics:
+    def test_utilization(self):
+        tasks = [T("a", 1, 4), T("b", 1, 2)]
+        assert utilization(tasks) == pytest.approx(0.75)
+
+    def test_invalid_tasks_rejected(self):
+        with pytest.raises(ValueError):
+            T("x", 0, 1)
+        with pytest.raises(ValueError):
+            T("x", 2, 1)
+
+    def test_rm_bound_values(self):
+        assert rm_utilization_bound(1) == pytest.approx(1.0)
+        assert rm_utilization_bound(2) == pytest.approx(0.8284, abs=1e-4)
+        # The bound decreases toward ln 2.
+        assert rm_utilization_bound(100) == pytest.approx(
+            math.log(2), abs=0.01
+        )
+
+    def test_slack_fraction(self):
+        assert slack_fraction([T("a", 1, 4)]) == pytest.approx(0.75)
+        assert slack_fraction([T("a", 1, 1)]) == 0.0
+
+
+class TestResponseTimes:
+    def test_classic_example(self):
+        # Liu & Layland style: C=(1,1,2), T=(4,5,20).
+        tasks = [T("t1", 1, 4), T("t2", 1, 5), T("t3", 2, 20)]
+        responses = rm_response_times(tasks)
+        assert responses["t1"] == pytest.approx(1.0)
+        assert responses["t2"] == pytest.approx(2.0)
+        # t3: R = 2 + ceil(R/4) + ceil(R/5) converges at R = 4.
+        assert responses["t3"] == pytest.approx(4.0)
+        assert rm_schedulable(tasks)
+
+    def test_unschedulable_detected(self):
+        tasks = [T("t1", 2, 4), T("t2", 3, 5)]
+        responses = rm_response_times(tasks)
+        assert responses["t2"] == math.inf
+        assert not rm_schedulable(tasks)
+
+    def test_full_utilization_harmonic_is_rm_schedulable(self):
+        # Harmonic periods schedule up to U = 1 under RM.
+        tasks = [T("a", 1, 2), T("b", 2, 4)]
+        assert utilization(tasks) == 1.0
+        assert rm_schedulable(tasks)
+
+
+class TestEDF:
+    def test_exact_utilization_boundary(self):
+        assert edf_schedulable([T("a", 1, 2), T("b", 1, 2)])
+        assert not edf_schedulable([T("a", 1, 2), T("b", 1.1, 2)])
+
+    def test_constrained_deadline_density(self):
+        assert not edf_schedulable([T("a", 1, 10, deadline=1.5),
+                                    T("b", 1, 10, deadline=2.0)])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(
+        st.tuples(st.floats(0.01, 0.3), st.floats(1.0, 10.0)),
+        min_size=1, max_size=5,
+    ))
+    def test_rm_schedulable_implies_edf_schedulable(self, specs):
+        tasks = [
+            T(f"t{i}", u * p, p) for i, (u, p) in enumerate(specs)
+        ]
+        if rm_schedulable(tasks):
+            assert edf_schedulable(tasks)
+
+
+class TestHyperperiod:
+    def test_integer_periods(self):
+        tasks = [T("a", 0.1, 4.0), T("b", 0.1, 6.0)]
+        assert hyperperiod(tasks) == pytest.approx(12.0)
+
+    def test_single_task(self):
+        assert hyperperiod([T("a", 1, 7)]) == pytest.approx(7.0)
+
+
+class TestWithVISAWCET:
+    def test_visa_slack_beats_wcet_slack(self):
+        """§1.1's concurrency argument: budgeting tasks by the complex
+        pipeline's observed times (guarded by checkpoints) leaves far more
+        slack than budgeting by simple-pipeline WCETs."""
+        from repro.experiments.common import setup
+
+        prep = setup("cnt", "tiny")
+        wcet = prep.wcet_1ghz_seconds
+        period = 4 * wcet
+        by_wcet = [T("cnt", wcet, period)]
+        # Complex pipeline typical time ~ wcet / 3 on this suite.
+        by_visa = [T("cnt", wcet / 3, period)]
+        assert slack_fraction(by_visa) > slack_fraction(by_wcet)

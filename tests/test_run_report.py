@@ -1,0 +1,48 @@
+"""Run-report tool tests."""
+
+import pytest
+
+from repro.power.model import PowerModel
+from repro.tools.report import render, summarize
+from repro.visa.runtime import RuntimeConfig, VISARuntime
+from repro.visa.spec import VISASpec
+from repro.wcet.dcache_pad import calibrate_dcache_bounds
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def runs():
+    workload = get_workload("cnt", "tiny")
+    bounds = calibrate_dcache_bounds(workload, seeds=2)
+    analyzer = VISASpec().analyzer(workload.program)
+    analyzer.dcache_bounds = bounds
+    deadline = 1.2 * analyzer.analyze(1e9).total_seconds + 2e-6
+    runtime = VISARuntime(
+        workload,
+        RuntimeConfig(deadline=deadline, instances=14, ovhd=2e-6),
+        dcache_bounds=bounds,
+    )
+    return runtime.run(flush_instances={12})
+
+
+def test_summary_fields(runs):
+    summary = summarize(runs)
+    assert summary.instances == 14
+    assert summary.deadlines_met
+    assert summary.final_f_spec_mhz <= 1000
+    assert len(summary.frequency_trajectory_mhz) == 14
+    assert "complex" in summary.seconds_by_mode
+    assert summary.worst_completion_us >= summary.mean_completion_us
+
+
+def test_render_sections(runs):
+    text = render(runs, title="soak", power_model=PowerModel("complex"))
+    assert text.startswith("soak\n====")
+    assert "ALL MET" in text
+    assert "time by mode:" in text
+    assert "W average" in text
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        summarize([])

@@ -1,0 +1,184 @@
+"""VISA runtime integration tests — the paper's safety story, end to end.
+
+The non-negotiable invariant: under the VISA framework **no deadline is
+ever missed**, whatever happens to the speculative execution — including
+adversarially bad PETs and induced cache/predictor flushes (Figure 4's
+mechanism).  The runtime raises DeadlineMissError otherwise, so these
+tests simply drive it hard.
+"""
+
+import pytest
+
+from repro.visa.dvs import DVSTable
+from repro.visa.runtime import RuntimeConfig, SimpleFixedRuntime, VISARuntime
+from repro.visa.spec import VISASpec
+from repro.wcet.dcache_pad import calibrate_dcache_bounds
+from repro.workloads import get_workload
+
+OVHD = 2e-6
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    """Calibrated workload + deadline shared by the module's tests."""
+    workload = get_workload("srt", "tiny")
+    bounds = calibrate_dcache_bounds(workload)
+    analyzer = VISASpec().analyzer(workload.program)
+    analyzer.dcache_bounds = bounds
+    wcet = analyzer.analyze(1e9).total_seconds
+    deadline = 1.15 * wcet + OVHD
+    return workload, bounds, deadline
+
+
+def make_config(deadline, instances=24, **kwargs):
+    return RuntimeConfig(deadline=deadline, instances=instances, ovhd=OVHD,
+                         **kwargs)
+
+
+class TestVISARuntime:
+    def test_all_deadlines_met_and_outputs_correct(self, prepared):
+        workload, bounds, deadline = prepared
+        runtime = VISARuntime(workload, make_config(deadline),
+                              dcache_bounds=bounds)
+        runs = runtime.run()
+        assert len(runs) == 24
+        assert all(r.deadline_met for r in runs)
+
+    def test_frequency_descends_from_warmup(self, prepared):
+        workload, bounds, deadline = prepared
+        runtime = VISARuntime(workload, make_config(deadline),
+                              dcache_bounds=bounds)
+        runs = runtime.run()
+        assert runs[0].f_spec.freq_hz == 1e9  # warm-up at the top setting
+        assert runs[-1].f_spec.freq_hz < 500e6  # settled far below
+
+    def test_flush_forces_recovery_but_deadline_holds(self, prepared):
+        workload, bounds, deadline = prepared
+        # Zero PET headroom: any flush-induced slowdown beyond the last-10
+        # window fires the watchdog (headroom exists only to save power,
+        # never for safety, so removing it is a legal configuration).
+        config = make_config(deadline, instances=20, pet_margin=0.0,
+                             pet_slack_cycles=0)
+        runtime = VISARuntime(workload, config, dcache_bounds=bounds)
+        runs = runtime.run()
+        assert all(r.deadline_met for r in runs)
+        # Flush (post-convergence) until a checkpoint fires; PET headroom
+        # may absorb the first attempts but shrinks as histories tighten.
+        fired = None
+        for index in range(20, 32):
+            run = runtime.run_instance(index, flush=True)
+            assert run.deadline_met
+            if run.mispredicted:
+                fired = run
+                break
+        assert fired is not None, "no flush fired within 12 attempts"
+        kinds = [p.kind for p in fired.phases]
+        assert "recovery" in kinds
+        recovery = next(p for p in fired.phases if p.kind == "recovery")
+        assert recovery.mode == "simple_mode"
+        assert recovery.freq_hz == fired.f_rec.freq_hz
+
+    def test_adversarial_pets_still_safe(self, prepared):
+        """EQ 1's guarantee must not depend on PET quality: feed the solver
+        absurdly low PETs so the watchdog fires, and check the deadline."""
+        workload, bounds, deadline = prepared
+        runtime = VISARuntime(workload, make_config(deadline, instances=4),
+                              dcache_bounds=bounds)
+        runtime.run()  # warm up at the safe configuration
+        runtime.pet.predict = lambda: [1] * runtime.num_subtasks
+        runtime.reevaluate()
+        run = runtime.run_instance(99)
+        assert run.mispredicted
+        assert run.deadline_met
+
+    def test_phase_accounting_consistent(self, prepared):
+        workload, bounds, deadline = prepared
+        config = make_config(deadline, instances=6)
+        runtime = VISARuntime(workload, config, dcache_bounds=bounds)
+        for run in runtime.run():
+            busy = sum(
+                p.seconds for p in run.phases if p.kind in ("spec", "recovery")
+            )
+            assert busy <= run.completion_seconds + 1e-12
+            idle = [p for p in run.phases if p.kind == "idle"]
+            total = run.completion_seconds + sum(p.seconds for p in idle)
+            assert total == pytest.approx(config.period, rel=1e-6)
+
+    def test_infeasible_deadline_rejected_upfront(self, prepared):
+        workload, bounds, _ = prepared
+        analyzer = VISASpec().analyzer(workload.program)
+        analyzer.dcache_bounds = bounds
+        wcet = analyzer.analyze(1e9).total_seconds
+        from repro.errors import InfeasibleError
+
+        with pytest.raises(InfeasibleError):
+            VISARuntime(
+                workload,
+                make_config(wcet * 0.5),  # deadline below WCET: hopeless
+                dcache_bounds=bounds,
+            )
+
+
+class TestSimpleFixedRuntime:
+    def test_deadlines_met(self, prepared):
+        workload, bounds, deadline = prepared
+        runtime = SimpleFixedRuntime(workload, make_config(deadline),
+                                     dcache_bounds=bounds)
+        runs = runtime.run()
+        assert all(r.deadline_met for r in runs)
+
+    def test_speculation_lowers_frequency(self, prepared):
+        workload, bounds, deadline = prepared
+        speculating = SimpleFixedRuntime(
+            workload, make_config(deadline), dcache_bounds=bounds
+        )
+        fixed = SimpleFixedRuntime(
+            workload, make_config(deadline), dcache_bounds=bounds,
+            allow_speculation=False,
+        )
+        spec_runs = speculating.run()
+        fixed_runs = fixed.run()
+        assert spec_runs[-1].f_spec.freq_hz < fixed_runs[-1].f_spec.freq_hz
+        assert all(r.deadline_met for r in spec_runs + fixed_runs)
+
+    def test_misprediction_switches_to_recovery(self, prepared):
+        workload, bounds, deadline = prepared
+        runtime = SimpleFixedRuntime(workload, make_config(deadline),
+                                     dcache_bounds=bounds)
+        runtime.run()
+        if not runtime.speculating:
+            pytest.skip("speculation not engaged for this configuration")
+        # Force tiny PETs -> guaranteed detection at the first boundary.
+        runtime.pet.predict = lambda: [1] * runtime.num_subtasks
+        runtime.reevaluate()
+        if not runtime.speculating:
+            pytest.skip("solver rejected adversarial PETs")
+        run = runtime.run_instance(99)
+        assert run.mispredicted
+        assert run.deadline_met
+        assert any(p.kind == "recovery" for p in run.phases)
+
+    def test_faster_dvs_table_for_figure3(self, prepared):
+        workload, bounds, deadline = prepared
+        table = DVSTable.xscale().scaled(1.5)
+        runtime = SimpleFixedRuntime(
+            workload, make_config(deadline, instances=8),
+            table=table, dcache_bounds=bounds,
+        )
+        runs = runtime.run()
+        assert all(r.deadline_met for r in runs)
+
+
+class TestCrossWorkloadSafety:
+    @pytest.mark.parametrize("name", ["cnt", "lms", "adpcm"])
+    def test_visa_runtime_all_benchmarks(self, name):
+        workload = get_workload(name, "tiny")
+        bounds = calibrate_dcache_bounds(workload, seeds=2)
+        analyzer = VISASpec().analyzer(workload.program)
+        analyzer.dcache_bounds = bounds
+        deadline = 1.2 * analyzer.analyze(1e9).total_seconds + OVHD
+        runtime = VISARuntime(
+            workload, make_config(deadline, instances=12), dcache_bounds=bounds
+        )
+        runs = runtime.run(flush_instances={11})
+        assert all(r.deadline_met for r in runs)

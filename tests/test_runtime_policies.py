@@ -1,0 +1,86 @@
+"""Runtime policy variations: PET policies, periods, degenerate configs."""
+
+import pytest
+
+from repro.errors import InfeasibleError
+from repro.visa.runtime import RuntimeConfig, VISARuntime
+from repro.visa.spec import VISASpec
+from repro.wcet.dcache_pad import calibrate_dcache_bounds
+from repro.workloads import get_workload
+
+OVHD = 2e-6
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    workload = get_workload("cnt", "tiny")
+    bounds = calibrate_dcache_bounds(workload, seeds=2)
+    analyzer = VISASpec().analyzer(workload.program)
+    analyzer.dcache_bounds = bounds
+    wcet = analyzer.analyze(1e9).total_seconds
+    return workload, bounds, 1.2 * wcet + OVHD
+
+
+class TestPETPolicyIntegration:
+    def test_histogram_policy_runs_safely(self, prepared):
+        workload, bounds, deadline = prepared
+        config = RuntimeConfig(
+            deadline=deadline, instances=24, ovhd=OVHD,
+            pet_policy="histogram", histogram_rate=0.10,
+        )
+        runtime = VISARuntime(workload, config, dcache_bounds=bounds)
+        runs = runtime.run()
+        assert all(r.deadline_met for r in runs)
+
+    def test_unknown_policy_rejected(self, prepared):
+        workload, bounds, deadline = prepared
+        config = RuntimeConfig(
+            deadline=deadline, instances=2, ovhd=OVHD, pet_policy="oracle"
+        )
+        with pytest.raises(ValueError):
+            VISARuntime(workload, config, dcache_bounds=bounds)
+
+
+class TestConfigValidation:
+    def test_period_defaults_to_deadline(self, prepared):
+        _, _, deadline = prepared
+        config = RuntimeConfig(deadline=deadline)
+        assert config.period == deadline
+
+    def test_period_shorter_than_deadline_rejected(self, prepared):
+        _, _, deadline = prepared
+        with pytest.raises(ValueError):
+            RuntimeConfig(deadline=deadline, period=deadline / 2)
+
+    def test_period_longer_than_deadline_extends_idle(self, prepared):
+        workload, bounds, deadline = prepared
+        config = RuntimeConfig(
+            deadline=deadline, period=2 * deadline, instances=4, ovhd=OVHD
+        )
+        runtime = VISARuntime(workload, config, dcache_bounds=bounds)
+        runs = runtime.run()
+        for run in runs:
+            idle = sum(p.seconds for p in run.phases if p.kind == "idle")
+            assert idle > deadline / 2  # most of the long period is idle
+
+
+class TestDegenerateDeadlines:
+    def test_bare_minimum_deadline_stays_at_top_frequency(self, prepared):
+        workload, bounds, _ = prepared
+        analyzer = VISASpec().analyzer(workload.program)
+        analyzer.dcache_bounds = bounds
+        wcet = analyzer.analyze(1e9).total_seconds
+        config = RuntimeConfig(
+            deadline=1.01 * wcet + OVHD, instances=14, ovhd=OVHD
+        )
+        runtime = VISARuntime(workload, config, dcache_bounds=bounds)
+        runs = runtime.run()
+        assert all(r.deadline_met for r in runs)
+        # With ~1% slack, EQ 4 cannot drop far below the top setting.
+        assert runs[-1].f_spec.freq_hz >= 700e6
+
+    def test_impossible_deadline_raises_upfront(self, prepared):
+        workload, bounds, _ = prepared
+        config = RuntimeConfig(deadline=1e-7, instances=1, ovhd=OVHD)
+        with pytest.raises(InfeasibleError):
+            VISARuntime(workload, config, dcache_bounds=bounds)

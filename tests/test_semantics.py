@@ -1,0 +1,160 @@
+"""Architectural semantics tests (integer wrap, FP, control, memory ops)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.isa.semantics import execute, to_s32, to_u32
+
+S32 = st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1)
+
+
+def run(op, rs_val=0, rt_val=0, fs_val=0.0, ft_val=0.0, **fields):
+    inst = Instruction(op, rd=1, rs=2, rt=3, addr=0x400000, **fields)
+    int_file = {2: rs_val, 3: rt_val}
+    fp_file = {2: fs_val, 3: ft_val}
+    return execute(inst, lambda n: int_file.get(n, 0), lambda n: fp_file.get(n, 0.0))
+
+
+class TestWrap:
+    @given(S32, S32)
+    def test_add_wraps_to_s32(self, a, b):
+        value = run(Op.ADD, a, b).value
+        assert -(1 << 31) <= value < (1 << 31)
+        assert value == to_s32(a + b)
+
+    def test_add_overflow(self):
+        assert run(Op.ADD, (1 << 31) - 1, 1).value == -(1 << 31)
+
+    def test_sub_underflow(self):
+        assert run(Op.SUB, -(1 << 31), 1).value == (1 << 31) - 1
+
+    @given(S32)
+    def test_to_s32_to_u32_inverse(self, x):
+        assert to_s32(to_u32(x)) == x
+
+
+class TestIntegerOps:
+    def test_division_truncates_toward_zero(self):
+        assert run(Op.DIV, 7, 2).value == 3
+        assert run(Op.DIV, -7, 2).value == -3
+        assert run(Op.DIV, 7, -2).value == -3
+
+    def test_remainder_sign_follows_dividend(self):
+        assert run(Op.REM, 7, 2).value == 1
+        assert run(Op.REM, -7, 2).value == -1
+
+    @given(S32, S32.filter(lambda b: b != 0))
+    def test_div_rem_identity(self, a, b):
+        q = run(Op.DIV, a, b).value
+        r = run(Op.REM, a, b).value
+        assert to_s32(q * b + r) == a
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(SimulationError):
+            run(Op.DIV, 1, 0)
+        with pytest.raises(SimulationError):
+            run(Op.REM, 1, 0)
+
+    def test_logic_ops(self):
+        assert run(Op.AND, 0b1100, 0b1010).value == 0b1000
+        assert run(Op.OR, 0b1100, 0b1010).value == 0b1110
+        assert run(Op.XOR, 0b1100, 0b1010).value == 0b0110
+        assert run(Op.NOR, 0, 0).value == -1
+
+    def test_slt_signed_vs_unsigned(self):
+        assert run(Op.SLT, -1, 0).value == 1
+        assert run(Op.SLTU, -1, 0).value == 0  # 0xFFFFFFFF > 0 unsigned
+
+    def test_shifts(self):
+        assert run(Op.SLL, rt_val=1, shamt=4).value == 16
+        assert run(Op.SRL, rt_val=-1, shamt=28).value == 0xF
+        assert run(Op.SRA, rt_val=-16, shamt=2).value == -4
+
+    def test_variable_shift_masks_to_5_bits(self):
+        assert run(Op.SLLV, rs_val=33, rt_val=1).value == 2
+
+    def test_immediates_logical_zero_extend(self):
+        result = run(Op.ORI, rs_val=0, imm=-1)  # encoded 0xFFFF
+        assert result.value == 0xFFFF
+
+    def test_addi_sign_extends(self):
+        assert run(Op.ADDI, rs_val=10, imm=-3).value == 7
+
+    def test_lui(self):
+        assert run(Op.LUI, imm=0x1234).value == 0x12340000
+        assert run(Op.LUI, imm=0xFFFF).value == to_s32(0xFFFF0000)
+
+
+class TestFloatOps:
+    def test_arith(self):
+        assert run(Op.FADD, fs_val=1.5, ft_val=2.25).value == 3.75
+        assert run(Op.FMUL, fs_val=3.0, ft_val=-2.0).value == -6.0
+        assert run(Op.FDIV, fs_val=1.0, ft_val=4.0).value == 0.25
+
+    def test_fdiv_by_zero_raises(self):
+        with pytest.raises(SimulationError):
+            run(Op.FDIV, fs_val=1.0, ft_val=0.0)
+
+    def test_fsqrt(self):
+        assert run(Op.FSQRT, fs_val=9.0).value == 3.0
+
+    def test_fsqrt_negative_raises(self):
+        with pytest.raises(SimulationError):
+            run(Op.FSQRT, fs_val=-1.0)
+
+    def test_compares_write_int(self):
+        assert run(Op.FLT_, fs_val=1.0, ft_val=2.0).value == 1
+        assert run(Op.FLE, fs_val=2.0, ft_val=2.0).value == 1
+        assert run(Op.FEQ, fs_val=2.0, ft_val=3.0).value == 0
+
+    def test_conversions(self):
+        assert run(Op.ITOF, rs_val=7).value == 7.0
+        assert run(Op.FTOI, fs_val=7.9).value == 7
+        assert run(Op.FTOI, fs_val=-7.9).value == -7
+
+
+class TestControl:
+    def test_branch_taken_and_target(self):
+        result = run(Op.BEQ, 5, 5, imm=3)
+        assert result.taken
+        assert result.target == 0x400000 + 4 + 12
+
+    def test_branch_not_taken(self):
+        result = run(Op.BNE, 5, 5, imm=3)
+        assert not result.taken
+        assert result.target is None
+
+    def test_relational_branches(self):
+        assert run(Op.BLT, 1, 2, imm=1).taken
+        assert run(Op.BGE, 2, 2, imm=1).taken
+        assert run(Op.BLEZ, 0, imm=1).taken
+        assert not run(Op.BGTZ, 0, imm=1).taken
+
+    def test_jal_links(self):
+        result = run(Op.JAL, target=0x100000 >> 2)
+        assert result.value == 0x400004
+        assert result.target == 0x100000
+
+    def test_jr_jumps_to_register(self):
+        assert run(Op.JR, rs_val=0x400100).target == 0x400100
+
+    def test_halt(self):
+        assert run(Op.HALT).halt
+
+
+class TestMemoryOps:
+    def test_load_effective_address(self):
+        result = run(Op.LW, rs_val=0x1000, imm=8)
+        assert result.eff_addr == 0x1008
+
+    def test_store_carries_value(self):
+        result = run(Op.SW, rs_val=0x1000, rt_val=42, imm=-4)
+        assert result.eff_addr == 0xFFC
+        assert result.store_value == 42
+
+    def test_fp_store_carries_float(self):
+        result = run(Op.FSW, rs_val=0x1000, ft_val=2.5)
+        assert result.store_value == 2.5

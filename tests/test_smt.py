@@ -1,0 +1,107 @@
+"""SMT extension tests: bandwidth partitioning, safety under contention."""
+
+import pytest
+
+from repro.pipelines.ooo.core import OOOParams
+from repro.visa.runtime import RuntimeConfig
+from repro.visa.smt import SMTConfig, SMTVISARuntime, partitioned_params
+from repro.visa.spec import VISASpec
+from repro.wcet.dcache_pad import calibrate_dcache_bounds
+from repro.workloads import get_workload
+
+OVHD = 2e-6
+
+
+class TestPartitioning:
+    def test_no_background_threads_is_identity(self):
+        base = OOOParams()
+        assert partitioned_params(base, SMTConfig(0)) == base
+
+    def test_equal_share_with_one_thread(self):
+        params = partitioned_params(OOOParams(), SMTConfig(1, alpha=1.0))
+        assert params.issue_width == 2
+        assert params.rob_entries == 64
+        assert params.cache_ports == 1
+
+    def test_floors_never_reach_zero(self):
+        params = partitioned_params(OOOParams(), SMTConfig(16))
+        assert params.issue_width >= 1
+        assert params.num_fus >= 1
+        assert params.rob_entries >= 4
+
+    def test_low_alpha_favours_rt_thread(self):
+        greedy = partitioned_params(OOOParams(), SMTConfig(2, alpha=1.0))
+        polite = partitioned_params(OOOParams(), SMTConfig(2, alpha=0.25))
+        assert polite.issue_width >= greedy.issue_width
+
+    def test_rt_share(self):
+        assert SMTConfig(0).rt_share == 1.0
+        assert SMTConfig(1).rt_share == pytest.approx(0.5)
+        assert SMTConfig(3, alpha=1.0).rt_share == pytest.approx(0.25)
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    workload = get_workload("cnt", "tiny")
+    bounds = calibrate_dcache_bounds(workload, seeds=2)
+    analyzer = VISASpec().analyzer(workload.program)
+    analyzer.dcache_bounds = bounds
+    deadline = 1.2 * analyzer.analyze(1e9).total_seconds + OVHD
+    return workload, bounds, deadline
+
+
+class TestSMTRuntime:
+    def test_deadlines_met_under_contention(self, prepared):
+        workload, bounds, deadline = prepared
+        config = RuntimeConfig(deadline=deadline, instances=24, ovhd=OVHD)
+        runtime = SMTVISARuntime(
+            workload, config, SMTConfig(background_threads=2),
+            dcache_bounds=bounds,
+        )
+        runs = runtime.run()
+        assert all(r.deadline_met for r in runs)
+
+    def test_background_throughput_reported(self, prepared):
+        workload, bounds, deadline = prepared
+        config = RuntimeConfig(deadline=deadline, instances=16, ovhd=OVHD)
+        runtime = SMTVISARuntime(
+            workload, config, SMTConfig(background_threads=1),
+            dcache_bounds=bounds,
+        )
+        report = runtime.report(runtime.run())
+        assert report.background_slot_cycles > 0
+        assert 0.0 < report.background_share <= 1.0
+
+    def test_more_threads_slow_the_rt_task(self, prepared):
+        workload, bounds, deadline = prepared
+
+        def rt_cycles(threads):
+            config = RuntimeConfig(deadline=deadline, instances=6, ovhd=OVHD)
+            runtime = SMTVISARuntime(
+                workload, config, SMTConfig(background_threads=threads),
+                dcache_bounds=bounds,
+            )
+            runs = runtime.run()
+            return sum(
+                p.cycles
+                for r in runs
+                for p in r.phases
+                if p.kind == "spec"
+            )
+
+        assert rt_cycles(3) > rt_cycles(0)
+
+    def test_recovery_idles_background_threads(self, prepared):
+        """A flushed task misses its checkpoint; the recovery phase runs
+        simple mode, which gives background threads zero slots."""
+        workload, bounds, deadline = prepared
+        config = RuntimeConfig(deadline=deadline, instances=26, ovhd=OVHD)
+        runtime = SMTVISARuntime(
+            workload, config, SMTConfig(background_threads=2),
+            dcache_bounds=bounds,
+        )
+        runs = runtime.run(flush_instances={23, 25})
+        assert all(r.deadline_met for r in runs)
+        report = runtime.report(runs)
+        if report.missed_checkpoints:
+            assert report.recovery_cycles > 0

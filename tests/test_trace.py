@@ -1,0 +1,56 @@
+"""Pipeline trace tool tests."""
+
+from repro.isa.assembler import assemble
+from repro.memory.machine import Machine
+from repro.pipelines.inorder import InOrderCore
+from repro.tools.trace import trace_inorder
+
+
+def test_trace_matches_core_timing():
+    """The shadow trace must agree with the core's own cycle count."""
+    source = (
+        ".data\nv: .word 3\n.text\n"
+        "main:\nla t0, v\nlw t1, 0(t0)\nadd t2, t1, t1\nmul t3, t2, t2\nhalt"
+    )
+    program = assemble(source)
+    trace = trace_inorder(program)
+    reference = InOrderCore(Machine(program)).run()
+    assert trace.rows[-1].timing.writeback == reference.end_cycle
+
+
+def test_trace_shows_load_use_stall():
+    source = (
+        ".data\nv: .word 3\n.text\n"
+        "main:\nla t0, v\nlw t1, 0(t0)\nadd t2, t1, t1\nhalt"
+    )
+    trace = trace_inorder(assemble(source))
+    load_row = trace.rows[2]
+    use_row = trace.rows[3]
+    assert load_row.text.startswith("lw")
+    assert use_row.timing.ex_start >= load_row.timing.mem_end + 1
+
+
+def test_render_is_rectangularish():
+    program = assemble("main:\nnop\nnop\nhalt")
+    text = trace_inorder(program).render()
+    lines = text.splitlines()
+    assert len(lines) == 4  # header + 3 instructions
+    assert "F" in lines[1] and "W" in lines[1]
+
+
+def test_trace_respects_instruction_limit():
+    program = assemble("main:\nloop: j loop\n")
+    trace = trace_inorder(program, max_instructions=5)
+    assert len(trace.rows) == 5
+
+
+def test_trace_stops_at_halt():
+    program = assemble("main:\nnop\nhalt")
+    trace = trace_inorder(program, max_instructions=100)
+    assert len(trace.rows) == 2
+
+
+def test_empty_render():
+    program = assemble("main: halt")
+    trace = trace_inorder(program, max_instructions=0)
+    assert trace.render() == "(empty trace)"

@@ -1,0 +1,79 @@
+"""Workload base-class behaviour: IO plumbing and mismatch detection."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.memory.machine import Machine
+from repro.pipelines.inorder import InOrderCore
+from repro.workloads.base import InputSpec, Workload
+
+SOURCE = """
+int xs[4];
+int total[1];
+void main() {
+  int i; int acc;
+  acc = 0;
+  for (i = 0; i < 4; i = i + 1) { acc = acc + xs[i]; }
+  total[0] = acc;
+}
+"""
+
+
+def make_workload(reference=None):
+    return Workload(
+        name="sumdemo",
+        scale="test",
+        source=SOURCE,
+        subtasks=0,
+        inputs=[InputSpec("xs", lambda rng: [rng.randint(0, 9) for _ in range(4)])],
+        outputs={"total": 1},
+        reference=reference or (lambda inputs: {"total": [sum(inputs["xs"])]}),
+    )
+
+
+class TestPlumbing:
+    def test_apply_and_read(self):
+        workload = make_workload()
+        machine = Machine(workload.program)
+        workload.apply_inputs(machine, {"xs": [1, 2, 3, 4]})
+        InOrderCore(machine).run()
+        assert workload.read_outputs(machine) == {"total": [10]}
+        workload.check_outputs(machine, {"xs": [1, 2, 3, 4]})
+
+    def test_subtask_count_validated(self):
+        bad = make_workload()
+        bad.subtasks = 3  # source marks none
+        with pytest.raises(ReproError):
+            bad.program  # noqa: B018 - property with side effect
+
+    def test_check_outputs_detects_mismatch(self):
+        wrong_reference = lambda inputs: {"total": [sum(inputs["xs"]) + 1]}
+        workload = make_workload(reference=wrong_reference)
+        machine = Machine(workload.program)
+        workload.apply_inputs(machine, {"xs": [1, 1, 1, 1]})
+        InOrderCore(machine).run()
+        with pytest.raises(ReproError) as excinfo:
+            workload.check_outputs(machine, {"xs": [1, 1, 1, 1]})
+        assert "total[0]" in str(excinfo.value)
+
+    def test_check_outputs_length_mismatch(self):
+        workload = make_workload(reference=lambda inputs: {"total": [1, 2]})
+        machine = Machine(workload.program)
+        workload.apply_inputs(machine, {"xs": [0, 0, 0, 1]})
+        InOrderCore(machine).run()
+        with pytest.raises(ReproError):
+            workload.check_outputs(machine, {"xs": [0, 0, 0, 1]})
+
+    def test_float_tolerance(self):
+        workload = make_workload(
+            reference=lambda inputs: {"total": [float(sum(inputs["xs"]))]}
+        )
+        machine = Machine(workload.program)
+        workload.apply_inputs(machine, {"xs": [2, 2, 2, 2]})
+        InOrderCore(machine).run()
+        # int 8 vs float 8.0 compares within tolerance
+        workload.check_outputs(machine, {"xs": [2, 2, 2, 2]})
+
+    def test_program_compiled_once(self):
+        workload = make_workload()
+        assert workload.program is workload.program

@@ -1,0 +1,141 @@
+"""Workload suite tests: functional correctness on both cores, structure."""
+
+import pytest
+
+from repro.memory.machine import Machine
+from repro.pipelines.inorder import InOrderCore
+from repro.pipelines.ooo.core import ComplexCore
+from repro.workloads import WORKLOAD_NAMES, all_workloads, get_workload
+from repro.workloads.base import chunk_ranges
+
+TABLE3_SUBTASKS = {"adpcm": 8, "cnt": 5, "fft": 10, "lms": 10, "mm": 10, "srt": 10}
+
+
+class TestRegistry:
+    def test_all_six_present(self):
+        assert set(WORKLOAD_NAMES) == set(TABLE3_SUBTASKS)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("quake")
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("mm", "huge")
+
+    def test_workloads_cached(self):
+        assert get_workload("mm", "tiny") is get_workload("mm", "tiny")
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_subtask_counts_match_table3(self, name):
+        workload = get_workload(name, "tiny")
+        assert workload.subtasks == TABLE3_SUBTASKS[name]
+        assert workload.program.num_subtasks == TABLE3_SUBTASKS[name]
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_paper_scale_compiles(self, name):
+        # Compilation only; paper-sized runs are for patient users.
+        workload = get_workload(name, "paper")
+        assert workload.program.num_subtasks == TABLE3_SUBTASKS[name]
+
+
+class TestChunkRanges:
+    def test_even_split(self):
+        assert chunk_ranges(10, 5) == [(0, 2), (2, 4), (4, 6), (6, 8), (8, 10)]
+
+    def test_remainder_goes_first(self):
+        assert chunk_ranges(7, 3) == [(0, 3), (3, 5), (5, 7)]
+
+    def test_covers_everything(self):
+        for total in range(1, 40):
+            for parts in range(1, total + 1):
+                ranges = chunk_ranges(total, parts)
+                assert ranges[0][0] == 0
+                assert ranges[-1][1] == total
+                for (_, a_end), (b_start, _) in zip(ranges, ranges[1:]):
+                    assert a_end == b_start
+
+    def test_too_many_parts_rejected(self):
+        with pytest.raises(ValueError):
+            chunk_ranges(3, 5)
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_simple_core_matches_reference(self, name):
+        workload = get_workload(name, "tiny")
+        machine = Machine(workload.program)
+        inputs = workload.generate_inputs(3)
+        workload.apply_inputs(machine, inputs)
+        result = InOrderCore(machine).run()
+        assert result.reason == "halt"
+        workload.check_outputs(machine, inputs)
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_complex_core_matches_reference(self, name):
+        workload = get_workload(name, "tiny")
+        machine = Machine(workload.program)
+        inputs = workload.generate_inputs(4)
+        workload.apply_inputs(machine, inputs)
+        result = ComplexCore(machine).run()
+        assert result.reason == "halt"
+        workload.check_outputs(machine, inputs)
+
+    def test_inputs_deterministic_per_seed(self):
+        workload = get_workload("srt", "tiny")
+        assert workload.generate_inputs(5) == workload.generate_inputs(5)
+        assert workload.generate_inputs(5) != workload.generate_inputs(6)
+
+    def test_multiple_instances_back_to_back(self):
+        workload = get_workload("cnt", "tiny")
+        program = workload.program
+        machine = Machine(program)
+        core = InOrderCore(machine)
+        for seed in range(3):
+            inputs = workload.generate_inputs(seed)
+            workload.apply_inputs(machine, inputs)
+            core.state.pc = program.entry
+            core.state.halted = False
+            core.drain()
+            assert core.run().reason == "halt"
+            workload.check_outputs(machine, inputs)
+
+
+class TestPerformanceShape:
+    def test_complex_faster_on_all_benchmarks(self):
+        """Steady-state complex/simple speedup > 1.8x everywhere (paper: 3-6x)."""
+        for workload in all_workloads("tiny"):
+            program = workload.program
+            cycles = {}
+            for label, factory in (
+                ("simple", lambda m: InOrderCore(m)),
+                ("complex", lambda m: ComplexCore(m)),
+            ):
+                machine = Machine(program)
+                core = factory(machine)
+                for seed in range(2):  # second run is warm
+                    inputs = workload.generate_inputs(seed)
+                    workload.apply_inputs(machine, inputs)
+                    core.state.pc = program.entry
+                    core.state.halted = False
+                    if hasattr(core, "drain"):
+                        core.drain()
+                    start = core.state.now
+                    core.run()
+                cycles[label] = core.state.now - start
+            ratio = cycles["simple"] / cycles["complex"]
+            assert ratio > 1.8, f"{workload.name}: speedup only {ratio:.2f}"
+
+    def test_srt_subtasks_shrink(self):
+        """The paper notes srt's sub-tasks get smaller as the array sorts."""
+        workload = get_workload("srt", "tiny")
+        from repro.wcet.dcache_pad import measure_dcache_misses  # noqa: F401
+        from repro.isa import layout
+
+        program = workload.program
+        machine = Machine(program)
+        workload.apply_inputs(machine, workload.generate_inputs(0))
+        InOrderCore(machine).run()
+        aet_base = program.address_of(layout.VISA_AET_SYMBOL)
+        aets = [machine.memory.read(aet_base + 4 * k) for k in range(10)]
+        assert aets[-1] < aets[0]
