@@ -1,0 +1,167 @@
+"""Interpreter throughput benchmark: simulated instructions/second.
+
+Measures the specialized fast loops (``run``) and the reference loops
+(``run_reference``) on both cores, plus one tiny figure2 experiment cell,
+and writes ``BENCH_speed.json`` at the repository root.  The JSON records
+the pre-specialization baseline throughput (measured on this host before
+the fast path landed) so the speedup the PR claims stays checkable.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_speed.py          # full run
+    PYTHONPATH=src python benchmarks/bench_speed.py --smoke  # CI-sized
+
+This is a plain script, not a pytest-benchmark module (the ``bench_*``
+pytest modules regenerate paper tables; this one times the simulator
+itself).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Throughput of the interpreter before this PR's fast path (same host
+#: class, ``cnt`` @ tiny, measured at the pre-PR commit).  The acceptance
+#: bar is >= 3x on the in-order core relative to this.
+BASELINE = {
+    "inorder": {"inst_per_s": 148_059, "cyc_per_s": 312_960},
+    "ooo": {"inst_per_s": 231_726, "cyc_per_s": 296_750},
+}
+
+
+def _measure_core(core_kind: str, method: str, min_seconds: float) -> dict:
+    """Simulated inst/s and cyc/s for repeated warm task instances."""
+    from repro.pipelines.inorder import InOrderCore
+    from repro.pipelines.ooo.core import ComplexCore
+    from repro.visa.spec import VISASpec
+    from repro.workloads import get_workload
+
+    workload = get_workload("cnt", "tiny")
+    program = workload.program
+    machine = VISASpec().machine(program)
+    core_cls = InOrderCore if core_kind == "inorder" else ComplexCore
+    core = core_cls(machine, freq_hz=1e9)
+    run = getattr(core, method)
+
+    instructions = cycles = 0
+    seed = 0
+    start = time.perf_counter()
+    while True:
+        inputs = workload.generate_inputs(seed)
+        workload.apply_inputs(machine, inputs)
+        core.state.pc = program.entry
+        core.state.halted = False
+        if hasattr(core, "drain"):
+            core.drain()
+        c0, i0 = core.state.now, core.state.instret
+        result = run()
+        assert result.reason == "halt"
+        cycles += result.end_cycle - c0
+        instructions += core.state.instret - i0
+        seed += 1
+        elapsed = time.perf_counter() - start
+        if elapsed >= min_seconds:
+            break
+    return {
+        "inst_per_s": round(instructions / elapsed),
+        "cyc_per_s": round(cycles / elapsed),
+        "instances": seed,
+        "wall_seconds": round(elapsed, 3),
+    }
+
+
+def _measure_figure2_cell(instances: int) -> dict:
+    """Wall-clock for one tiny figure2 cell through the experiment path."""
+    from repro.experiments.figure2 import _cell
+
+    start = time.perf_counter()
+    row = _cell(("cnt", "T", "tiny", instances))
+    elapsed = time.perf_counter() - start
+    return {
+        "bench": row.name,
+        "instances": instances,
+        "wall_seconds": round(elapsed, 3),
+        "savings": round(row.savings, 4),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="short CI-sized run (same measurements, lower precision)",
+    )
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_speed.json"),
+        help="output JSON path (default: BENCH_speed.json at repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    min_seconds = 0.5 if args.smoke else 4.0
+    cell_instances = 4 if args.smoke else 12
+
+    report = {
+        "host": {
+            "cpus": os.cpu_count(),
+            "python": sys.version.split()[0],
+        },
+        "smoke": args.smoke,
+        "baseline_pre_pr": BASELINE,
+        "measured": {},
+        "note": (
+            "Process-parallel fan-out (REPRO_JOBS) is bit-identical to the "
+            "serial path (tests/test_parallel.py); wall-clock speedup from "
+            "it requires a multi-core host, which this measurement host "
+            "(see host.cpus) may not provide."
+        ),
+    }
+    for core_kind in ("inorder", "ooo"):
+        fast = _measure_core(core_kind, "run", min_seconds)
+        ref = _measure_core(core_kind, "run_reference", min_seconds)
+        base = BASELINE[core_kind]["inst_per_s"]
+        report["measured"][core_kind] = {
+            "fast": fast,
+            "reference": ref,
+            "speedup_vs_reference": round(
+                fast["inst_per_s"] / ref["inst_per_s"], 2
+            ),
+            "speedup_vs_pre_pr_baseline": round(
+                fast["inst_per_s"] / base, 2
+            ),
+        }
+        print(
+            f"{core_kind:7s}  fast {fast['inst_per_s']:>9,} inst/s  "
+            f"reference {ref['inst_per_s']:>9,} inst/s  "
+            f"({report['measured'][core_kind]['speedup_vs_pre_pr_baseline']}x "
+            "vs pre-PR)"
+        )
+    report["measured"]["figure2_cell"] = _measure_figure2_cell(cell_instances)
+    print(
+        "figure2 cell (cnt/T, %d instances): %.2fs"
+        % (cell_instances, report["measured"]["figure2_cell"]["wall_seconds"])
+    )
+
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    speedup = report["measured"]["inorder"]["speedup_vs_pre_pr_baseline"]
+    if not args.smoke and speedup < 3.0:
+        print(
+            f"FAIL: in-order speedup {speedup}x < 3x acceptance bar",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    raise SystemExit(main())

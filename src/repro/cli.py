@@ -9,7 +9,9 @@ Commands:
   print console output and cycle statistics.
 * ``wcet FILE``      — per-sub-task WCETs (``--freq`` selectable).
 * ``pack FILE OUT``  — write a timed binary (program + parameterized WCET).
-* ``experiment NAME``— run table3 / figure2 / figure3 / figure4.
+* ``experiment NAME``— run table3 / figure2 / figure3 / figure4 /
+  ablations (``--jobs N`` fans independent cells across processes;
+  ``REPRO_JOBS`` is the environment equivalent).
 
 MiniC files use extension ``.c`` (anything other than ``.s``/``.asm``);
 assembly files use ``.s``/``.asm``.
@@ -141,13 +143,21 @@ def cmd_trace(args) -> int:
 
 def cmd_experiment(args) -> int:
     """``experiment``: run one of the paper's experiments."""
-    from repro.experiments import figure2, figure3, figure4, table3
+    import os
+
+    from repro.experiments import ablations, figure2, figure3, figure4, table3
+
+    if args.jobs is not None:
+        # Publish via the environment so parallel_map's default — and any
+        # worker processes it spawns — see the same setting.
+        os.environ["REPRO_JOBS"] = str(args.jobs)
 
     modules = {
         "table3": table3,
         "figure2": figure2,
         "figure3": figure3,
         "figure4": figure4,
+        "ablations": ablations,
     }
     modules[args.name].main()
     return 0
@@ -197,7 +207,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("experiment", help="run a paper experiment")
     p.add_argument(
-        "name", choices=["table3", "figure2", "figure3", "figure4"]
+        "name",
+        choices=["table3", "figure2", "figure3", "figure4", "ablations"],
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for experiment cells (default: REPRO_JOBS or 1)",
     )
     p.set_defaults(func=cmd_experiment)
 

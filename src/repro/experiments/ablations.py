@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.common import OVHD, format_table
+from repro.experiments.parallel import parallel_map
 from repro.power.model import PowerModel
 from repro.power.report import energy_of_runs
 from repro.visa.runtime import RuntimeConfig, VISARuntime
@@ -50,13 +51,24 @@ def _steady_state(runtime: VISARuntime, instances: int) -> AblationRow:
     )
 
 
+def _granularity_cell(args: tuple[str, int, int, float]) -> AblationRow:
+    scale, instances, count, deadline = args
+    workload = srt.make(scale, subtasks=count)
+    bounds = calibrate_dcache_bounds(workload)
+    config = RuntimeConfig(deadline=deadline, instances=instances, ovhd=OVHD)
+    runtime = VISARuntime(workload, config, dcache_bounds=bounds)
+    row = _steady_state(runtime, instances)
+    row.label = f"{count} sub-tasks"
+    return row
+
+
 def run_subtask_granularity(
     scale: str = "tiny",
     instances: int = 30,
     counts: tuple[int, ...] = (2, 5, 10),
+    jobs: int | None = None,
 ) -> list[AblationRow]:
     """srt with varying checkpoint granularity; one shared deadline."""
-    rows = []
     # Deadline from the canonical 10-sub-task version so variants compete
     # on equal terms.
     base = get_workload("srt", scale)
@@ -64,21 +76,28 @@ def run_subtask_granularity(
     analyzer = VISASpec().analyzer(base.program)
     analyzer.dcache_bounds = base_bounds
     deadline = 1.2 * analyzer.analyze(1e9).total_seconds + OVHD
-    for count in counts:
-        workload = srt.make(scale, subtasks=count)
-        bounds = calibrate_dcache_bounds(workload)
-        config = RuntimeConfig(deadline=deadline, instances=instances, ovhd=OVHD)
-        runtime = VISARuntime(workload, config, dcache_bounds=bounds)
-        row = _steady_state(runtime, instances)
-        row.label = f"{count} sub-tasks"
-        rows.append(row)
-    return rows
+    cells = [(scale, instances, count, deadline) for count in counts]
+    return parallel_map(_granularity_cell, cells, jobs)
+
+
+def _pet_cell(args: tuple[str, int, str, float, str, dict]) -> AblationRow:
+    scale, instances, benchmark, deadline, label, overrides = args
+    workload = get_workload(benchmark, scale)
+    bounds = calibrate_dcache_bounds(workload)
+    config = RuntimeConfig(
+        deadline=deadline, instances=instances, ovhd=OVHD, **overrides
+    )
+    runtime = VISARuntime(workload, config, dcache_bounds=bounds)
+    row = _steady_state(runtime, instances)
+    row.label = label
+    return row
 
 
 def run_pet_policies(
     scale: str = "tiny",
     instances: int = 30,
     benchmark: str = "lms",
+    jobs: int | None = None,
 ) -> list[AblationRow]:
     """last-N vs histogram PET selection (§4.3)."""
     workload = get_workload(benchmark, scale)
@@ -86,21 +105,28 @@ def run_pet_policies(
     analyzer = VISASpec().analyzer(workload.program)
     analyzer.dcache_bounds = bounds
     deadline = 1.2 * analyzer.analyze(1e9).total_seconds + OVHD
-    rows = []
     policies = [
         ("last-10", {"pet_policy": "lastn", "pet_window": 10}),
         ("histogram 0%", {"pet_policy": "histogram", "histogram_rate": 0.0}),
         ("histogram 10%", {"pet_policy": "histogram", "histogram_rate": 0.10}),
     ]
-    for label, overrides in policies:
-        config = RuntimeConfig(
-            deadline=deadline, instances=instances, ovhd=OVHD, **overrides
-        )
-        runtime = VISARuntime(workload, config, dcache_bounds=bounds)
-        row = _steady_state(runtime, instances)
-        row.label = label
-        rows.append(row)
-    return rows
+    cells = [
+        (scale, instances, benchmark, deadline, label, overrides)
+        for label, overrides in policies
+    ]
+    return parallel_map(_pet_cell, cells, jobs)
+
+
+def _overhead_cell(args: tuple[str, int, str, float, float]) -> AblationRow:
+    scale, instances, benchmark, wcet, ovhd = args
+    workload = get_workload(benchmark, scale)
+    bounds = calibrate_dcache_bounds(workload)
+    deadline = 1.2 * wcet + max(OVHD, ovhd)
+    config = RuntimeConfig(deadline=deadline, instances=instances, ovhd=ovhd)
+    runtime = VISARuntime(workload, config, dcache_bounds=bounds)
+    row = _steady_state(runtime, instances)
+    row.label = f"ovhd {ovhd * 1e6:.1f}us"
+    return row
 
 
 def run_switch_overhead(
@@ -108,6 +134,7 @@ def run_switch_overhead(
     instances: int = 30,
     benchmark: str = "cnt",
     overheads: tuple[float, ...] = (0.5e-6, 2e-6, 8e-6),
+    jobs: int | None = None,
 ) -> list[AblationRow]:
     """Sensitivity to the mode/frequency switch overhead (EQ 1's ovhd)."""
     workload = get_workload(benchmark, scale)
@@ -115,15 +142,10 @@ def run_switch_overhead(
     analyzer = VISASpec().analyzer(workload.program)
     analyzer.dcache_bounds = bounds
     wcet = analyzer.analyze(1e9).total_seconds
-    rows = []
-    for ovhd in overheads:
-        deadline = 1.2 * wcet + max(OVHD, ovhd)
-        config = RuntimeConfig(deadline=deadline, instances=instances, ovhd=ovhd)
-        runtime = VISARuntime(workload, config, dcache_bounds=bounds)
-        row = _steady_state(runtime, instances)
-        row.label = f"ovhd {ovhd * 1e6:.1f}us"
-        rows.append(row)
-    return rows
+    cells = [
+        (scale, instances, benchmark, wcet, ovhd) for ovhd in overheads
+    ]
+    return parallel_map(_overhead_cell, cells, jobs)
 
 
 @dataclass
@@ -135,53 +157,57 @@ class DCacheModelRow:
     static_safe_mhz: float
 
 
-def run_dcache_models(scale: str = "tiny") -> list[DCacheModelRow]:
+def _dcache_cell(args: tuple[str, str]) -> DCacheModelRow:
+    from repro.visa.dvs import DVSTable
+    from repro.visa.speculation import lowest_safe_frequency
+    from repro.wcet.dcache_static import static_dcache_bounds
+
+    name, scale = args
+    table = DVSTable.xscale()
+    workload = get_workload(name, scale)
+    results = {}
+    for label, bounds in (
+        ("trace", calibrate_dcache_bounds(workload)),
+        ("static", static_dcache_bounds(workload)),
+    ):
+        analyzer = VISASpec().analyzer(workload.program)
+        analyzer.dcache_bounds = bounds
+        wcet = analyzer.analyze(1e9).total_seconds
+        deadline = 1.4 * wcet  # a common deadline basis per benchmark
+        results[label] = (wcet, deadline)
+    deadline = max(d for _, d in results.values())
+    safe = {}
+    for label, bounds in (
+        ("trace", calibrate_dcache_bounds(workload)),
+        ("static", static_dcache_bounds(workload)),
+    ):
+        analyzer = VISASpec().analyzer(workload.program)
+        analyzer.dcache_bounds = bounds
+        safe[label] = lowest_safe_frequency(
+            analyzer.analyze, deadline, table
+        ).freq_hz
+    return DCacheModelRow(
+        bench=name,
+        trace_wcet_us=results["trace"][0] * 1e6,
+        static_wcet_us=results["static"][0] * 1e6,
+        trace_safe_mhz=safe["trace"] / 1e6,
+        static_safe_mhz=safe["static"] / 1e6,
+    )
+
+
+def run_dcache_models(
+    scale: str = "tiny", jobs: int | None = None
+) -> list[DCacheModelRow]:
     """Trace-derived padding vs fully-static D-cache bounds (§3.3).
 
     Quantifies what the paper's interim trace approach buys: tighter
     bounds, hence a lower non-speculative safe frequency — against the
     static module's input-independence.
     """
-    from repro.visa.dvs import DVSTable
-    from repro.visa.speculation import lowest_safe_frequency
-    from repro.wcet.dcache_static import static_dcache_bounds
     from repro.workloads import WORKLOAD_NAMES
 
-    table = DVSTable.xscale()
-    rows = []
-    for name in WORKLOAD_NAMES:
-        workload = get_workload(name, scale)
-        results = {}
-        for label, bounds in (
-            ("trace", calibrate_dcache_bounds(workload)),
-            ("static", static_dcache_bounds(workload)),
-        ):
-            analyzer = VISASpec().analyzer(workload.program)
-            analyzer.dcache_bounds = bounds
-            wcet = analyzer.analyze(1e9).total_seconds
-            deadline = 1.4 * wcet  # a common deadline basis per benchmark
-            results[label] = (wcet, deadline)
-        deadline = max(d for _, d in results.values())
-        safe = {}
-        for label, bounds in (
-            ("trace", calibrate_dcache_bounds(workload)),
-            ("static", static_dcache_bounds(workload)),
-        ):
-            analyzer = VISASpec().analyzer(workload.program)
-            analyzer.dcache_bounds = bounds
-            safe[label] = lowest_safe_frequency(
-                analyzer.analyze, deadline, table
-            ).freq_hz
-        rows.append(
-            DCacheModelRow(
-                bench=name,
-                trace_wcet_us=results["trace"][0] * 1e6,
-                static_wcet_us=results["static"][0] * 1e6,
-                trace_safe_mhz=safe["trace"] / 1e6,
-                static_safe_mhz=safe["static"] / 1e6,
-            )
-        )
-    return rows
+    cells = [(name, scale) for name in WORKLOAD_NAMES]
+    return parallel_map(_dcache_cell, cells, jobs)
 
 
 def render_dcache(rows: list[DCacheModelRow]) -> str:
@@ -280,3 +306,25 @@ def render(rows: list[AblationRow]) -> str:
         for r in rows
     ]
     return format_table(headers, body)
+
+
+def main() -> None:
+    """Command-line entry point: run and print every ablation study."""
+    print("== Sub-task granularity (srt) ==")
+    print(render(run_subtask_granularity()))
+    print()
+    print("== PET policy (lms) ==")
+    print(render(run_pet_policies()))
+    print()
+    print("== Switch overhead (cnt) ==")
+    print(render(run_switch_overhead()))
+    print()
+    print("== D-cache bound models ==")
+    print(render_dcache(run_dcache_models()))
+    print()
+    print("== Power-model sensitivity (lms) ==")
+    print(render_sensitivity(run_power_sensitivity()))
+
+
+if __name__ == "__main__":
+    main()

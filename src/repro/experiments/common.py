@@ -2,9 +2,13 @@
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
+import tempfile
 from dataclasses import dataclass
 from functools import lru_cache
+from pathlib import Path
 
 from repro.power.model import PowerModel
 from repro.power.report import energy_of_runs, power_savings
@@ -61,22 +65,103 @@ class Setup:
     deadline_loose: float
 
 
+def cache_dir() -> Path:
+    """Directory for the on-disk setup cache (REPRO_CACHE_DIR overrides)."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+
+
+def _cache_disabled() -> bool:
+    return os.environ.get("REPRO_NO_CACHE", "") not in ("", "0")
+
+
+def _program_digest(workload: Workload) -> str:
+    """Stable digest of everything the analysis results depend on."""
+    program = workload.program
+    payload = repr((
+        program.words,
+        sorted(program.data.items()),
+        sorted(program.loop_bounds.items()),
+        sorted(program.subtask_marks.items()),
+        # Deadline constants feed the cached values; changing them must
+        # invalidate the cache.
+        OVHD, TIGHT_FACTOR, LOOSE_BASIS_HZ,
+    ))
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def _cache_path(name: str, scale: str, digest: str) -> Path:
+    return cache_dir() / f"setup-{name}-{scale}-{digest}.json"
+
+
+def _cache_load(path: Path, workload: Workload) -> Setup | None:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    try:
+        return Setup(
+            workload=workload,
+            dcache_bounds=[int(b) for b in payload["dcache_bounds"]],
+            wcet_1ghz_seconds=float(payload["wcet_1ghz_seconds"]),
+            deadline_tight=float(payload["deadline_tight"]),
+            deadline_loose=float(payload["deadline_loose"]),
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def _cache_store(path: Path, prep: Setup) -> None:
+    payload = {
+        "dcache_bounds": prep.dcache_bounds,
+        "wcet_1ghz_seconds": prep.wcet_1ghz_seconds,
+        "deadline_tight": prep.deadline_tight,
+        "deadline_loose": prep.deadline_loose,
+    }
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic publish: concurrent workers may race on the same key.
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        with os.fdopen(fd, "w") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, path)
+    except OSError:
+        pass  # caching is best-effort; the computed Setup is still returned
+
+
 @lru_cache(maxsize=None)
 def setup(name: str, scale: str) -> Setup:
+    """Per-benchmark preparation, memoized in-process and on disk.
+
+    The expensive parts (D-cache calibration + two WCET analyses) are
+    cached under :func:`cache_dir` keyed by (benchmark, scale, program
+    digest), so parallel experiment workers and repeated benchmark
+    processes skip the static analyzer.  ``REPRO_NO_CACHE=1`` bypasses
+    the disk layer entirely; the in-process ``lru_cache`` (and with it
+    the ``setup(a, b) is setup(a, b)`` identity) always applies.
+    """
     workload = get_workload(name, scale)
+    use_disk = not _cache_disabled()
+    if use_disk:
+        path = _cache_path(name, scale, _program_digest(workload))
+        cached = _cache_load(path, workload)
+        if cached is not None:
+            return cached
     bounds = calibrate_dcache_bounds(workload)
     spec = VISASpec()
     analyzer = spec.analyzer(workload.program)
     analyzer.dcache_bounds = bounds
     wcet_1g = analyzer.analyze(1e9).total_seconds
     wcet_loose = analyzer.analyze(LOOSE_BASIS_HZ).total_seconds
-    return Setup(
+    prep = Setup(
         workload=workload,
         dcache_bounds=bounds,
         wcet_1ghz_seconds=wcet_1g,
         deadline_tight=TIGHT_FACTOR * wcet_1g + OVHD,
         deadline_loose=wcet_loose + OVHD,
     )
+    if use_disk:
+        _cache_store(path, prep)
+    return prep
 
 
 @dataclass
@@ -156,13 +241,27 @@ def flush_set(
     if start is None:
         start = min(20, instances // 2)
     window = instances - start
-    count = round(window * fraction)
-    if count == 0:
+    if window <= 0:
         return set()
+    count = min(window, round(window * fraction))
+    if count <= 0:
+        return set()
+    # Deduplicate by construction: indices are forced strictly increasing
+    # inside [start, instances), so exactly ``count`` instances are flushed.
+    # (The old ``min(instances - 1, ...)`` clamp could collapse two indices
+    # into one near the window edge, silently under-flushing.)
     step = window / count
-    return {
-        min(instances - 1, start + int(i * step)) for i in range(count)
-    }
+    chosen: set[int] = set()
+    next_free = start
+    for i in range(count):
+        idx = start + int(i * step)
+        if idx < next_free:
+            idx = next_free
+        if idx >= instances:
+            break
+        chosen.add(idx)
+        next_free = idx + 1
+    return chosen
 
 
 def format_table(headers: list[str], rows: list[list[str]]) -> str:

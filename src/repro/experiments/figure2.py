@@ -23,6 +23,7 @@ from repro.experiments.common import (
     run_pair,
     setup,
 )
+from repro.experiments.parallel import parallel_map
 from repro.workloads import WORKLOAD_NAMES
 
 
@@ -37,34 +38,37 @@ class Figure2Row:
     complex_mispredicted: int
 
 
+def _cell(args: tuple[str, str, str, int]) -> Figure2Row:
+    """One (benchmark, deadline) configuration; runs in a worker process."""
+    name, kind, scale, instances = args
+    prep = setup(name, scale)
+    deadline = prep.deadline_tight if kind == "T" else prep.deadline_loose
+    pair = run_pair(prep, deadline, instances)
+    return Figure2Row(
+        name=name,
+        deadline_kind=kind,
+        savings=pair.savings(standby=False),
+        savings_standby=pair.savings(standby=True),
+        complex_mhz=pair.visa_runs[-1].f_spec.freq_hz / 1e6,
+        simple_mhz=pair.simple_runs[-1].f_spec.freq_hz / 1e6,
+        complex_mispredicted=sum(r.mispredicted for r in pair.visa_runs),
+    )
+
+
 def run(
-    scale: str | None = None, instances: int | None = None
+    scale: str | None = None,
+    instances: int | None = None,
+    jobs: int | None = None,
 ) -> list[Figure2Row]:
     """Run the experiment; returns one row per measured configuration."""
     scale = scale or default_scale()
     instances = instances or default_instances()
-    rows = []
-    for name in WORKLOAD_NAMES:
-        prep = setup(name, scale)
-        for kind, deadline in (
-            ("T", prep.deadline_tight),
-            ("L", prep.deadline_loose),
-        ):
-            pair = run_pair(prep, deadline, instances)
-            rows.append(
-                Figure2Row(
-                    name=name,
-                    deadline_kind=kind,
-                    savings=pair.savings(standby=False),
-                    savings_standby=pair.savings(standby=True),
-                    complex_mhz=pair.visa_runs[-1].f_spec.freq_hz / 1e6,
-                    simple_mhz=pair.simple_runs[-1].f_spec.freq_hz / 1e6,
-                    complex_mispredicted=sum(
-                        r.mispredicted for r in pair.visa_runs
-                    ),
-                )
-            )
-    return rows
+    cells = [
+        (name, kind, scale, instances)
+        for name in WORKLOAD_NAMES
+        for kind in ("T", "L")
+    ]
+    return parallel_map(_cell, cells, jobs)
 
 
 def render(rows: list[Figure2Row]) -> str:

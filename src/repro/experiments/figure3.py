@@ -18,6 +18,7 @@ from repro.experiments.common import (
     run_pair,
     setup,
 )
+from repro.experiments.parallel import parallel_map
 from repro.workloads import WORKLOAD_NAMES
 
 FREQ_ADVANTAGE = 1.5
@@ -32,31 +33,35 @@ class Figure3Row:
     simple_mhz: float
 
 
+def _cell(args: tuple[str, str, int]) -> Figure3Row:
+    """One benchmark's tight-deadline cell; runs in a worker process."""
+    name, scale, instances = args
+    prep = setup(name, scale)
+    pair = run_pair(
+        prep,
+        prep.deadline_tight,
+        instances,
+        simple_freq_advantage=FREQ_ADVANTAGE,
+    )
+    return Figure3Row(
+        name=name,
+        savings=pair.savings(standby=False),
+        savings_standby=pair.savings(standby=True),
+        complex_mhz=pair.visa_runs[-1].f_spec.freq_hz / 1e6,
+        simple_mhz=pair.simple_runs[-1].f_spec.freq_hz / 1e6,
+    )
+
+
 def run(
-    scale: str | None = None, instances: int | None = None
+    scale: str | None = None,
+    instances: int | None = None,
+    jobs: int | None = None,
 ) -> list[Figure3Row]:
     """Run the experiment; returns one row per measured configuration."""
     scale = scale or default_scale()
     instances = instances or default_instances()
-    rows = []
-    for name in WORKLOAD_NAMES:
-        prep = setup(name, scale)
-        pair = run_pair(
-            prep,
-            prep.deadline_tight,
-            instances,
-            simple_freq_advantage=FREQ_ADVANTAGE,
-        )
-        rows.append(
-            Figure3Row(
-                name=name,
-                savings=pair.savings(standby=False),
-                savings_standby=pair.savings(standby=True),
-                complex_mhz=pair.visa_runs[-1].f_spec.freq_hz / 1e6,
-                simple_mhz=pair.simple_runs[-1].f_spec.freq_hz / 1e6,
-            )
-        )
-    return rows
+    cells = [(name, scale, instances) for name in WORKLOAD_NAMES]
+    return parallel_map(_cell, cells, jobs)
 
 
 def render(rows: list[Figure3Row]) -> str:

@@ -20,6 +20,7 @@ from repro.experiments.common import (
     run_pair,
     setup,
 )
+from repro.experiments.parallel import parallel_map
 from repro.workloads import WORKLOAD_NAMES
 
 RATES = (0.0, 0.1, 0.2, 0.3)
@@ -35,37 +36,41 @@ class Figure4Row:
     missed_checkpoints: int
 
 
+def _cell(args: tuple[str, float, str, int]) -> Figure4Row:
+    """One (benchmark, flush rate) configuration; runs in a worker process."""
+    name, rate, scale, instances = args
+    prep = setup(name, scale)
+    flushed = flush_set(instances, rate)
+    pair = run_pair(
+        prep, prep.deadline_tight, instances, flush_instances=flushed
+    )
+    assert all(r.deadline_met for r in pair.visa_runs)
+    assert all(r.deadline_met for r in pair.simple_runs)
+    return Figure4Row(
+        name=name,
+        rate=rate,
+        savings=pair.savings(standby=False),
+        savings_standby=pair.savings(standby=True),
+        flushed=len(flushed),
+        missed_checkpoints=sum(r.mispredicted for r in pair.visa_runs),
+    )
+
+
 def run(
     scale: str | None = None,
     instances: int | None = None,
     rates: tuple[float, ...] = RATES,
+    jobs: int | None = None,
 ) -> list[Figure4Row]:
     """Run the experiment; returns one row per measured configuration."""
     scale = scale or default_scale()
     instances = instances or default_instances()
-    rows = []
-    for name in WORKLOAD_NAMES:
-        prep = setup(name, scale)
-        for rate in rates:
-            flushed = flush_set(instances, rate)
-            pair = run_pair(
-                prep, prep.deadline_tight, instances, flush_instances=flushed
-            )
-            assert all(r.deadline_met for r in pair.visa_runs)
-            assert all(r.deadline_met for r in pair.simple_runs)
-            rows.append(
-                Figure4Row(
-                    name=name,
-                    rate=rate,
-                    savings=pair.savings(standby=False),
-                    savings_standby=pair.savings(standby=True),
-                    flushed=len(flushed),
-                    missed_checkpoints=sum(
-                        r.mispredicted for r in pair.visa_runs
-                    ),
-                )
-            )
-    return rows
+    cells = [
+        (name, rate, scale, instances)
+        for name in WORKLOAD_NAMES
+        for rate in rates
+    ]
+    return parallel_map(_cell, cells, jobs)
 
 
 def render(rows: list[Figure4Row]) -> str:

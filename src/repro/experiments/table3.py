@@ -18,7 +18,7 @@ from repro.experiments.common import (
     format_table,
     setup,
 )
-from repro.memory.machine import Machine
+from repro.experiments.parallel import parallel_map
 from repro.pipelines.inorder import InOrderCore
 from repro.pipelines.ooo.core import ComplexCore
 from repro.visa.spec import VISASpec
@@ -76,27 +76,28 @@ def measure_actual(prep: Setup, core_kind: str, freq_hz: float = 1e9) -> tuple[i
     return cycles, instructions
 
 
-def run(scale: str | None = None) -> list[Table3Row]:
+def _cell(args: tuple[str, str]) -> Table3Row:
+    """One benchmark's row; runs in a worker process."""
+    name, scale = args
+    prep = setup(name, scale)
+    simple_cycles, instructions = measure_actual(prep, "simple")
+    complex_cycles, _ = measure_actual(prep, "complex")
+    return Table3Row(
+        name=name,
+        dyn_instructions=instructions,
+        subtasks=prep.workload.subtasks,
+        deadline_tight_us=prep.deadline_tight * 1e6,
+        deadline_loose_us=prep.deadline_loose * 1e6,
+        wcet_us=prep.wcet_1ghz_seconds * 1e6,
+        actual_simple_us=simple_cycles / 1e3,
+        actual_complex_us=complex_cycles / 1e3,
+    )
+
+
+def run(scale: str | None = None, jobs: int | None = None) -> list[Table3Row]:
     """Run the experiment; returns one row per benchmark."""
     scale = scale or default_scale()
-    rows = []
-    for name in WORKLOAD_NAMES:
-        prep = setup(name, scale)
-        simple_cycles, instructions = measure_actual(prep, "simple")
-        complex_cycles, _ = measure_actual(prep, "complex")
-        rows.append(
-            Table3Row(
-                name=name,
-                dyn_instructions=instructions,
-                subtasks=prep.workload.subtasks,
-                deadline_tight_us=prep.deadline_tight * 1e6,
-                deadline_loose_us=prep.deadline_loose * 1e6,
-                wcet_us=prep.wcet_1ghz_seconds * 1e6,
-                actual_simple_us=simple_cycles / 1e3,
-                actual_complex_us=complex_cycles / 1e3,
-            )
-        )
-    return rows
+    return parallel_map(_cell, [(name, scale) for name in WORKLOAD_NAMES], jobs)
 
 
 def render(rows: list[Table3Row]) -> str:

@@ -52,6 +52,7 @@ class Program:
             decode(word, self.text_base + 4 * i)
             for i, word in enumerate(self.words)
         ]
+        self._fast_plan: list | None = None
 
     # -- code access ---------------------------------------------------------
 
@@ -78,6 +79,19 @@ class Program:
         if not self.contains(addr):
             raise ReproError(f"no instruction at {addr:#x}")
         return self._insts[(addr - self.text_base) >> 2]
+
+    def fast_plan(self) -> list:
+        """Specialized executors for every instruction (compiled once).
+
+        See :mod:`repro.isa.fastexec` for the entry layout.  Both pipeline
+        hot loops consume this instead of re-dispatching through the
+        reference :func:`repro.isa.semantics.execute` per instruction.
+        """
+        if self._fast_plan is None:
+            from repro.isa.fastexec import build_plan
+
+            self._fast_plan = build_plan(self._insts)
+        return self._fast_plan
 
     def address_of(self, symbol: str) -> int:
         """Return the address of ``symbol``.

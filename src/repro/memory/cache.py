@@ -73,14 +73,24 @@ class CacheStats:
 class Cache:
     """A set-associative, true-LRU, tag-only cache.
 
-    Each set is an MRU-ordered list of block numbers (index 0 = most
-    recently used).
+    Each set is a dict mapping resident block number to a recency stamp
+    drawn from a cache-wide monotone counter; the LRU victim is the entry
+    with the smallest stamp.  This keeps the hot hit path at two dict
+    operations (membership + stamp update) instead of the O(assoc)
+    ``list.remove``/``insert`` of an MRU-ordered list, while preserving
+    exact true-LRU semantics (a differential test against an explicit LRU
+    model guards this).  The pipeline hot loops additionally inline this
+    access sequence — any change here must be mirrored there
+    (:mod:`repro.pipelines.inorder`, :mod:`repro.pipelines.ooo.core`).
     """
 
     def __init__(self, config: CacheConfig | None = None):
         self.config = config or CacheConfig()
         self.stats = CacheStats()
-        self._sets: list[list[int]] = [[] for _ in range(self.config.num_sets)]
+        self._sets: list[dict[int, int]] = [
+            {} for _ in range(self.config.num_sets)
+        ]
+        self._tick = 0
 
     def access(self, addr: int) -> bool:
         """Access the block containing ``addr``; fill on miss.
@@ -90,17 +100,17 @@ class Cache:
         """
         block = self.config.block_of(addr)
         way = self._sets[self.config.set_index(addr)]
-        try:
-            way.remove(block)
-            way.insert(0, block)
+        tick = self._tick
+        self._tick = tick + 1
+        if block in way:
+            way[block] = tick
             self.stats.hits += 1
             return True
-        except ValueError:
-            way.insert(0, block)
-            if len(way) > self.config.assoc:
-                way.pop()
-            self.stats.misses += 1
-            return False
+        way[block] = tick
+        if len(way) > self.config.assoc:
+            del way[min(way, key=way.__getitem__)]
+        self.stats.misses += 1
+        return False
 
     def probe(self, addr: int) -> bool:
         """True if the block containing ``addr`` is resident (no side effects)."""
