@@ -1,10 +1,13 @@
 """Interpreter throughput benchmark: simulated instructions/second.
 
 Measures the specialized fast loops (``run``) and the reference loops
-(``run_reference``) on both cores, plus one tiny figure2 experiment cell,
-and writes ``BENCH_speed.json`` at the repository root.  The JSON records
-the pre-specialization baseline throughput (measured on this host before
-the fast path landed) so the speedup the PR claims stays checkable.
+(``run_reference``) on both cores, one tiny figure2 experiment cell, and
+the run-level result cache + warm-up prefix forking (cold vs. cached cell
+wall-clock; cold vs. forked simulated-instance counts), and writes
+``BENCH_speed.json`` at the repository root.  The JSON records the
+pre-specialization baseline throughput (measured on this host before the
+fast path landed) so the speedup the PR claims stays checkable, plus the
+effective worker count (``REPRO_JOBS``) and per-phase wall times.
 
 Usage::
 
@@ -92,6 +95,90 @@ def _measure_figure2_cell(instances: int) -> dict:
     }
 
 
+def _measure_run_cache(instances: int) -> dict:
+    """Cold vs. cached cell wall-clock and cold vs. forked instance counts.
+
+    Runs in a throwaway ``REPRO_CACHE_DIR`` so the measurement never reads
+    (or pollutes) a developer's real cache.  The forked sweep disables the
+    disk caches entirely (``REPRO_NO_CACHE=1``): it measures the work
+    restructuring, which must stand on its own, not ride on a cache hit.
+    """
+    import shutil
+    import tempfile
+
+    from repro.experiments import common
+    from repro.experiments.common import (
+        flush_set, flush_window_start, run_pair, setup,
+    )
+    from repro.snapshot import warmup
+    from repro.visa import runtime as rtmod
+
+    saved = {
+        k: os.environ.get(k) for k in ("REPRO_CACHE_DIR", "REPRO_NO_CACHE")
+    }
+    tmpdir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    os.environ["REPRO_CACHE_DIR"] = tmpdir
+    os.environ.pop("REPRO_NO_CACHE", None)
+    try:
+        common.setup.cache_clear()
+        prep = setup("cnt", "tiny")
+
+        # -- whole-run memoization: identical cell, cold then cached ------
+        start = time.perf_counter()
+        cold = run_pair(prep, prep.deadline_tight, instances)
+        cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        cached = run_pair(prep, prep.deadline_tight, instances)
+        cached_s = time.perf_counter() - start
+        assert cached.visa_runs == cold.visa_runs
+        assert cached.simple_runs == cold.simple_runs
+        assert cached.visa_rt is None  # served from the run cache
+
+        # -- warm-up prefix forking: figure4-style flush-rate sweep -------
+        os.environ["REPRO_NO_CACHE"] = "1"
+        rates = (0.0, 0.1, 0.2, 0.3)
+        warm = flush_window_start(instances)
+
+        def sweep(warm_start):
+            rtmod.SIM_COUNTS.clear()
+            warmup.clear_memory_cache()
+            rows = [
+                run_pair(
+                    prep, prep.deadline_tight, instances,
+                    flush_instances=flush_set(instances, rate),
+                    warm_start=warm_start,
+                )
+                for rate in rates
+            ]
+            savings = [round(pair.savings(standby=False), 12) for pair in rows]
+            return dict(rtmod.SIM_COUNTS), savings
+
+        cold_counts, cold_savings = sweep(None)
+        forked_counts, forked_savings = sweep(warm)
+        assert forked_savings == cold_savings  # identical results either way
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        common.setup.cache_clear()
+
+    reduction = 1 - forked_counts["visa"] / cold_counts["visa"]
+    return {
+        "instances": instances,
+        "cold_wall_seconds": round(cold_s, 4),
+        "cached_wall_seconds": round(cached_s, 4),
+        "cached_speedup": round(cold_s / cached_s, 1),
+        "fork_sweep_rates": list(rates),
+        "cold_visa_instances": cold_counts["visa"],
+        "forked_visa_instances": forked_counts["visa"],
+        "forked_instance_reduction": round(reduction, 4),
+        "savings_identical": forked_savings == cold_savings,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -107,11 +194,19 @@ def main(argv: list[str] | None = None) -> int:
     min_seconds = 0.5 if args.smoke else 4.0
     cell_instances = 4 if args.smoke else 12
 
+    from repro.experiments.parallel import default_jobs
+
+    phase_seconds: dict[str, float] = {}
     report = {
         "host": {
             "cpus": os.cpu_count(),
             "python": sys.version.split()[0],
         },
+        "jobs": {
+            "repro_jobs_env": os.environ.get("REPRO_JOBS"),
+            "effective_workers": default_jobs(),
+        },
+        "phase_wall_seconds": phase_seconds,
         "smoke": args.smoke,
         "baseline_pre_pr": BASELINE,
         "measured": {},
@@ -123,8 +218,10 @@ def main(argv: list[str] | None = None) -> int:
         ),
     }
     for core_kind in ("inorder", "ooo"):
+        phase_start = time.perf_counter()
         fast = _measure_core(core_kind, "run", min_seconds)
         ref = _measure_core(core_kind, "run_reference", min_seconds)
+        phase_seconds[core_kind] = round(time.perf_counter() - phase_start, 3)
         base = BASELINE[core_kind]["inst_per_s"]
         report["measured"][core_kind] = {
             "fast": fast,
@@ -142,24 +239,55 @@ def main(argv: list[str] | None = None) -> int:
             f"({report['measured'][core_kind]['speedup_vs_pre_pr_baseline']}x "
             "vs pre-PR)"
         )
+    phase_start = time.perf_counter()
     report["measured"]["figure2_cell"] = _measure_figure2_cell(cell_instances)
+    phase_seconds["figure2_cell"] = round(time.perf_counter() - phase_start, 3)
     print(
         "figure2 cell (cnt/T, %d instances): %.2fs"
         % (cell_instances, report["measured"]["figure2_cell"]["wall_seconds"])
+    )
+
+    phase_start = time.perf_counter()
+    run_cache = _measure_run_cache(cell_instances)
+    phase_seconds["run_cache"] = round(time.perf_counter() - phase_start, 3)
+    report["measured"]["run_cache"] = run_cache
+    print(
+        "run cache (cnt/T, %d instances): cold %.3fs, cached %.3fs (%.0fx); "
+        "fork sweep %d -> %d VISA instances (-%.1f%%)"
+        % (
+            cell_instances,
+            run_cache["cold_wall_seconds"],
+            run_cache["cached_wall_seconds"],
+            run_cache["cached_speedup"],
+            run_cache["cold_visa_instances"],
+            run_cache["forked_visa_instances"],
+            100 * run_cache["forked_instance_reduction"],
+        )
     )
 
     out = pathlib.Path(args.out)
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out}")
 
+    failures = []
     speedup = report["measured"]["inorder"]["speedup_vs_pre_pr_baseline"]
     if not args.smoke and speedup < 3.0:
-        print(
-            f"FAIL: in-order speedup {speedup}x < 3x acceptance bar",
-            file=sys.stderr,
+        failures.append(f"in-order speedup {speedup}x < 3x acceptance bar")
+    if not args.smoke and run_cache["cached_speedup"] < 10.0:
+        failures.append(
+            f"cached cell only {run_cache['cached_speedup']}x faster "
+            "than cold (< 10x acceptance bar)"
         )
-        return 1
-    return 0
+    if run_cache["forked_instance_reduction"] < 0.30:
+        failures.append(
+            "forked sweep reduction "
+            f"{100 * run_cache['forked_instance_reduction']:.1f}% < 30% bar"
+        )
+    if not run_cache["savings_identical"]:
+        failures.append("forked sweep savings differ from cold sweep")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

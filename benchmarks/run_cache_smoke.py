@@ -1,0 +1,61 @@
+"""CI smoke check: the run-level result cache actually hits.
+
+Runs one figure4 cell twice through the real experiment path and asserts
+the second invocation is served from the on-disk run cache (both runtimes
+hit; rows identical).  Uses whatever ``REPRO_CACHE_DIR`` points at, so CI
+can persist the directory across jobs via ``actions/cache`` and this
+check also validates restored cache contents.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_cache_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def main() -> int:
+    """Run the check; returns a process exit code."""
+    if os.environ.get("REPRO_NO_CACHE"):
+        print("run_cache_smoke: REPRO_NO_CACHE is set; nothing to check")
+        return 1
+
+    from repro.experiments.figure4 import _cell
+    from repro.snapshot import runcache
+
+    cell = ("cnt", 0.2, "tiny", 8)
+    first = _cell(cell)
+    runcache.reset_stats()
+    second = _cell(cell)
+
+    hits, misses = runcache.STATS["hits"], runcache.STATS["misses"]
+    print(
+        f"run_cache_smoke: second invocation -> {hits} hits, "
+        f"{misses} misses in {runcache.cache_dir()}"
+    )
+    if hits < 2:  # one VISA + one simple-fixed run per cell
+        print(
+            "run_cache_smoke: FAIL: expected both runtimes to hit the "
+            "run cache on re-invocation",
+            file=sys.stderr,
+        )
+        return 1
+    if second != first:
+        print(
+            "run_cache_smoke: FAIL: cached row differs from computed row",
+            file=sys.stderr,
+        )
+        return 1
+    print("run_cache_smoke: OK (cached row identical to computed row)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    raise SystemExit(main())

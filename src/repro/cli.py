@@ -11,7 +11,10 @@ Commands:
 * ``pack FILE OUT``  — write a timed binary (program + parameterized WCET).
 * ``experiment NAME``— run table3 / figure2 / figure3 / figure4 /
   ablations (``--jobs N`` fans independent cells across processes;
-  ``REPRO_JOBS`` is the environment equivalent).
+  ``REPRO_JOBS`` is the environment equivalent; ``--no-cache`` bypasses
+  the on-disk setup/run caches like ``REPRO_NO_CACHE=1``).
+* ``cache``          — inspect the on-disk cache (``repro cache`` lists
+  entries and sizes; ``repro cache clear`` deletes them).
 
 MiniC files use extension ``.c`` (anything other than ``.s``/``.asm``);
 assembly files use ``.s``/``.asm``.
@@ -151,6 +154,9 @@ def cmd_experiment(args) -> int:
         # Publish via the environment so parallel_map's default — and any
         # worker processes it spawns — see the same setting.
         os.environ["REPRO_JOBS"] = str(args.jobs)
+    if args.no_cache:
+        # Same channel as the env var so worker processes inherit it.
+        os.environ["REPRO_NO_CACHE"] = "1"
 
     modules = {
         "table3": table3,
@@ -160,6 +166,26 @@ def cmd_experiment(args) -> int:
         "ablations": ablations,
     }
     modules[args.name].main()
+    return 0
+
+
+def cmd_cache(args) -> int:
+    """``cache``: list or clear the on-disk setup/run/warm-up caches."""
+    from repro.snapshot import runcache
+
+    directory = runcache.cache_dir()
+    if args.action == "clear":
+        removed, freed = runcache.clear_cache()
+        print(f"removed {removed} entries ({freed} bytes) from {directory}")
+        return 0
+    entries = runcache.cache_entries()
+    if not entries:
+        print(f"cache at {directory} is empty")
+        return 0
+    total = sum(size for _, size in entries)
+    for filename, size in entries:
+        print(f"{size:>10}  {filename}")
+    print(f"{total:>10}  total in {len(entries)} entries ({directory})")
     return 0
 
 
@@ -216,7 +242,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for experiment cells (default: REPRO_JOBS or 1)",
     )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk setup/run caches (same as REPRO_NO_CACHE=1)",
+    )
     p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser("cache", help="inspect or clear the on-disk cache")
+    p.add_argument(
+        "action",
+        nargs="?",
+        choices=["show", "clear"],
+        default="show",
+        help="'show' lists entries and sizes (default); 'clear' deletes them",
+    )
+    p.set_defaults(func=cmd_cache)
 
     return parser
 

@@ -58,6 +58,15 @@ class InfeasibleError(ReproError):
     """Raised when no frequency assignment can satisfy the deadline."""
 
 
+class SnapshotError(ReproError):
+    """Raised when a simulation-state snapshot cannot be restored.
+
+    Typical causes: a format-version mismatch (the snapshot subsystem
+    refuses to interpret payloads written by a different layout) or a
+    payload captured from a different runtime kind.
+    """
+
+
 class DeadlineMissError(ReproError):
     """Raised if a hard deadline is ever missed during simulation.
 

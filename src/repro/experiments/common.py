@@ -5,13 +5,14 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from dataclasses import dataclass
 from functools import lru_cache
 from pathlib import Path
 
 from repro.power.model import PowerModel
 from repro.power.report import energy_of_runs, power_savings
+from repro.snapshot import runcache, warmup
+from repro.snapshot.runcache import cache_dir  # re-exported; CLI + tests use it
 from repro.visa.dvs import DVSTable
 from repro.visa.runtime import (
     RuntimeConfig,
@@ -65,13 +66,8 @@ class Setup:
     deadline_loose: float
 
 
-def cache_dir() -> Path:
-    """Directory for the on-disk setup cache (REPRO_CACHE_DIR overrides)."""
-    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
-
-
 def _cache_disabled() -> bool:
-    return os.environ.get("REPRO_NO_CACHE", "") not in ("", "0")
+    return runcache.cache_disabled()
 
 
 def _program_digest(workload: Workload) -> str:
@@ -117,15 +113,8 @@ def _cache_store(path: Path, prep: Setup) -> None:
         "deadline_tight": prep.deadline_tight,
         "deadline_loose": prep.deadline_loose,
     }
-    try:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        # Atomic publish: concurrent workers may race on the same key.
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        with os.fdopen(fd, "w") as fh:
-            json.dump(payload, fh)
-        os.replace(tmp, path)
-    except OSError:
-        pass  # caching is best-effort; the computed Setup is still returned
+    # Atomic publish: concurrent workers may race on the same key.
+    runcache.atomic_write_json(path, payload)
 
 
 @lru_cache(maxsize=None)
@@ -166,12 +155,17 @@ def setup(name: str, scale: str) -> Setup:
 
 @dataclass
 class PairResult:
-    """Both processors' runs for one configuration."""
+    """Both processors' runs for one configuration.
+
+    The runtime fields are ``None`` when the corresponding run was served
+    from the run-level result cache (no simulation happened, so there is
+    no runtime object to expose).
+    """
 
     visa_runs: list[TaskRun]
     simple_runs: list[TaskRun]
-    visa_rt: VISARuntime
-    simple_rt: SimpleFixedRuntime
+    visa_rt: VISARuntime | None
+    simple_rt: SimpleFixedRuntime | None
 
     def savings(self, standby: bool, skip: int | None = None) -> float:
         """Fractional steady-state power savings of the complex core.
@@ -195,6 +189,54 @@ class PairResult:
         return power_savings(complex_watts, simple_watts)
 
 
+def _cached_runs(
+    prep: Setup,
+    config: RuntimeConfig,
+    table: DVSTable,
+    flush_instances: set[int],
+    warm_start: int | None,
+    make,
+    kind: str,
+) -> tuple[list[TaskRun], object | None]:
+    """One runtime's full run, via the run cache and warm-up forking.
+
+    Resolution order:
+
+    1. **Run cache** — the whole ``TaskRun`` list keyed on (program digest,
+       config fields, DVS table, flush set, extras, format version).  A hit
+       skips simulation entirely and yields ``(runs, None)``.
+    2. **Warm-up prefix fork** — when ``warm_start`` marks a flush-free
+       prefix, restore (or simulate once) instances ``[0, warm_start)`` and
+       simulate only the per-cell tail.
+    3. **Cold run** — simulate everything.
+
+    The cache key never encodes *how* the result was produced (forked and
+    cold runs are bit-identical, differentially tested), so either path
+    may populate an entry the other will hit.
+    """
+    workload = prep.workload
+    extra = {"dcache_bounds": list(prep.dcache_bounds)}
+    key = runcache.run_key(
+        kind, workload.program, config, table, flush_instances, extra
+    )
+    cached = runcache.load_runs(workload.name, key)
+    if cached is not None:
+        return cached, None
+    if warmup.forkable(flush_instances, warm_start, config.instances):
+        runtime, warm_runs = warmup.warm_runtime(
+            workload.name, kind, make, workload.program, config, table,
+            warm_start, extra,
+        )
+        runs = warm_runs + runtime.run_span(
+            warm_start, config.instances, flush_instances
+        )
+    else:
+        runtime = make()
+        runs = runtime.run(flush_instances=flush_instances)
+    runcache.store_runs(workload.name, key, runs)
+    return runs, runtime
+
+
 def run_pair(
     prep: Setup,
     deadline: float,
@@ -202,28 +244,54 @@ def run_pair(
     flush_instances: set[int] = frozenset(),
     simple_freq_advantage: float = 1.0,
     flush_simple: bool = True,
+    warm_start: int | None = None,
 ) -> PairResult:
-    """Run the VISA complex processor and simple-fixed on one config."""
+    """Run the VISA complex processor and simple-fixed on one config.
+
+    ``warm_start`` enables warm-up prefix forking: instances before it are
+    simulated once per (benchmark, deadline, table) and shared across cells
+    whose flush sets all land at or after it (Figure 4's rates).  Repeated
+    invocations of an identical cell are served from the run-level result
+    cache regardless of ``warm_start``.
+    """
     config = RuntimeConfig(deadline=deadline, instances=instances, ovhd=OVHD)
     table = DVSTable.xscale()
-    visa_rt = VISARuntime(
-        prep.workload, config, table=table, dcache_bounds=prep.dcache_bounds
+    visa_runs, visa_rt = _cached_runs(
+        prep, config, table, flush_instances, warm_start,
+        lambda: VISARuntime(
+            prep.workload, config, table=table,
+            dcache_bounds=prep.dcache_bounds,
+        ),
+        kind="visa",
     )
-    visa_runs = visa_rt.run(flush_instances=flush_instances)
 
     simple_table = (
         table.scaled(simple_freq_advantage)
         if simple_freq_advantage != 1.0
         else table
     )
-    simple_rt = SimpleFixedRuntime(
-        prep.workload, config, table=simple_table,
-        dcache_bounds=prep.dcache_bounds,
-    )
-    simple_runs = simple_rt.run(
-        flush_instances=flush_instances if flush_simple else frozenset()
+    simple_flushes = flush_instances if flush_simple else frozenset()
+    simple_runs, simple_rt = _cached_runs(
+        prep, config, simple_table, simple_flushes, warm_start,
+        lambda: SimpleFixedRuntime(
+            prep.workload, config, table=simple_table,
+            dcache_bounds=prep.dcache_bounds,
+        ),
+        kind="simple",
     )
     return PairResult(visa_runs, simple_runs, visa_rt, simple_rt)
+
+
+def flush_window_start(instances: int, start: int | None = None) -> int:
+    """First instance of the steady-state (flushable/measured) window.
+
+    This is both where :func:`flush_set` starts placing flushes and where
+    :meth:`PairResult.savings` starts measuring — and therefore the warm-up
+    prefix length that :func:`run_pair` can fork across flush rates.
+    """
+    if start is not None:
+        return start
+    return min(20, instances // 2)
 
 
 def flush_set(
@@ -238,8 +306,7 @@ def flush_set(
     absorb the flush without missing a checkpoint, and poison the PET
     history so later flushes stop firing.
     """
-    if start is None:
-        start = min(20, instances // 2)
+    start = flush_window_start(instances, start)
     window = instances - start
     if window <= 0:
         return set()

@@ -16,6 +16,7 @@ from repro.experiments.common import (
     default_instances,
     default_scale,
     flush_set,
+    flush_window_start,
     format_table,
     run_pair,
     setup,
@@ -41,8 +42,11 @@ def _cell(args: tuple[str, float, str, int]) -> Figure4Row:
     name, rate, scale, instances = args
     prep = setup(name, scale)
     flushed = flush_set(instances, rate)
+    # All rates share the pre-flush warm-up, so run_pair can fork each
+    # cell from one snapshotted prefix instead of re-simulating it.
     pair = run_pair(
-        prep, prep.deadline_tight, instances, flush_instances=flushed
+        prep, prep.deadline_tight, instances, flush_instances=flushed,
+        warm_start=flush_window_start(instances),
     )
     assert all(r.deadline_met for r in pair.visa_runs)
     assert all(r.deadline_met for r in pair.simple_runs)

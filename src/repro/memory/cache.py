@@ -130,3 +130,34 @@ class Cache:
 
     def reset_stats(self) -> None:
         self.stats = CacheStats()
+
+    # -- snapshot subsystem ------------------------------------------------------
+
+    def dump_state(self) -> dict:
+        """JSON-able state: per-set ``[block, stamp]`` pairs + counters.
+
+        Pairs are sorted by block so equal cache contents dump canonically.
+        Restoring re-inserts in that order; behaviour is unaffected because
+        eviction picks the minimum *stamp*, and stamps are unique (the tick
+        counter is monotone and never reset, not even by :meth:`flush`).
+        """
+        return {
+            "sets": [
+                [[block, way[block]] for block in sorted(way)]
+                for way in self._sets
+            ],
+            "tick": self._tick,
+            "hits": self.stats.hits,
+            "misses": self.stats.misses,
+        }
+
+    def load_state(self, payload: dict) -> None:
+        """Restore contents, recency stamps, and statistics."""
+        self._sets = [
+            {int(block): int(stamp) for block, stamp in pairs}
+            for pairs in payload["sets"]
+        ]
+        self._tick = int(payload["tick"])
+        self.stats = CacheStats(
+            hits=int(payload["hits"]), misses=int(payload["misses"])
+        )

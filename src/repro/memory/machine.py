@@ -112,6 +112,21 @@ class Machine:
         if self.program.contains(addr):
             raise MemoryError_(f"data access inside text segment at {addr:#x}")
 
+    def read_data_words(self, base: int, count: int) -> list:
+        """Batched read of ``count`` words from the data segment.
+
+        Runtime-system plumbing (AET readback) goes through this single
+        helper instead of ``count`` individual :meth:`MainMemory.read`
+        calls; the address check covers the whole span.
+        """
+        self._check_data_addr(base)
+        return self.memory.read_words(base, count)
+
+    def write_data_words(self, base: int, values: list) -> None:
+        """Batched write of consecutive words into the data segment."""
+        self._check_data_addr(base)
+        self.memory.write_words(base, values)
+
     def flush_caches_and_predictor(self) -> None:
         """Flush both caches (predictor flush is done by the core).
 
@@ -119,3 +134,21 @@ class Machine:
         """
         self.icache.flush()
         self.dcache.flush()
+
+    # -- snapshot subsystem ------------------------------------------------------
+
+    def dump_state(self) -> dict:
+        """JSON-able state of everything outside the pipeline."""
+        return {
+            "memory": self.memory.dump_state(),
+            "icache": self.icache.dump_state(),
+            "dcache": self.dcache.dump_state(),
+            "mmio": self.mmio.dump_state(),
+        }
+
+    def load_state(self, payload: dict) -> None:
+        """Restore memory image, both caches, and the device page."""
+        self.memory.load_state(payload["memory"])
+        self.icache.load_state(payload["icache"])
+        self.dcache.load_state(payload["dcache"])
+        self.mmio.load_state(payload["mmio"])

@@ -51,9 +51,54 @@ class MainMemory:
             raise MemoryError_(f"expected int at {addr:#x}, found {value!r}")
         return value
 
+    def read_words(self, base: int, count: int) -> list:
+        """Batched read of ``count`` consecutive words starting at ``base``.
+
+        One bounds/alignment check covers the whole span, so per-word
+        callers (the runtimes' AET/increment plumbing) pay a single call
+        instead of ``count`` of them.
+        """
+        if base % 4:
+            raise MemoryError_(f"misaligned read at {base:#x}")
+        words = self._words
+        return [words.get(base + 4 * k, 0) for k in range(count)]
+
+    def write_words(self, base: int, values: list) -> None:
+        """Batched write of consecutive words starting at ``base``."""
+        if base % 4:
+            raise MemoryError_(f"misaligned write at {base:#x}")
+        words = self._words
+        for k, value in enumerate(values):
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise MemoryError_(
+                    f"memory holds ints and floats, got {type(value).__name__}"
+                )
+            if isinstance(value, int):
+                value = to_s32(value)
+            words[base + 4 * k] = value
+
     def snapshot(self) -> dict[int, object]:
         """Copy of all written words (for test assertions)."""
         return dict(self._words)
+
+    # -- snapshot subsystem ------------------------------------------------------
+
+    def dump_state(self) -> list:
+        """JSON-able state: sorted ``[addr, value]`` pairs.
+
+        Sorting makes the payload canonical — the same memory image always
+        produces the same dump regardless of write order — which the
+        snapshot digests rely on.
+        """
+        return [[addr, self._words[addr]] for addr in sorted(self._words)]
+
+    def load_state(self, pairs: list) -> None:
+        """Replace the whole image with a :meth:`dump_state` payload.
+
+        Values were normalized (``to_s32``) before dumping, so they are
+        installed directly.
+        """
+        self._words = {int(addr): value for addr, value in pairs}
 
     def __len__(self) -> int:
         return len(self._words)

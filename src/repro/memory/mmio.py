@@ -97,6 +97,36 @@ class MMIODevices:
     def cycle_reset(self, value: int, now: int) -> None:
         self._cycle_base = now - value
 
+    # -- snapshot subsystem ------------------------------------------------------
+
+    def dump_state(self) -> dict:
+        """JSON-able device state (all fields, including the console log)."""
+        return {
+            "exceptions_masked": self.exceptions_masked,
+            "cycle_base": self._cycle_base,
+            "wd_enabled": self._wd_enabled,
+            "wd_expiry": self._wd_expiry,
+            "wd_remaining_when_disabled": self._wd_remaining_when_disabled,
+            "wd_marks": self.wd_marks,
+            "freq_cur": self.freq_cur,
+            "freq_rec": self.freq_rec,
+            "console": [[cycle, value] for cycle, value in self.console],
+        }
+
+    def load_state(self, payload: dict) -> None:
+        """Restore every device register from a :meth:`dump_state` payload."""
+        self.exceptions_masked = bool(payload["exceptions_masked"])
+        self._cycle_base = int(payload["cycle_base"])
+        self._wd_enabled = bool(payload["wd_enabled"])
+        self._wd_expiry = int(payload["wd_expiry"])
+        self._wd_remaining_when_disabled = int(
+            payload["wd_remaining_when_disabled"]
+        )
+        self.wd_marks = int(payload["wd_marks"])
+        self.freq_cur = int(payload["freq_cur"])
+        self.freq_rec = int(payload["freq_rec"])
+        self.console = [(int(c), int(v)) for c, v in payload["console"]]
+
     # -- generic load/store interface -------------------------------------------
 
     def read(self, addr: int, now: int) -> int:

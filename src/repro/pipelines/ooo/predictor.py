@@ -48,6 +48,28 @@ class GsharePredictor:
         self.table = [1] * self.size
         self.history = 0
 
+    # -- snapshot subsystem ------------------------------------------------------
+
+    def dump_state(self) -> dict:
+        """JSON-able state; the 2-bit counters pack into one digit string.
+
+        65536 counters in ``[0, 3]`` serialize as a 64 KB character string
+        instead of a JSON list one order of magnitude larger.
+        """
+        return {
+            "bits": self.bits,
+            "table": "".join(map(str, self.table)),
+            "history": self.history,
+        }
+
+    def load_state(self, payload: dict) -> None:
+        self.table = [int(c) for c in payload["table"]]
+        if len(self.table) != self.size:
+            raise ValueError(
+                f"gshare table length {len(self.table)} != {self.size}"
+            )
+        self.history = int(payload["history"])
+
 
 class IndirectPredictor:
     """Indirect-target table indexed like the gshare predictor (§3.2)."""
@@ -75,3 +97,16 @@ class IndirectPredictor:
     def flush(self) -> None:
         self.table.clear()
         self.history = 0
+
+    # -- snapshot subsystem ------------------------------------------------------
+
+    def dump_state(self) -> dict:
+        """JSON-able state: sorted ``[index, target]`` pairs + history."""
+        return {
+            "table": [[i, self.table[i]] for i in sorted(self.table)],
+            "history": self.history,
+        }
+
+    def load_state(self, payload: dict) -> None:
+        self.table = {int(i): int(t) for i, t in payload["table"]}
+        self.history = int(payload["history"])

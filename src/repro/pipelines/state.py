@@ -55,3 +55,29 @@ class CoreState:
                 self.int_regs[num] = value
         else:
             self.fp_regs[num] = value
+
+    # -- snapshot subsystem ------------------------------------------------------
+
+    def dump_state(self) -> dict:
+        """JSON-able architectural state (counters sorted canonically)."""
+        return {
+            "pc": self.pc,
+            "int_regs": list(self.int_regs),
+            "fp_regs": list(self.fp_regs),
+            "now": self.now,
+            "halted": self.halted,
+            "instret": self.instret,
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+        }
+
+    def load_state(self, payload: dict) -> None:
+        """Restore registers, PC, clock, and event counters."""
+        self.pc = int(payload["pc"])
+        self.int_regs = [int(v) for v in payload["int_regs"]]
+        self.fp_regs = [float(v) for v in payload["fp_regs"]]
+        self.now = int(payload["now"])
+        self.halted = bool(payload["halted"])
+        self.instret = int(payload["instret"])
+        self.counters = Counter(
+            {str(k): int(v) for k, v in payload["counters"].items()}
+        )

@@ -1,0 +1,239 @@
+"""Run-level result cache: memoized runtime ``run()`` outputs on disk.
+
+A whole-run simulation is deterministic: the same program, runtime
+configuration, DVS table, and flush set always produce the same
+``TaskRun`` list.  This module caches those lists under the existing
+``.repro_cache/`` directory so repeated figure/ablation invocations skip
+the simulation entirely.
+
+Key derivation (:func:`run_key`) covers every input the result depends
+on — program digest, all ``RuntimeConfig`` fields, the DVS table's
+operating points, the flush set, runtime kind plus any extras (D-cache
+bounds, speculation policy) — and is salted with the snapshot
+:data:`~repro.snapshot.state.FORMAT_VERSION`, so a layout change
+invalidates every stored entry at once.
+
+``REPRO_NO_CACHE=1`` (or the CLI's ``--no-cache``) bypasses loads *and*
+stores; ``REPRO_CACHE_DIR`` relocates the directory.  Entries are
+published atomically so parallel experiment workers may race on a key.
+In-process :data:`STATS` counters make hits observable to tests and CI
+smoke checks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from collections import Counter
+from pathlib import Path
+
+from repro.snapshot.state import FORMAT_VERSION, canonical_json, program_digest
+from repro.visa.dvs import DVSTable, Setting
+from repro.visa.runtime import Phase, RuntimeConfig, TaskRun
+
+#: In-process observability: run-cache hits/misses/stores since import
+#: (or the last :func:`reset_stats`).
+STATS = Counter()
+
+
+def reset_stats() -> None:
+    """Zero the hit/miss/store counters (tests and benchmarks)."""
+    STATS.clear()
+
+
+def cache_dir() -> Path:
+    """Directory for all on-disk caches (``REPRO_CACHE_DIR`` overrides)."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+
+
+def cache_disabled() -> bool:
+    """True when ``REPRO_NO_CACHE`` requests bypassing every disk cache."""
+    return os.environ.get("REPRO_NO_CACHE", "") not in ("", "0")
+
+
+def atomic_write_json(path: Path, payload) -> None:
+    """Best-effort atomic publish (concurrent workers may race on a key)."""
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        with os.fdopen(fd, "w") as fh:
+            fh.write(canonical_json(payload))
+        os.replace(tmp, path)
+    except OSError:
+        pass  # caching is best-effort; the computed result is still returned
+
+
+# -- key derivation -------------------------------------------------------------
+
+
+def table_fields(table: DVSTable) -> list:
+    """The DVS operating points as JSON-able ``[freq_hz, volts]`` pairs."""
+    return [[s.freq_hz, s.volts] for s in table]
+
+
+def run_key(
+    kind: str,
+    program,
+    config: RuntimeConfig,
+    table: DVSTable,
+    flush_instances=frozenset(),
+    extra: dict | None = None,
+) -> str:
+    """Cache key for one runtime's full run.
+
+    Any field change — program digest, config, DVS table, flush set,
+    extras, or the snapshot format version — yields a different key, which
+    is how invalidation works: stale entries are simply never looked up
+    again (``repro cache clear`` reclaims the space).
+    """
+    payload = {
+        "format": FORMAT_VERSION,
+        "kind": kind,
+        "program": program_digest(program),
+        "config": dataclasses.asdict(config),
+        "table": table_fields(table),
+        "flush": sorted(flush_instances),
+        "extra": extra or {},
+    }
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()[:24]
+
+
+# -- TaskRun (de)serialization ---------------------------------------------------
+
+
+def _dump_setting(setting: Setting) -> list:
+    return [setting.freq_hz, setting.volts]
+
+
+def _load_setting(pair: list) -> Setting:
+    return Setting(freq_hz=float(pair[0]), volts=float(pair[1]))
+
+
+def serialize_runs(runs: list[TaskRun]) -> list:
+    """JSON-able form of a ``TaskRun`` list (exact float round-trip)."""
+    return [
+        {
+            "index": run.index,
+            "phases": [
+                {
+                    "kind": phase.kind,
+                    "mode": phase.mode,
+                    "freq_hz": phase.freq_hz,
+                    "volts": phase.volts,
+                    "cycles": phase.cycles,
+                    "seconds": phase.seconds,
+                    "counters": {
+                        k: phase.counters[k] for k in sorted(phase.counters)
+                    },
+                }
+                for phase in run.phases
+            ],
+            "mispredicted": run.mispredicted,
+            "completion_seconds": run.completion_seconds,
+            "deadline": run.deadline,
+            "f_spec": _dump_setting(run.f_spec),
+            "f_rec": _dump_setting(run.f_rec),
+        }
+        for run in runs
+    ]
+
+
+def deserialize_runs(payload: list) -> list[TaskRun]:
+    """Inverse of :func:`serialize_runs`; results compare ``==`` to originals."""
+    return [
+        TaskRun(
+            index=int(entry["index"]),
+            phases=[
+                Phase(
+                    kind=str(p["kind"]),
+                    mode=str(p["mode"]),
+                    freq_hz=float(p["freq_hz"]),
+                    volts=float(p["volts"]),
+                    cycles=int(p["cycles"]),
+                    seconds=float(p["seconds"]),
+                    counters=Counter(
+                        {str(k): int(v) for k, v in p["counters"].items()}
+                    ),
+                )
+                for p in entry["phases"]
+            ],
+            mispredicted=bool(entry["mispredicted"]),
+            completion_seconds=float(entry["completion_seconds"]),
+            deadline=float(entry["deadline"]),
+            f_spec=_load_setting(entry["f_spec"]),
+            f_rec=_load_setting(entry["f_rec"]),
+        )
+        for entry in payload
+    ]
+
+
+# -- load/store -----------------------------------------------------------------
+
+
+def _run_path(name: str, key: str) -> Path:
+    return cache_dir() / f"run-{name}-{key}.json"
+
+
+def load_runs(name: str, key: str) -> list[TaskRun] | None:
+    """Cached run for ``key``, or None on miss/bypass/corruption."""
+    if cache_disabled():
+        return None
+    try:
+        payload = json.loads(_run_path(name, key).read_text())
+        runs = deserialize_runs(payload["runs"])
+    except (OSError, ValueError, KeyError, TypeError):
+        STATS["misses"] += 1
+        return None
+    STATS["hits"] += 1
+    return runs
+
+
+def store_runs(name: str, key: str, runs: list[TaskRun]) -> None:
+    """Publish a computed run under ``key`` (no-op when caching is off)."""
+    if cache_disabled():
+        return
+    atomic_write_json(
+        _run_path(name, key),
+        {"format": FORMAT_VERSION, "runs": serialize_runs(runs)},
+    )
+    STATS["stores"] += 1
+
+
+# -- CLI support ----------------------------------------------------------------
+
+
+def cache_entries() -> list[tuple[str, int]]:
+    """``(filename, bytes)`` for every cache entry, largest first."""
+    directory = cache_dir()
+    if not directory.is_dir():
+        return []
+    entries = []
+    for path in directory.iterdir():
+        if path.is_file() and path.suffix in (".json", ".tmp"):
+            try:
+                entries.append((path.name, path.stat().st_size))
+            except OSError:
+                continue
+    entries.sort(key=lambda e: (-e[1], e[0]))
+    return entries
+
+
+def clear_cache() -> tuple[int, int]:
+    """Delete every cache entry; returns ``(files_removed, bytes_freed)``."""
+    removed = freed = 0
+    directory = cache_dir()
+    if not directory.is_dir():
+        return 0, 0
+    for path in directory.iterdir():
+        if path.is_file() and path.suffix in (".json", ".tmp"):
+            try:
+                size = path.stat().st_size
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+            freed += size
+    return removed, freed

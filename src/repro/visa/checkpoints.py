@@ -46,6 +46,28 @@ class CheckpointPlan:
     increments: list[int]
     count_freq_hz: float
 
+    # -- snapshot subsystem ------------------------------------------------------
+
+    def dump_state(self) -> dict:
+        """JSON-able plan (floats round-trip exactly through JSON)."""
+        return {
+            "deadline": self.deadline,
+            "ovhd": self.ovhd,
+            "checkpoints": list(self.checkpoints),
+            "increments": list(self.increments),
+            "count_freq_hz": self.count_freq_hz,
+        }
+
+    @classmethod
+    def from_state(cls, payload: dict) -> "CheckpointPlan":
+        return cls(
+            deadline=float(payload["deadline"]),
+            ovhd=float(payload["ovhd"]),
+            checkpoints=[float(c) for c in payload["checkpoints"]],
+            increments=[int(i) for i in payload["increments"]],
+            count_freq_hz=float(payload["count_freq_hz"]),
+        )
+
 
 def checkpoint_times(
     deadline: float, ovhd: float, wcet_rec: TaskWCET

@@ -45,6 +45,25 @@ class LastNPET:
         """Current PET (cycles) per sub-task."""
         return [max(history) for history in self._history]
 
+    # -- snapshot subsystem ------------------------------------------------------
+
+    def dump_state(self) -> dict:
+        """JSON-able history (policy tag guards against cross-policy loads)."""
+        return {
+            "policy": "lastn",
+            "window": self.window,
+            "history": [list(history) for history in self._history],
+        }
+
+    def load_state(self, payload: dict) -> None:
+        if payload.get("policy") != "lastn":
+            raise ValueError(f"not a last-N PET payload: {payload.get('policy')!r}")
+        self.window = int(payload["window"])
+        self._history = [
+            deque((int(v) for v in history), maxlen=self.window)
+            for history in payload["history"]
+        ]
+
 
 class HistogramPET:
     """PET targeting a misprediction probability from an AET histogram.
@@ -85,6 +104,28 @@ class HistogramPET:
             )
             pets.append(ordered[index])
         return pets
+
+    # -- snapshot subsystem ------------------------------------------------------
+
+    def dump_state(self) -> dict:
+        return {
+            "policy": "histogram",
+            "target_rate": self.target_rate,
+            "capacity": self._history[0].maxlen if self._history else 0,
+            "history": [list(history) for history in self._history],
+        }
+
+    def load_state(self, payload: dict) -> None:
+        if payload.get("policy") != "histogram":
+            raise ValueError(
+                f"not a histogram PET payload: {payload.get('policy')!r}"
+            )
+        self.target_rate = float(payload["target_rate"])
+        capacity = int(payload["capacity"])
+        self._history = [
+            deque((int(v) for v in history), maxlen=capacity)
+            for history in payload["history"]
+        ]
 
 
 @dataclass

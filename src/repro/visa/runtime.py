@@ -26,7 +26,12 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
-from repro.errors import DeadlineMissError, InfeasibleError, ReproError
+from repro.errors import (
+    DeadlineMissError,
+    InfeasibleError,
+    ReproError,
+    SnapshotError,
+)
 from repro.isa import layout
 from repro.memory.machine import Machine
 from repro.pipelines.inorder import InOrderCore
@@ -42,8 +47,14 @@ from repro.visa.speculation import (
     solve_eq2,
     solve_eq4,
 )
+from repro.snapshot.state import FORMAT_VERSION
 from repro.wcet.dcache_pad import calibrate_dcache_bounds
 from repro.workloads.base import Workload
+
+#: Task instances actually simulated per runtime kind since process start
+#: (or the caller's last ``SIM_COUNTS.clear()``).  Benchmarks and tests use
+#: this to verify that warm-up prefix forking really skips simulation.
+SIM_COUNTS = Counter()
 
 
 @dataclass
@@ -125,7 +136,13 @@ class TaskRun:
 
 
 class _RuntimeBase:
-    """Shared scaffolding: program setup, AET plumbing, accounting."""
+    """Shared scaffolding: program setup, AET plumbing, accounting.
+
+    Subclasses define ``kind`` (snapshot/statistics identity) and
+    ``self.core`` (their pipeline) before any shared method runs.
+    """
+
+    kind = "base"
 
     def __init__(
         self,
@@ -177,14 +194,10 @@ class _RuntimeBase:
         return lowest_safe_frequency(self.wcet_fn, budget, self.table)
 
     def write_increments(self, increments: list[int]) -> None:
-        for k, value in enumerate(increments):
-            self.machine.memory.write(self._incr_base + 4 * k, value)
+        self.machine.write_data_words(self._incr_base, increments)
 
     def read_aets(self) -> list[int]:
-        return [
-            self.machine.memory.read(self._aet_base + 4 * k)
-            for k in range(self.num_subtasks)
-        ]
+        return self.machine.read_data_words(self._aet_base, self.num_subtasks)
 
     def reset_task(self, state: CoreState, seed: int) -> dict[str, list]:
         inputs = self.workload.generate_inputs(seed)
@@ -273,9 +286,87 @@ class _RuntimeBase:
             f_rec=pair.rec,
         )
 
+    # -- whole-run drivers -------------------------------------------------------
+
+    def run_span(
+        self, start: int, stop: int, flush_instances: set[int] = frozenset()
+    ) -> list[TaskRun]:
+        """Execute task instances ``[start, stop)``.
+
+        Instance indices are absolute (they seed the input generator and
+        drive the re-evaluation schedule), so a runtime restored from a
+        warm-up snapshot resumes with ``start`` = the snapshot's instance
+        count and produces exactly what a cold run would from that point.
+        """
+        return [
+            self.run_instance(i, flush=i in flush_instances)
+            for i in range(start, stop)
+        ]
+
+    def run(self, flush_instances: set[int] = frozenset()) -> list[TaskRun]:
+        """Execute all configured task instances."""
+        return self.run_span(0, self.config.instances, flush_instances)
+
+    # -- snapshot subsystem ------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Versioned JSON-able capture of the full inter-instance state.
+
+        Valid only at an instance boundary (both pipelines drain there;
+        per-segment timing structures never persist across instances, so
+        machine + core + policy state is the *complete* state).
+        """
+        snap = {
+            "format": FORMAT_VERSION,
+            "kind": self.kind,
+            "machine": self.machine.dump_state(),
+            "core_state": self.core.state.dump_state(),
+            "freq_hz": self.core.freq_hz,
+            "pet": self.pet.dump_state(),
+            "pair": [
+                [self.pair.spec.freq_hz, self.pair.spec.volts],
+                [self.pair.rec.freq_hz, self.pair.rec.volts],
+            ],
+        }
+        snap.update(self._extra_state())
+        return snap
+
+    def restore_state(self, snap: dict) -> None:
+        """Restore a :meth:`snapshot_state` payload into this runtime.
+
+        The runtime must have been constructed for the same workload and
+        configuration; the payload supplies the mutable state only.
+        """
+        if snap.get("format") != FORMAT_VERSION:
+            raise SnapshotError(
+                f"snapshot format {snap.get('format')!r} != {FORMAT_VERSION}"
+            )
+        if snap.get("kind") != self.kind:
+            raise SnapshotError(
+                f"snapshot kind {snap.get('kind')!r} != {self.kind!r}"
+            )
+        self.machine.load_state(snap["machine"])
+        self.core.state.load_state(snap["core_state"])
+        self.core.set_frequency(float(snap["freq_hz"]))
+        self.pet.load_state(snap["pet"])
+        (spec_f, spec_v), (rec_f, rec_v) = snap["pair"]
+        self.pair = FrequencyPair(
+            spec=Setting(freq_hz=float(spec_f), volts=float(spec_v)),
+            rec=Setting(freq_hz=float(rec_f), volts=float(rec_v)),
+        )
+        self._load_extra_state(snap)
+
+    def _extra_state(self) -> dict:
+        return {}
+
+    def _load_extra_state(self, snap: dict) -> None:
+        pass
+
 
 class VISARuntime(_RuntimeBase):
     """Complex processor executing a hard real-time task under VISA."""
+
+    kind = "visa"
 
     def __init__(self, workload, config, spec=None, table=None,
                  dcache_bounds=None):
@@ -319,6 +410,7 @@ class VISARuntime(_RuntimeBase):
         )
 
     def run_instance(self, index: int, flush: bool = False) -> TaskRun:
+        SIM_COUNTS[self.kind] += 1
         phases: list[Phase] = []
         if index and index % self.config.reeval_period == 0:
             self.reevaluate()
@@ -378,12 +470,17 @@ class VISARuntime(_RuntimeBase):
                 self.pet.record(k, aet)
         return self.finish_run(index, phases, busy, mispredicted, self.pair, inputs)
 
-    def run(self, flush_instances: set[int] = frozenset()) -> list[TaskRun]:
-        """Execute all configured task instances."""
-        return [
-            self.run_instance(i, flush=i in flush_instances)
-            for i in range(self.config.instances)
-        ]
+    def _extra_state(self) -> dict:
+        return {
+            "gshare": self.core.gshare.dump_state(),
+            "indirect": self.core.indirect.dump_state(),
+            "plan": self.plan.dump_state(),
+        }
+
+    def _load_extra_state(self, snap: dict) -> None:
+        self.core.gshare.load_state(snap["gshare"])
+        self.core.indirect.load_state(snap["indirect"])
+        self.plan = CheckpointPlan.from_state(snap["plan"])
 
 
 class SimpleFixedRuntime(_RuntimeBase):
@@ -393,6 +490,8 @@ class SimpleFixedRuntime(_RuntimeBase):
     frequency below the non-speculative safe setting, exactly as the paper
     evaluates it.
     """
+
+    kind = "simple"
 
     def __init__(self, workload, config, spec=None, table=None,
                  dcache_bounds=None, allow_speculation: bool = True):
@@ -426,6 +525,7 @@ class SimpleFixedRuntime(_RuntimeBase):
             self.speculating = False
 
     def run_instance(self, index: int, flush: bool = False) -> TaskRun:
+        SIM_COUNTS[self.kind] += 1
         phases: list[Phase] = []
         if index and index % self.config.reeval_period == 0:
             self.reevaluate()
@@ -495,8 +595,12 @@ class SimpleFixedRuntime(_RuntimeBase):
                 self.pet.record(k, aet)
         return self.finish_run(index, phases, busy, mispredicted, self.pair, inputs)
 
-    def run(self, flush_instances: set[int] = frozenset()) -> list[TaskRun]:
-        return [
-            self.run_instance(i, flush=i in flush_instances)
-            for i in range(self.config.instances)
-        ]
+    def _extra_state(self) -> dict:
+        return {"speculating": self.speculating}
+
+    def _load_extra_state(self, snap: dict) -> None:
+        self.speculating = bool(snap["speculating"])
+        # Pipeline-timing state never survives an instance boundary
+        # (run_instance drains first), but reset it anyway so a restored
+        # runtime is indistinguishable from a cold one by inspection.
+        self.core.drain()

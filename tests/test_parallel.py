@@ -86,6 +86,34 @@ class TestFlushSet:
     def test_empty_window(self):
         assert common.flush_set(0, 0.5) == set()
         assert common.flush_set(20, 0.5, start=20) == set()
+        # Start past the end is a degenerate (negative-width) window.
+        assert common.flush_set(10, 1.0, start=15) == set()
+
+    def test_full_fraction_exact_count_default_start(self):
+        # fraction=1.0 must flush the whole steady-state window exactly.
+        assert common.flush_set(40, 1.0) == set(range(20, 40))
+        assert common.flush_set(7, 1.0) == set(range(3, 7))
+
+    @pytest.mark.parametrize("start", [0, 1, 5, 19])
+    def test_non_default_start_exact_count(self, start):
+        flushed = common.flush_set(40, 0.25, start=start)
+        assert len(flushed) == round((40 - start) * 0.25)
+        assert all(start <= i < 40 for i in flushed)
+
+    @pytest.mark.parametrize("fraction", [0.3, 0.7, 0.9, 0.99])
+    def test_indices_strictly_increasing(self, fraction):
+        # The step construction must never collapse two indices into one
+        # (that would silently under-flush near the window edge): sorted
+        # indices are strictly increasing and the count is exact.
+        flushed = sorted(common.flush_set(41, fraction))
+        assert all(b > a for a, b in zip(flushed, flushed[1:]))
+        assert len(flushed) == round((41 - 20) * fraction)
+
+    def test_window_start_helper(self):
+        assert common.flush_window_start(40) == 20
+        assert common.flush_window_start(12) == 6
+        assert common.flush_window_start(100) == 20  # capped warm-up
+        assert common.flush_window_start(40, start=7) == 7  # explicit wins
 
 
 class TestDiskCache:
