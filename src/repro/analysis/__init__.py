@@ -1,0 +1,27 @@
+"""Binary static analysis and lint (``visalint``) over the ISA CFG.
+
+This package turns the assumptions the WCET analyzer and the VISA runtime
+make about programs — statically analyzable code style, ABI conformance,
+bounded loops, sound checkpoint plans — into checkable, debuggable
+diagnostics, in the spirit of Becker et al.'s analysis-friendly WCET
+debugging.  It is organized as:
+
+* :mod:`repro.analysis.dataflow` — a reusable forward/backward worklist
+  engine over :class:`repro.wcet.cfg.FunctionCFG`,
+* :mod:`repro.analysis.regflow` — register-level analyses (liveness,
+  reaching/initialized definitions, interprocedural summaries),
+* :mod:`repro.analysis.stackframe` — a stack-height / alignment abstract
+  interpretation that also audits callee-saved register discipline,
+* :mod:`repro.analysis.diagnostics` — the :class:`Diagnostic` record and
+  severity model,
+* :mod:`repro.analysis.checks` — the lint driver tying it all together.
+
+Entry point: :func:`repro.analysis.checks.lint_program` (re-exported here).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.checks import ALL_CHECKS, lint_program
+from repro.analysis.diagnostics import Diagnostic, Severity
+
+__all__ = ["ALL_CHECKS", "Diagnostic", "Severity", "lint_program"]

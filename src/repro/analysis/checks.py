@@ -1,0 +1,359 @@
+"""The ``visalint`` check catalog and driver.
+
+:func:`lint_program` runs every check over one assembled
+:class:`~repro.isa.program.Program` and returns the diagnostics in
+deterministic order.  The catalog (:data:`ALL_CHECKS`) maps each stable
+check identifier to a one-line description; ``--disable`` on the CLI and
+the ``disable`` parameter here accept those identifiers.
+
+Check layering (later stages are skipped when earlier ones fail, since
+they would analyze a graph that is already known to be wrong):
+
+1. *cfg-error* — the program violates the statically analyzable code
+   style (indirect calls, computed jumps, recursion, escaping control
+   flow); nothing else can run.
+2. Structure checks on the CFG: *unreachable-code*, *loop-bound-missing*,
+   *irreducible-flow*.
+3. Register dataflow: *maybe-uninit-read*, *dead-store*.
+4. Frame abstract interpretation: *callee-saved-clobber*,
+   *return-address-clobber*, *stack-imbalance*, *misaligned-access*,
+   *text-segment-access*, *wild-address*, *frame-mismatch*.
+5. VISA plan checks (only when the WCET analysis itself is runnable):
+   *subtask-structure*, *checkpoint-plan*.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Diagnostic, DiagnosticSink, Severity
+from repro.analysis.regflow import (
+    FunctionSummary,
+    RegSet,
+    compute_summaries,
+    entry_defined_sets,
+    inst_def,
+    inst_uses,
+    solve_defined,
+    solve_liveness,
+    step_defined,
+    step_liveness,
+)
+from repro.analysis.stackframe import StackFrameAnalysis
+from repro.errors import AnalysisError, ReproError
+from repro.isa.disassembler import disassemble_instruction, symbol_context
+from repro.isa.opcodes import Op
+from repro.isa.program import Program
+from repro.isa.registers import ARG_FP, ARG_INT, fp_reg_name, int_reg_name
+from repro.wcet.cfg import ProgramCFG, build_cfg
+from repro.wcet.loops import dominators, find_loops
+
+#: Stable check identifier -> one-line description.
+ALL_CHECKS: dict[str, str] = {
+    "cfg-error": "program is not statically analyzable (CFG construction failed)",
+    "unreachable-code": "text-segment instructions no execution can reach",
+    "loop-bound-missing": "natural loop without a .loopbound annotation",
+    "irreducible-flow": "control flow enters a loop body past its header",
+    "maybe-uninit-read": "register read on a path where it was never written",
+    "dead-store": "register write no instruction can ever observe",
+    "callee-saved-clobber": "callee-saved register not restored at return",
+    "return-address-clobber": "ra does not hold the caller's address at return",
+    "stack-imbalance": "sp not restored to entry height at return",
+    "misaligned-access": "load/store address not 4-byte aligned",
+    "text-segment-access": "data access into the instruction segment",
+    "wild-address": "static load/store outside every known segment",
+    "frame-mismatch": "prologue sp adjustment disagrees with .frame",
+    "subtask-structure": ".subtask markers malformed for EQ 1 partitioning",
+    "checkpoint-plan": "EQ 1 checkpoint plan inconsistent with sub-task WCETs",
+}
+
+#: Checks whose presence makes the WCET/plan stage meaningless.
+_PLAN_BLOCKERS = frozenset(
+    {"cfg-error", "loop-bound-missing", "irreducible-flow"}
+)
+
+#: Argument-register writes are a call-interface contract, not dead code:
+#: a callee is entitled to ignore any of its parameters.
+_ARG_REGS = frozenset(
+    {("i", r) for r in ARG_INT} | {("f", r) for r in ARG_FP}
+)
+
+
+def lint_program(
+    program: Program, disable: frozenset[str] = frozenset()
+) -> list[Diagnostic]:
+    """Run every (non-disabled) check over ``program``.
+
+    Args:
+        program: The assembled program to analyze.
+        disable: Check identifiers (keys of :data:`ALL_CHECKS`) to skip.
+
+    Returns:
+        Diagnostics in deterministic (address, check, register) order.
+
+    Raises:
+        ValueError: if ``disable`` names an unknown check.
+    """
+    unknown = disable - set(ALL_CHECKS)
+    if unknown:
+        raise ValueError(f"unknown checks disabled: {sorted(unknown)}")
+    sink = DiagnosticSink()
+    try:
+        pcfg = build_cfg(program)
+    except AnalysisError as exc:
+        sink.add(
+            Diagnostic(
+                check="cfg-error",
+                severity=Severity.ERROR,
+                message=str(exc),
+                definite=True,
+            )
+        )
+        return _filter(sink, disable)
+
+    reachable = _reachable_functions(pcfg)
+    _check_unreachable(program, pcfg, reachable, sink)
+    _check_loops(program, pcfg, reachable, sink)
+    summaries = compute_summaries(pcfg)
+    _check_uninit(program, pcfg, summaries, reachable, sink)
+    _check_dead_stores(program, pcfg, summaries, reachable, sink)
+    for entry in sorted(reachable):
+        StackFrameAnalysis(
+            program,
+            pcfg.functions[entry],
+            sink,
+            is_entry_function=(entry == program.entry),
+        ).report()
+    if not any(d.check in _PLAN_BLOCKERS for d in sink.items):
+        _check_plan(program, sink)
+    return _filter(sink, disable)
+
+
+def _filter(sink: DiagnosticSink, disable: frozenset[str]) -> list[Diagnostic]:
+    return [d for d in sink.sorted() if d.check not in disable]
+
+
+def _reachable_functions(pcfg: ProgramCFG) -> frozenset[int]:
+    """Function entries reachable from the program entry via calls."""
+    seen = {pcfg.program.entry}
+    worklist = [pcfg.program.entry]
+    while worklist:
+        entry = worklist.pop()
+        for callee in pcfg.call_graph.get(entry, ()):
+            if callee not in seen and callee in pcfg.functions:
+                seen.add(callee)
+                worklist.append(callee)
+    return frozenset(seen)
+
+
+def _check_unreachable(
+    program: Program,
+    pcfg: ProgramCFG,
+    reachable: frozenset[int],
+    sink: DiagnosticSink,
+) -> None:
+    """Flag text addresses no reachable function's blocks cover."""
+    covered: set[int] = set()
+    for entry in reachable:
+        for block in pcfg.functions[entry].blocks.values():
+            covered.update(range(block.start, block.end, 4))
+    dead = [
+        addr
+        for addr in range(program.text_base, program.text_end, 4)
+        if addr not in covered
+    ]
+    for start, span in _runs(dead):
+        inst = program.inst_at(start)
+        sink.add(
+            Diagnostic(
+                check="unreachable-code",
+                severity=Severity.WARNING,
+                message=f"{span} instruction(s) unreachable from program entry",
+                addr=start,
+                instruction=disassemble_instruction(inst),
+                context=symbol_context(program, start),
+                definite=True,
+                span=span,
+            )
+        )
+
+
+def _runs(addrs: list[int]) -> list[tuple[int, int]]:
+    """Group sorted addresses into maximal (start, word-count) runs."""
+    runs: list[tuple[int, int]] = []
+    for addr in addrs:
+        if runs and runs[-1][0] + 4 * runs[-1][1] == addr:
+            runs[-1] = (runs[-1][0], runs[-1][1] + 1)
+        else:
+            runs.append((addr, 1))
+    return runs
+
+
+def _check_loops(
+    program: Program,
+    pcfg: ProgramCFG,
+    reachable: frozenset[int],
+    sink: DiagnosticSink,
+) -> None:
+    """Flag loops without bounds and irreducible regions, per function."""
+    for entry in sorted(reachable):
+        fcfg = pcfg.functions[entry]
+        dom = dominators(fcfg)
+        headers: set[int] = set()
+        for addr, block in fcfg.blocks.items():
+            for _kind, succ in block.successors:
+                if succ is not None and succ in dom.get(addr, set()):
+                    headers.add(succ)
+        for header in sorted(headers):
+            if header in program.loop_bounds:
+                continue
+            inst = program.inst_at(header)
+            sink.add(
+                Diagnostic(
+                    check="loop-bound-missing",
+                    severity=Severity.ERROR,
+                    message="loop has no .loopbound annotation; "
+                    "WCET is not derivable",
+                    addr=header,
+                    instruction=disassemble_instruction(inst),
+                    context=symbol_context(program, header),
+                )
+            )
+        try:
+            find_loops(fcfg, program)
+        except AnalysisError as exc:
+            if "irreducible" in str(exc):
+                sink.add(
+                    Diagnostic(
+                        check="irreducible-flow",
+                        severity=Severity.ERROR,
+                        message=str(exc),
+                        addr=entry,
+                        context=symbol_context(program, entry),
+                    )
+                )
+            # Missing bounds were already reported address-precisely above.
+
+
+def _check_uninit(
+    program: Program,
+    pcfg: ProgramCFG,
+    summaries: dict[int, FunctionSummary],
+    reachable: frozenset[int],
+    sink: DiagnosticSink,
+) -> None:
+    """Flag register reads not dominated by a write (interprocedural)."""
+    entry_sets = entry_defined_sets(pcfg, summaries, reachable)
+    for entry in sorted(reachable):
+        fcfg = pcfg.functions[entry]
+        base: RegSet = entry_sets[entry]
+        result = solve_defined(fcfg, summaries, base)
+        for addr in sorted(fcfg.blocks):
+            state = result.before.get(addr)
+            if state is None:
+                continue
+            block = fcfg.blocks[addr]
+            defined = set(state)
+            for i, inst in enumerate(block.instructions):
+                pc = block.start + 4 * i
+                for ref in inst_uses(inst):
+                    if ref in defined:
+                        continue
+                    bank, num = ref
+                    name = (
+                        int_reg_name(num) if bank == "i" else fp_reg_name(num)
+                    )
+                    sink.add(
+                        Diagnostic(
+                            check="maybe-uninit-read",
+                            severity=Severity.WARNING,
+                            message=f"register {name} may be read before "
+                            "any write initializes it",
+                            addr=pc,
+                            instruction=disassemble_instruction(inst),
+                            context=symbol_context(program, pc),
+                            reg=name,
+                        )
+                    )
+                step_defined(inst, block, defined, summaries)
+
+
+def _check_dead_stores(
+    program: Program,
+    pcfg: ProgramCFG,
+    summaries: dict[int, FunctionSummary],
+    reachable: frozenset[int],
+    sink: DiagnosticSink,
+) -> None:
+    """Flag register writes that no later instruction can observe."""
+    for entry in sorted(reachable):
+        fcfg = pcfg.functions[entry]
+        result = solve_liveness(fcfg, summaries)
+        for addr in sorted(fcfg.blocks):
+            state = result.before.get(addr)
+            if state is None:
+                continue
+            block = fcfg.blocks[addr]
+            live = set(state)
+            for i in range(len(block.instructions) - 1, -1, -1):
+                inst = block.instructions[i]
+                pc = block.start + 4 * i
+                d = inst_def(inst)
+                if (
+                    d is not None
+                    and d not in live
+                    and d not in _ARG_REGS
+                    and inst.op is not Op.JAL
+                ):
+                    bank, num = d
+                    name = (
+                        int_reg_name(num) if bank == "i" else fp_reg_name(num)
+                    )
+                    sink.add(
+                        Diagnostic(
+                            check="dead-store",
+                            severity=Severity.WARNING,
+                            message=f"value written to {name} is never read",
+                            addr=pc,
+                            instruction=disassemble_instruction(inst),
+                            context=symbol_context(program, pc),
+                            reg=name,
+                        )
+                    )
+                step_liveness(inst, block, live, summaries)
+
+
+def _check_plan(program: Program, sink: DiagnosticSink) -> None:
+    """Audit .subtask structure and a canonical EQ 1 checkpoint plan."""
+    if program.num_subtasks == 0:
+        return
+    try:
+        marks = program.subtask_boundaries()
+    except ReproError as exc:
+        sink.add(
+            Diagnostic(
+                check="subtask-structure",
+                severity=Severity.ERROR,
+                message=str(exc),
+            )
+        )
+        return
+    del marks  # structure is sound; addresses themselves are not checked
+    from repro.visa.checkpoints import build_plan, check_plan
+    from repro.wcet.analyzer import WCETAnalyzer
+
+    try:
+        wcet = WCETAnalyzer(program).analyze(1e9)
+        # Canonical feasible configuration: 25% slack plus switch overhead.
+        ovhd = 100 / 1e9
+        deadline = ovhd + wcet.total_seconds * 1.25
+        plan = build_plan(deadline, ovhd, wcet, count_freq_hz=1e9)
+        problems = check_plan(plan, wcet)
+    except ReproError as exc:
+        problems = [str(exc)]
+    for problem in problems:
+        sink.add(
+            Diagnostic(
+                check="checkpoint-plan",
+                severity=Severity.ERROR,
+                message=problem,
+            )
+        )

@@ -1,0 +1,98 @@
+"""Diagnostic records produced by the lint checks.
+
+A :class:`Diagnostic` pinpoints one finding: which check fired, how severe
+it is, the instruction address (with disassembly and enclosing-symbol
+context when available), and whether the finding is *definite* — guaranteed
+to manifest on every execution that reaches the address — or merely
+*possible* (a may-analysis over-approximation).  The differential fuzz
+harness relies on that distinction: an execution trace may never contradict
+a definite diagnostic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is; ordered so ``max()`` picks the worst."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding.
+
+    Attributes:
+        check: Stable kebab-case identifier of the check that fired
+            (e.g. ``"maybe-uninit-read"``); see ``ALL_CHECKS``.
+        severity: :class:`Severity` of the finding.
+        message: Human-readable explanation.
+        addr: Instruction address the finding anchors to (None for
+            whole-program findings such as checkpoint-plan violations).
+        instruction: Disassembled instruction at ``addr`` (else "").
+        context: Enclosing symbol, rendered like ``main+0x14`` (else "").
+        reg: ABI name of the register involved, when one is ("" else).
+        definite: True when every execution reaching ``addr`` exhibits
+            the defect; False for may-analysis findings.
+        span: Number of consecutive instructions covered (>= 1); used by
+            the unreachable-code check to report one finding per region.
+    """
+
+    check: str
+    severity: Severity
+    message: str
+    addr: int | None = None
+    instruction: str = ""
+    context: str = ""
+    reg: str = ""
+    definite: bool = False
+    span: int = 1
+
+    def addresses(self) -> list[int]:
+        """All instruction addresses this finding covers."""
+        if self.addr is None:
+            return []
+        return [self.addr + 4 * k for k in range(self.span)]
+
+    def render(self) -> str:
+        """One-line report, stable enough to grep in CI logs."""
+        where = f"{self.addr:#x}" if self.addr is not None else "<program>"
+        parts = [f"{where}: {self.severity}: [{self.check}] {self.message}"]
+        if self.context:
+            parts.append(f"in {self.context}")
+        if self.instruction:
+            parts.append(f"`{self.instruction}`")
+        return " ".join(parts)
+
+
+def sort_key(diag: Diagnostic) -> tuple[int, str, str]:
+    """Deterministic report order: by address, then check id, then register."""
+    return (-1 if diag.addr is None else diag.addr, diag.check, diag.reg)
+
+
+@dataclass
+class DiagnosticSink:
+    """Accumulates diagnostics, deduplicating identical findings."""
+
+    items: list[Diagnostic] = field(default_factory=list)
+    _seen: set[tuple[str, int | None, str]] = field(default_factory=set)
+
+    def add(self, diag: Diagnostic) -> None:
+        """Record ``diag`` unless an identical (check, addr, reg) exists."""
+        key = (diag.check, diag.addr, diag.reg)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.items.append(diag)
+
+    def sorted(self) -> list[Diagnostic]:
+        """All findings in deterministic report order."""
+        return sorted(self.items, key=sort_key)

@@ -1,0 +1,318 @@
+"""Register-level dataflow: liveness, initialization, and call summaries.
+
+Registers are identified by ``(bank, number)`` pairs exactly as in
+:class:`repro.isa.instruction.Instruction` (``"i"`` integer, ``"f"`` FP).
+Three related analyses share the machinery here:
+
+* **Function summaries** (bottom-up over the call graph, which is acyclic
+  by construction): ``may_use`` — registers a function may read before
+  writing them, transitively through its callees (upward-exposed uses,
+  i.e. live-in at the function entry); and ``must_def`` — registers
+  written on *every* path from entry to return, transitively.
+* **Liveness** (backward, may): drives the dead-store check.  A call site
+  uses the callee's ``may_use`` and kills its ``must_def``, so a store is
+  only reported dead when *no* interprocedural path can read it.
+* **Initialization** (forward, must): drives the maybe-uninit-read check.
+  A register is definitely initialized only if written on every path; a
+  callee's entry state is the intersection of the states at all of its
+  call sites, so reads are flagged at the instruction where they happen,
+  matching what an interpreter trace can observe.
+
+The loader-established environment (``zero``, ``sp``, ``fp``, ``gp``,
+``ra`` and the callee-saved registers, which the ABI lets a prologue spill
+without having written) counts as initialized at program entry; everything
+else — temporaries, argument/value registers, caller-saved FP — must be
+written before it is read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.dataflow import DataflowProblem, DataflowResult, solve
+from repro.isa.instruction import Instruction, RegRef
+from repro.isa.opcodes import Op
+from repro.isa.registers import (
+    CALLEE_SAVED_FP,
+    CALLEE_SAVED_INT,
+    FP,
+    GP,
+    K0,
+    K1,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    RA,
+    SP,
+    V0,
+    V1,
+    ZERO,
+)
+from repro.wcet.cfg import BasicBlock, FunctionCFG, ProgramCFG
+
+RegSet = frozenset[RegRef]
+
+#: Registers the loader/runtime environment establishes before main runs.
+#: Callee-saved registers are included: the ABI entitles a prologue to
+#: spill them before ever writing them, so such reads are not defects.
+LOADER_DEFINED: RegSet = frozenset(
+    {("i", r) for r in (ZERO, SP, FP, GP, RA)}
+    | {("i", r) for r in CALLEE_SAVED_INT}
+    | {("f", r) for r in CALLEE_SAVED_FP}
+)
+
+#: Registers conservatively treated as live when a function returns: the
+#: caller may rely on callee-saved state, the stack/frame/return plumbing,
+#: both return-value registers, and the reserved kernel registers.
+RETURN_LIVE: RegSet = frozenset(
+    {("i", r) for r in (SP, FP, GP, RA, V0, V1, K0, K1)}
+    | {("i", r) for r in CALLEE_SAVED_INT}
+    | {("f", 0), ("f", 2)}
+    | {("f", r) for r in CALLEE_SAVED_FP}
+)
+
+#: The full register universe minus the hardwired zero register.
+UNIVERSE: RegSet = frozenset(
+    {("i", r) for r in range(1, NUM_INT_REGS)}
+    | {("f", r) for r in range(NUM_FP_REGS)}
+)
+
+
+def inst_uses(inst: Instruction) -> tuple[RegRef, ...]:
+    """Source registers of ``inst``, excluding the hardwired zero."""
+    return tuple(ref for ref in inst.sources if ref != ("i", ZERO))
+
+
+def inst_def(inst: Instruction) -> RegRef | None:
+    """Destination register of ``inst`` (None for zero-register writes)."""
+    if inst.dest is None or inst.dest == ("i", ZERO):
+        return None
+    return inst.dest
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """Interprocedural effect of calling one function.
+
+    Attributes:
+        may_use: Registers some path may read before writing (transitive).
+        must_def: Registers every entry-to-return path writes (transitive).
+    """
+
+    may_use: RegSet
+    must_def: RegSet
+
+
+class _LivenessProblem(DataflowProblem[RegSet]):
+    """Backward may-liveness with call-site summaries."""
+
+    forward = False
+
+    def __init__(self, summaries: dict[int, FunctionSummary], exit_live: RegSet):
+        self.summaries = summaries
+        self.exit_live = exit_live
+
+    def bottom(self) -> RegSet:
+        """No register live."""
+        return frozenset()
+
+    def boundary(self) -> RegSet:
+        """Registers assumed live when the function exits."""
+        return self.exit_live
+
+    def join(self, a: RegSet, b: RegSet) -> RegSet:
+        """May-union."""
+        return a | b
+
+    def transfer(self, block: BasicBlock, state: RegSet) -> RegSet:
+        """Live-out -> live-in over the whole block."""
+        live = set(state)
+        for inst in reversed(block.instructions):
+            step_liveness(inst, block, live, self.summaries)
+        return frozenset(live)
+
+
+def step_liveness(
+    inst: Instruction,
+    block: BasicBlock,
+    live: set[RegRef],
+    summaries: dict[int, FunctionSummary],
+) -> None:
+    """Update ``live`` across one instruction, walking backward.
+
+    ``jal`` is modelled as def(ra) followed by the callee's summary
+    effect: the callee certainly overwrites its ``must_def`` set and may
+    read its ``may_use`` set (minus ``ra``, which the ``jal`` itself
+    provides).
+    """
+    if inst.op is Op.JAL and block.call_target is not None:
+        summary = summaries[block.call_target]
+        live -= summary.must_def
+        live.discard(("i", RA))
+        live |= summary.may_use - {("i", RA)}
+        return
+    d = inst_def(inst)
+    if d is not None:
+        live.discard(d)
+    live.update(inst_uses(inst))
+
+
+class _MustDefProblem(DataflowProblem[RegSet | None]):
+    """Forward must-definedness; ``None`` is the optimistic top element."""
+
+    forward = True
+
+    def __init__(self, summaries: dict[int, FunctionSummary], entry: RegSet):
+        self.summaries = summaries
+        self.entry = entry
+
+    def bottom(self) -> RegSet | None:
+        """Unreached: everything may still count as defined."""
+        return None
+
+    def boundary(self) -> RegSet | None:
+        """Definitely-defined set at function entry."""
+        return self.entry
+
+    def join(self, a: RegSet | None, b: RegSet | None) -> RegSet | None:
+        """Must-intersection (``None`` is the identity)."""
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return a & b
+
+    def transfer(self, block: BasicBlock, state: RegSet | None) -> RegSet | None:
+        """Defined-in -> defined-out over the whole block."""
+        if state is None:
+            return None
+        defined = set(state)
+        for inst in block.instructions:
+            step_defined(inst, block, defined, self.summaries)
+        return frozenset(defined)
+
+
+def step_defined(
+    inst: Instruction,
+    block: BasicBlock,
+    defined: set[RegRef],
+    summaries: dict[int, FunctionSummary],
+) -> None:
+    """Update the definitely-defined set across one instruction."""
+    if inst.op is Op.JAL and block.call_target is not None:
+        defined.add(("i", RA))
+        defined |= summaries[block.call_target].must_def
+        return
+    d = inst_def(inst)
+    if d is not None:
+        defined.add(d)
+
+
+def _call_order(pcfg: ProgramCFG) -> list[int]:
+    """Function entries in bottom-up (callees-first) call-graph order."""
+    order: list[int] = []
+    seen: set[int] = set()
+
+    def visit(entry: int) -> None:
+        stack: list[tuple[int, list[int]]] = [
+            (entry, sorted(pcfg.call_graph.get(entry, ())))
+        ]
+        seen.add(entry)
+        while stack:
+            node, pending = stack[-1]
+            while pending:
+                callee = pending.pop()
+                if callee not in seen and callee in pcfg.functions:
+                    seen.add(callee)
+                    stack.append(
+                        (callee, sorted(pcfg.call_graph.get(callee, ())))
+                    )
+                    break
+            else:
+                order.append(node)
+                stack.pop()
+
+    for entry in sorted(pcfg.functions):
+        if entry not in seen:
+            visit(entry)
+    return order
+
+
+def compute_summaries(pcfg: ProgramCFG) -> dict[int, FunctionSummary]:
+    """Bottom-up ``may_use`` / ``must_def`` summaries for every function."""
+    summaries: dict[int, FunctionSummary] = {}
+    for entry in _call_order(pcfg):
+        fcfg = pcfg.functions[entry]
+        live = solve(_LivenessProblem(summaries, frozenset()), fcfg)
+        may_use = live.after.get(fcfg.entry, frozenset())
+        must = solve(_MustDefProblem(summaries, frozenset()), fcfg)
+        exit_states = [
+            must.after[addr]
+            for addr in fcfg.return_blocks
+            if must.after.get(addr) is not None
+        ]
+        if exit_states:
+            must_def: RegSet = frozenset(
+                set.intersection(*[set(s) for s in exit_states])
+            )
+        else:
+            # No path returns (e.g. an infinite loop): vacuously everything.
+            must_def = UNIVERSE
+        summaries[entry] = FunctionSummary(may_use=may_use, must_def=must_def)
+    return summaries
+
+
+def solve_liveness(
+    fcfg: FunctionCFG,
+    summaries: dict[int, FunctionSummary],
+    exit_live: RegSet = RETURN_LIVE,
+) -> DataflowResult[RegSet]:
+    """Backward liveness over one function (``before`` = live-out)."""
+    return solve(_LivenessProblem(summaries, exit_live), fcfg)
+
+
+def solve_defined(
+    fcfg: FunctionCFG,
+    summaries: dict[int, FunctionSummary],
+    entry_defined: RegSet,
+) -> DataflowResult[RegSet | None]:
+    """Forward must-definedness over one function."""
+    return solve(_MustDefProblem(summaries, entry_defined), fcfg)
+
+
+def entry_defined_sets(
+    pcfg: ProgramCFG,
+    summaries: dict[int, FunctionSummary],
+    reachable: frozenset[int],
+) -> dict[int, RegSet]:
+    """Definitely-initialized set at each reachable function's entry.
+
+    The program entry starts from :data:`LOADER_DEFINED`; every other
+    function's entry set is the intersection, over all reachable call
+    sites, of the must-defined state just after the ``jal`` wrote ``ra``.
+    Functions are processed top-down (callers first), which the acyclic
+    call graph permits.
+    """
+    entry_sets: dict[int, RegSet] = {pcfg.program.entry: LOADER_DEFINED}
+    order = [e for e in reversed(_call_order(pcfg)) if e in reachable]
+    for entry in order:
+        fcfg = pcfg.functions[entry]
+        base = entry_sets.setdefault(entry, LOADER_DEFINED)
+        result = solve_defined(fcfg, summaries, base)
+        for addr in sorted(fcfg.blocks):
+            block = fcfg.blocks[addr]
+            if block.call_target is None:
+                continue
+            state = result.before.get(addr)
+            if state is None:
+                continue  # unreached call site constrains nothing
+            defined = set(state)
+            for inst in block.instructions[:-1]:
+                step_defined(inst, block, defined, summaries)
+            defined.add(("i", RA))
+            callee = block.call_target
+            site: RegSet = frozenset(defined)
+            if callee in entry_sets:
+                entry_sets[callee] = entry_sets[callee] & site
+            else:
+                entry_sets[callee] = site
+    return entry_sets

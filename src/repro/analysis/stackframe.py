@@ -1,0 +1,526 @@
+"""Stack-height / alignment abstract interpretation and ABI audit.
+
+Each function is interpreted over a small abstract domain that tracks just
+enough to audit the calling convention and static memory references:
+
+* ``Const(v)`` — a compile-time-known 32-bit value (from ``lui``/``ori``/
+  ``addi`` chains, i.e. ``li``/``la`` expansions and simple arithmetic),
+* ``SpRel(k)`` — ``sp`` at function entry plus ``k`` bytes (the stack
+  pointer and frame pointer live here; ``k`` is usually negative),
+* ``EntryVal(bank, n)`` — whatever value register ``n`` held at function
+  entry (lets a save/restore pair round-trip through the frame),
+* ``Unknown`` — anything else.
+
+Stack memory is modelled as a map from ``SpRel`` offsets to abstract
+values.  Stores through non-``SpRel`` bases are assumed not to alias the
+active frame — minicc never materializes a pointer into its own frame, so
+this can only make the lint *quieter*, never produce a false positive.
+Calls clobber the caller-saved registers, preserve callee-saved state (the
+very property the audit establishes bottom-up), and discard stack slots
+below the current ``sp``.
+
+On every ``jr ra`` the analysis checks the ABI postconditions: callee-saved
+integer and FP registers, ``fp`` and ``gp`` restored to their entry values,
+``sp`` back at entry height (else *stack-imbalance*), and ``ra`` intact
+(else *return-address-clobber*).  Loads and stores with ``Const`` bases are
+checked against the memory map (alignment, text segment, data extent, MMIO
+page, stack region).  A declared ``.frame`` size is cross-checked against
+the prologue's first ``sp`` adjustment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.dataflow import DataflowProblem, solve
+from repro.analysis.diagnostics import Diagnostic, DiagnosticSink, Severity
+from repro.isa import layout
+from repro.isa.disassembler import disassemble_instruction, symbol_context
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.isa.program import Program
+from repro.isa.registers import (
+    CALLEE_SAVED_FP,
+    CALLEE_SAVED_INT,
+    FP,
+    GP,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    RA,
+    SP,
+    ZERO,
+    fp_reg_name,
+    int_reg_name,
+)
+from repro.isa.semantics import to_s32, to_u32
+from repro.wcet.cfg import BasicBlock, FunctionCFG
+
+
+@dataclass(frozen=True)
+class Unknown:
+    """Top element: no information about the value."""
+
+
+@dataclass(frozen=True)
+class Const:
+    """A compile-time-known 32-bit value (signed representation)."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class SpRel:
+    """Entry ``sp`` plus ``offset`` bytes."""
+
+    offset: int
+
+
+@dataclass(frozen=True)
+class EntryVal:
+    """The value register ``(bank, num)`` held at function entry."""
+
+    bank: str
+    num: int
+
+
+AbsVal = Unknown | Const | SpRel | EntryVal
+
+UNKNOWN = Unknown()
+
+#: Integer registers a call may freely overwrite (o32 caller-saved, plus
+#: the assembler/runtime temporaries and the link register itself).
+_CALL_CLOBBERED_INT: frozenset[int] = frozenset(
+    r
+    for r in range(1, NUM_INT_REGS)
+    if r not in CALLEE_SAVED_INT and r not in (SP, FP, GP)
+)
+_CALL_CLOBBERED_FP: frozenset[int] = frozenset(
+    r for r in range(NUM_FP_REGS) if r not in CALLEE_SAVED_FP
+)
+
+
+@dataclass
+class FrameState:
+    """Abstract machine state at one program point within a function."""
+
+    ints: dict[int, AbsVal] = field(default_factory=dict)
+    fps: dict[int, AbsVal] = field(default_factory=dict)
+    stack: dict[int, AbsVal] = field(default_factory=dict)
+
+    def copy(self) -> FrameState:
+        """Independent shallow copy (abstract values are immutable)."""
+        return FrameState(dict(self.ints), dict(self.fps), dict(self.stack))
+
+    def get_int(self, num: int) -> AbsVal:
+        """Abstract value of integer register ``num`` (``r0`` reads 0)."""
+        if num == ZERO:
+            return Const(0)
+        return self.ints.get(num, UNKNOWN)
+
+    def get_fp(self, num: int) -> AbsVal:
+        """Abstract value of FP register ``num``."""
+        return self.fps.get(num, UNKNOWN)
+
+
+def entry_state() -> FrameState:
+    """State at function entry: every register holds its entry value."""
+    ints: dict[int, AbsVal] = {
+        r: EntryVal("i", r) for r in range(1, NUM_INT_REGS)
+    }
+    ints[SP] = SpRel(0)
+    fps: dict[int, AbsVal] = {r: EntryVal("f", r) for r in range(NUM_FP_REGS)}
+    return FrameState(ints=ints, fps=fps, stack={})
+
+
+def _join_val(a: AbsVal, b: AbsVal) -> AbsVal:
+    return a if a == b else UNKNOWN
+
+
+def join_states(a: FrameState, b: FrameState) -> FrameState:
+    """Pointwise join; disagreeing registers become Unknown, disagreeing
+    stack slots are dropped."""
+    ints: dict[int, AbsVal] = {}
+    for r in set(a.ints) | set(b.ints):
+        v = _join_val(a.ints.get(r, UNKNOWN), b.ints.get(r, UNKNOWN))
+        if v != UNKNOWN:
+            ints[r] = v
+    fps: dict[int, AbsVal] = {}
+    for r in set(a.fps) | set(b.fps):
+        v = _join_val(a.fps.get(r, UNKNOWN), b.fps.get(r, UNKNOWN))
+        if v != UNKNOWN:
+            fps[r] = v
+    stack: dict[int, AbsVal] = {
+        off: v for off, v in a.stack.items() if b.stack.get(off) == v
+    }
+    return FrameState(ints=ints, fps=fps, stack=stack)
+
+
+def _fold(inst: Instruction, state: FrameState) -> AbsVal:
+    """Abstract value produced by an integer ALU instruction."""
+    op = inst.op
+    if op is Op.LUI:
+        return Const(to_s32((inst.imm & 0xFFFF) << 16))
+    if op is Op.ORI:
+        base = state.get_int(inst.rs)
+        imm = inst.imm & 0xFFFF
+        if imm == 0:
+            return base
+        if isinstance(base, Const):
+            return Const(to_s32(to_u32(base.value) | imm))
+        return UNKNOWN
+    if op is Op.ADDI:
+        base = state.get_int(inst.rs)
+        if isinstance(base, Const):
+            return Const(to_s32(base.value + inst.imm))
+        if isinstance(base, SpRel):
+            return SpRel(base.offset + inst.imm)
+        return UNKNOWN
+    if op is Op.ADD:
+        lhs, rhs = state.get_int(inst.rs), state.get_int(inst.rt)
+        if isinstance(lhs, Const) and isinstance(rhs, Const):
+            return Const(to_s32(lhs.value + rhs.value))
+        if isinstance(lhs, SpRel) and isinstance(rhs, Const):
+            return SpRel(lhs.offset + rhs.value)
+        if isinstance(lhs, Const) and isinstance(rhs, SpRel):
+            return SpRel(rhs.offset + lhs.value)
+        if isinstance(rhs, Const) and rhs.value == 0:
+            return lhs
+        if isinstance(lhs, Const) and lhs.value == 0:
+            return rhs
+        return UNKNOWN
+    if op is Op.SUB:
+        lhs, rhs = state.get_int(inst.rs), state.get_int(inst.rt)
+        if isinstance(lhs, Const) and isinstance(rhs, Const):
+            return Const(to_s32(lhs.value - rhs.value))
+        if isinstance(lhs, SpRel) and isinstance(rhs, Const):
+            return SpRel(lhs.offset - rhs.value)
+        if isinstance(rhs, Const) and rhs.value == 0:
+            return lhs
+        return UNKNOWN
+    if op is Op.OR:
+        lhs, rhs = state.get_int(inst.rs), state.get_int(inst.rt)
+        if isinstance(lhs, Const) and isinstance(rhs, Const):
+            return Const(to_s32(to_u32(lhs.value) | to_u32(rhs.value)))
+        if isinstance(rhs, Const) and rhs.value == 0:
+            return lhs
+        if isinstance(lhs, Const) and lhs.value == 0:
+            return rhs
+        return UNKNOWN
+    return UNKNOWN
+
+
+class StackFrameAnalysis:
+    """Abstract interpreter for one function; emits ABI/memory diagnostics.
+
+    Run :meth:`solve` first (fixed point without diagnostics), then
+    :meth:`report` to walk every block once with the solved entry states
+    and emit diagnostics into the sink.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        fcfg: FunctionCFG,
+        sink: DiagnosticSink,
+        is_entry_function: bool,
+    ):
+        self.program = program
+        self.fcfg = fcfg
+        self.sink = sink
+        self.is_entry_function = is_entry_function
+        self._data_extent = _data_extent(program)
+
+    # -- fixed point --------------------------------------------------------
+
+    def solve(self) -> dict[int, FrameState | None]:
+        """Fixed-point state at the start of every block."""
+        analysis = self
+
+        class _FrameProblem(DataflowProblem[FrameState | None]):
+            """Forward frame-state propagation (diagnostics suppressed)."""
+
+            forward = True
+
+            def bottom(self) -> FrameState | None:
+                """Unreached."""
+                return None
+
+            def boundary(self) -> FrameState | None:
+                """Function-entry state."""
+                return entry_state()
+
+            def join(
+                self, a: FrameState | None, b: FrameState | None
+            ) -> FrameState | None:
+                """Pointwise join; ``None`` is the identity."""
+                if a is None:
+                    return b
+                if b is None:
+                    return a
+                return join_states(a, b)
+
+            def transfer(
+                self, block: BasicBlock, state: FrameState | None
+            ) -> FrameState | None:
+                """Interpret the whole block abstractly."""
+                if state is None:
+                    return None
+                current = state.copy()
+                for inst in block.instructions:
+                    analysis.step(inst, block, current, emit=False)
+                return current
+
+        result = solve(_FrameProblem(), self.fcfg)
+        return dict(result.before)
+
+    def report(self) -> None:
+        """Walk every reachable block once, emitting diagnostics."""
+        before = self.solve()
+        declared = self.program.frame_sizes.get(self.fcfg.entry)
+        for addr in sorted(self.fcfg.blocks):
+            state = before.get(addr)
+            if state is None:
+                continue
+            current = state.copy()
+            block = self.fcfg.blocks[addr]
+            for inst in block.instructions:
+                sp_written = inst.dest == ("i", SP)
+                self.step(inst, block, current, emit=True)
+                if sp_written and declared is not None and addr == self.fcfg.entry:
+                    self._check_frame_decl(inst, current, declared)
+                    declared = None  # only the first sp write is the prologue
+            if addr == self.fcfg.entry and declared:
+                # Declared a non-empty frame but the entry block never
+                # adjusted sp at all.
+                self._check_frame_decl(block.instructions[0], current, declared)
+                declared = None
+
+    # -- per-instruction semantics ------------------------------------------
+
+    def step(
+        self,
+        inst: Instruction,
+        block: BasicBlock,
+        state: FrameState,
+        emit: bool,
+    ) -> None:
+        """Advance ``state`` across ``inst``; optionally emit diagnostics."""
+        op = inst.op
+        if op is Op.JAL and block.call_target is not None:
+            self._apply_call(state)
+            return
+        if op is Op.JR and inst.rs == RA:
+            if emit:
+                self._check_return(inst, state)
+            return
+        if inst.is_load:
+            value = self._load(inst, state, emit)
+            if inst.dest is not None and inst.dest[1] != ZERO:
+                bank, num = inst.dest
+                if bank == "i":
+                    state.ints[num] = value
+                else:
+                    state.fps[num] = value
+            return
+        if inst.is_store:
+            self._store(inst, state, emit)
+            return
+        if inst.dest is None or inst.dest == ("i", ZERO):
+            return
+        bank, num = inst.dest
+        if bank == "f":
+            # FP arithmetic results are opaque; fmov preserves identity.
+            if op is Op.FMOV:
+                state.fps[num] = state.get_fp(inst.rs)
+            else:
+                state.fps[num] = UNKNOWN
+            return
+        state.ints[num] = _fold(inst, state)
+
+    def _apply_call(self, state: FrameState) -> None:
+        for r in _CALL_CLOBBERED_INT:
+            state.ints[r] = UNKNOWN
+        for r in _CALL_CLOBBERED_FP:
+            state.fps[r] = UNKNOWN
+        sp = state.get_int(SP)
+        if isinstance(sp, SpRel):
+            floor = sp.offset
+            state.stack = {
+                off: v for off, v in state.stack.items() if off >= floor
+            }
+        else:
+            state.stack = {}
+
+    # -- memory -------------------------------------------------------------
+
+    def _load(self, inst: Instruction, state: FrameState, emit: bool) -> AbsVal:
+        base = state.get_int(inst.rs)
+        if isinstance(base, SpRel):
+            off = base.offset + inst.imm
+            if emit:
+                self._check_stack_alignment(inst, off)
+            return state.stack.get(off, UNKNOWN)
+        if isinstance(base, Const) and emit:
+            self._check_static_address(inst, base.value)
+        return UNKNOWN
+
+    def _store(self, inst: Instruction, state: FrameState, emit: bool) -> None:
+        base = state.get_int(inst.rs)
+        if isinstance(base, SpRel):
+            off = base.offset + inst.imm
+            if emit:
+                self._check_stack_alignment(inst, off)
+            bank, num = inst.sources[1]
+            value = state.get_int(num) if bank == "i" else state.get_fp(num)
+            state.stack[off] = value
+            return
+        if isinstance(base, Const) and emit:
+            self._check_static_address(inst, base.value)
+        # Non-SpRel stores are assumed not to alias the active frame.
+
+    # -- diagnostics --------------------------------------------------------
+
+    def _diag(
+        self,
+        check: str,
+        severity: Severity,
+        message: str,
+        inst: Instruction,
+        reg: str = "",
+        definite: bool = False,
+    ) -> None:
+        addr = inst.addr
+        self.sink.add(
+            Diagnostic(
+                check=check,
+                severity=severity,
+                message=message,
+                addr=addr,
+                instruction=disassemble_instruction(inst),
+                context=(
+                    symbol_context(self.program, addr)
+                    if addr is not None
+                    else ""
+                ),
+                reg=reg,
+                definite=definite,
+            )
+        )
+
+    def _check_stack_alignment(self, inst: Instruction, off: int) -> None:
+        if off % 4 == 0:
+            return
+        self._diag(
+            "misaligned-access",
+            Severity.ERROR,
+            f"stack access at entry-sp{off:+#x} is not 4-byte aligned",
+            inst,
+            definite=self.is_entry_function,
+        )
+
+    def _check_static_address(self, inst: Instruction, base_value: int) -> None:
+        addr = to_u32(base_value + inst.imm)
+        if addr % 4 != 0:
+            self._diag(
+                "misaligned-access",
+                Severity.ERROR,
+                f"access to {addr:#x} is not 4-byte aligned",
+                inst,
+                definite=True,
+            )
+            return
+        program = self.program
+        if program.text_base <= addr < program.text_end:
+            self._diag(
+                "text-segment-access",
+                Severity.ERROR,
+                f"data access to {addr:#x} falls inside the text segment",
+                inst,
+                definite=True,
+            )
+            return
+        if layout.is_mmio(addr):
+            return
+        lo, hi = self._data_extent
+        if lo <= addr < hi:
+            return
+        if layout.STACK_TOP - layout.STACK_SIZE <= addr <= layout.STACK_TOP:
+            return
+        self._diag(
+            "wild-address",
+            Severity.WARNING,
+            f"static access to {addr:#x} targets no known segment "
+            f"(data is [{lo:#x}, {hi:#x}))",
+            inst,
+        )
+
+    def _check_frame_decl(
+        self, inst: Instruction, state: FrameState, declared: int
+    ) -> None:
+        sp = state.get_int(SP)
+        if isinstance(sp, SpRel) and sp.offset == -declared:
+            return
+        got = f"entry-sp{sp.offset:+d}" if isinstance(sp, SpRel) else "unknown"
+        self._diag(
+            "frame-mismatch",
+            Severity.WARNING,
+            f"prologue sets sp to {got} but .frame declares {declared} bytes",
+            inst,
+        )
+
+    def _check_return(self, inst: Instruction, state: FrameState) -> None:
+        for r in CALLEE_SAVED_INT:
+            if state.get_int(r) != EntryVal("i", r):
+                self._diag(
+                    "callee-saved-clobber",
+                    Severity.ERROR,
+                    f"callee-saved register {int_reg_name(r)} may not be "
+                    "restored at return",
+                    inst,
+                    reg=int_reg_name(r),
+                )
+        for r in (FP, GP):
+            if state.get_int(r) != EntryVal("i", r):
+                self._diag(
+                    "callee-saved-clobber",
+                    Severity.ERROR,
+                    f"{int_reg_name(r)} may not be restored at return",
+                    inst,
+                    reg=int_reg_name(r),
+                )
+        for r in CALLEE_SAVED_FP:
+            if state.get_fp(r) != EntryVal("f", r):
+                self._diag(
+                    "callee-saved-clobber",
+                    Severity.ERROR,
+                    f"callee-saved register {fp_reg_name(r)} may not be "
+                    "restored at return",
+                    inst,
+                    reg=fp_reg_name(r),
+                )
+        sp = state.get_int(SP)
+        if sp != SpRel(0):
+            got = f"entry-sp{sp.offset:+d}" if isinstance(sp, SpRel) else "unknown"
+            self._diag(
+                "stack-imbalance",
+                Severity.ERROR,
+                f"sp at return is {got}, expected entry height",
+                inst,
+                reg="sp",
+            )
+        if state.get_int(RA) != EntryVal("i", RA):
+            self._diag(
+                "return-address-clobber",
+                Severity.ERROR,
+                "ra at return may not hold the caller's return address",
+                inst,
+                reg="ra",
+            )
+
+
+def _data_extent(program: Program) -> tuple[int, int]:
+    """Half-open address range covered by the static data segment."""
+    if not program.data:
+        return (program.data_base, program.data_base)
+    addrs = sorted(program.data)
+    return (min(program.data_base, addrs[0]), addrs[-1] + 4)

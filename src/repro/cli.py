@@ -9,6 +9,10 @@ Commands:
   print console output and cycle statistics.
 * ``wcet FILE``      — per-sub-task WCETs (``--freq`` selectable).
 * ``pack FILE OUT``  — write a timed binary (program + parameterized WCET).
+* ``lint FILE...``   — static analysis / ABI / WCET-soundness lint
+  (``--workloads`` lints every built-in C-lab workload instead of files;
+  ``--disable ID,ID`` skips checks).  Exit status 1 when any diagnostic
+  is reported.
 * ``experiment NAME``— run table3 / figure2 / figure3 / figure4 /
   ablations (``--jobs N`` fans independent cells across processes;
   ``REPRO_JOBS`` is the environment equivalent; ``--no-cache`` bypasses
@@ -129,6 +133,48 @@ def cmd_pack(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """``lint``: run the static-analysis checks; exit 1 on any finding."""
+    from repro.analysis import ALL_CHECKS, lint_program
+
+    disable = frozenset(
+        name.strip() for name in (args.disable or "").split(",") if name.strip()
+    )
+    unknown = disable - set(ALL_CHECKS)
+    if unknown:
+        print(
+            f"repro: error: unknown checks: {', '.join(sorted(unknown))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    targets: list[tuple[str, object]] = []
+    if args.workloads:
+        from repro.workloads.suite import (
+            EXTRA_WORKLOAD_NAMES,
+            WORKLOAD_NAMES,
+            get_workload,
+        )
+
+        for name in WORKLOAD_NAMES + EXTRA_WORKLOAD_NAMES:
+            targets.append((name, get_workload(name, args.scale).program))
+    for path in args.files:
+        targets.append((path, _load_program(path)))
+    if not targets:
+        print("repro: error: no files given (or use --workloads)", file=sys.stderr)
+        return 2
+
+    total = 0
+    for name, program in targets:
+        diagnostics = lint_program(program, disable=disable)
+        total += len(diagnostics)
+        for diag in diagnostics:
+            print(f"{name}: {diag.render()}")
+    reported = f"{total} diagnostic(s)" if total else "clean"
+    print(f"# lint: {len(targets)} program(s), {reported}", file=sys.stderr)
+    return 1 if total else 0
+
+
 def cmd_trace(args) -> int:
     """``trace``: textbook pipeline diagram on the VISA pipeline."""
     from repro.tools.trace import trace_inorder
@@ -224,6 +270,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("out")
     p.set_defaults(func=cmd_pack)
+
+    p = sub.add_parser("lint", help="static analysis / ABI / WCET lint")
+    p.add_argument("files", nargs="*", help="MiniC or assembly files")
+    p.add_argument(
+        "--workloads",
+        action="store_true",
+        help="lint every built-in C-lab workload",
+    )
+    p.add_argument(
+        "--scale",
+        choices=["tiny", "default", "paper"],
+        default="tiny",
+        help="workload scale for --workloads (default: tiny)",
+    )
+    p.add_argument(
+        "--disable",
+        default="",
+        help="comma-separated check ids to skip (see docs/static_analysis.md)",
+    )
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("trace", help="pipeline diagram on the VISA pipeline")
     p.add_argument("file")

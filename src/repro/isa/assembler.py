@@ -18,6 +18,9 @@ Supported syntax
     increment from ``__visa_incr[K]``).  See paper §2.2 and §4.3.
   - ``.taskend`` — emits the task epilogue snippet (record the final
     sub-task's AET, disable the watchdog).
+  - ``.frame N`` — declares the stack-frame size (bytes) of the function
+    starting at the current text address; ``repro lint`` cross-checks it
+    against the prologue's actual ``sp`` adjustment.
 
 * Pseudo-instructions: ``li``, ``la``, ``move``, ``not``, ``neg``, ``b``,
   ``beqz``, ``bnez``, ``bgt``, ``ble``, ``subi``, ``nop``.
@@ -79,6 +82,7 @@ class _Assembler:
     loop_bounds: dict[int, int] = field(default_factory=dict)
     subtask_marks: dict[int, int] = field(default_factory=dict)
     source_map: dict[int, tuple[int, str]] = field(default_factory=dict)
+    frame_sizes: dict[int, int] = field(default_factory=dict)
 
     def run(self) -> Program:
         self._pass1()
@@ -95,6 +99,7 @@ class _Assembler:
             text_base=self.text_base,
             data_base=self.data_base,
             source_map=dict(self.source_map),
+            frame_sizes=dict(self.frame_sizes),
         )
 
     # -- pass 1 ---------------------------------------------------------------
@@ -137,6 +142,12 @@ class _Assembler:
                 pass
             elif head == ".loopbound":
                 pending_loopbound = self._parse_uint(rest, lineno)
+            elif head == ".frame":
+                if segment != "text":
+                    raise AssemblerError(".frame outside .text", lineno)
+                # Declares the stack-frame size of the function starting at
+                # the current address (the directive follows its label).
+                self.frame_sizes[text_addr] = self._parse_uint(rest, lineno)
             elif head == ".subtask":
                 k = self._parse_uint(rest, lineno)
                 if k > max_subtask + 1:

@@ -57,4 +57,24 @@ def disassemble(word: int, addr: int | None = None) -> str:
     return disassemble_instruction(decode(word, addr))
 
 
-__all__ = ["disassemble", "disassemble_instruction"]
+def symbol_context(program, addr: int) -> str:
+    """Render ``addr`` relative to its enclosing text symbol.
+
+    Returns e.g. ``"main+0x14"`` (or ``"main"`` at the symbol itself); an
+    empty string when no text symbol lies at or below ``addr``.  Used by
+    the static analyzer to anchor diagnostics to readable locations.
+    """
+    if not (program.text_base <= addr < program.text_end):
+        return ""
+    best_name, best_addr = "", -1
+    for name, sym_addr in program.symbols.items():
+        if sym_addr <= addr and sym_addr > best_addr:
+            if program.text_base <= sym_addr < program.text_end:
+                best_name, best_addr = name, sym_addr
+    if best_addr < 0:
+        return f"{addr:#x}"
+    offset = addr - best_addr
+    return best_name if offset == 0 else f"{best_name}+{offset:#x}"
+
+
+__all__ = ["disassemble", "disassemble_instruction", "symbol_context"]

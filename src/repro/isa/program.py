@@ -35,6 +35,9 @@ class Program:
         text_base: Base address of the text segment.
         data_base: Base address of the data segment.
         source_map: Instruction address -> (line number, source text).
+        frame_sizes: Function entry address -> declared stack-frame bytes
+            (from ``.frame`` directives); advisory metadata the static
+            analyzer cross-checks against the actual prologue.
     """
 
     words: list[int]
@@ -46,6 +49,7 @@ class Program:
     text_base: int = layout.TEXT_BASE
     data_base: int = layout.DATA_BASE
     source_map: dict[int, tuple[int, str]] = field(default_factory=dict)
+    frame_sizes: dict[int, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self._insts: list[Instruction] = [

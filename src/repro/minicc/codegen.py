@@ -208,6 +208,7 @@ class CodeGen:
         frame = (frame + 7) & ~7
 
         self.emit_label(f.name)
+        self.lines.append(f".frame {frame}")
         self.emit(f"subi sp, sp, {frame}")
         self.emit(f"sw ra, {frame - 4}(sp)")
         self.emit(f"sw fp, {frame - 8}(sp)")

@@ -31,7 +31,13 @@ MAX_BODY_STATEMENTS = 60
 
 
 def inline_module(module: ast.Module, max_rounds: int = 4) -> ast.Module:
-    """Inline eligible calls; returns the same module, rewritten."""
+    """Inline eligible calls; returns the same module, rewritten.
+
+    Helpers whose every call site was inlined are dropped afterwards
+    (``gcc -O3`` does the same for ``static`` helpers): emitting their
+    never-called out-of-line bodies would only distort the I-cache layout
+    and trip the lint's unreachable-code check.
+    """
     functions = {f.name: f for f in module.functions}
     for _ in range(max_rounds):
         changed = False
@@ -41,12 +47,86 @@ def inline_module(module: ast.Module, max_rounds: int = 4) -> ast.Module:
             changed |= rewriter.changed
         if not changed:
             break
+    if "main" in functions:
+        live = _live_functions(functions)
+        module.functions = [f for f in module.functions if f.name in live]
     return module
+
+
+def _live_functions(functions: dict[str, ast.Function]) -> set[str]:
+    """Names reachable from ``main`` through remaining call expressions."""
+    live = {"main"}
+    worklist = ["main"]
+    while worklist:
+        func = functions.get(worklist.pop())
+        if func is None:
+            continue
+        for name in _called_names(func.body):
+            if name not in live:
+                live.add(name)
+                worklist.append(name)
+    return live
+
+
+def _called_names(stmt: ast.Stmt) -> set[str]:
+    """All function names called anywhere under ``stmt``."""
+    names: set[str] = set()
+
+    def walk_expr(expr: ast.Expr | None) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, ast.Call):
+            names.add(expr.name)
+            for arg in expr.args:
+                walk_expr(arg)
+        elif isinstance(expr, ast.Binary):
+            walk_expr(expr.left)
+            walk_expr(expr.right)
+        elif isinstance(expr, (ast.Unary, ast.Cast)):
+            walk_expr(expr.operand)
+        elif isinstance(expr, ast.Assign):
+            walk_expr(expr.target)
+            walk_expr(expr.value)
+        elif isinstance(expr, ast.Index):
+            for index in expr.indices:
+                walk_expr(index)
+
+    def walk_stmt(node: ast.Stmt) -> None:
+        if isinstance(node, ast.Block):
+            for inner in node.stmts:
+                walk_stmt(inner)
+        elif isinstance(node, ast.Decl):
+            walk_expr(node.init)
+        elif isinstance(node, ast.ExprStmt):
+            walk_expr(node.expr)
+        elif isinstance(node, ast.If):
+            walk_expr(node.cond)
+            walk_stmt(node.then)
+            if node.els:
+                walk_stmt(node.els)
+        elif isinstance(node, ast.While):
+            walk_expr(node.cond)
+            walk_stmt(node.body)
+        elif isinstance(node, ast.For):
+            walk_expr(node.init)
+            walk_expr(node.cond)
+            walk_expr(node.step)
+            walk_stmt(node.body)
+        elif isinstance(node, (ast.Return, ast.Out)):
+            walk_expr(node.value)
+
+    walk_stmt(stmt)
+    return names
 
 
 def _eligible(func: ast.Function) -> bool:
     stmts = func.body.stmts
     if _count_statements(func.body) > MAX_BODY_STATEMENTS:
+        return False
+    if _has_marker(func.body):
+        # Sub-task markers are position-sensitive (each index must appear
+        # exactly once, in main): inlining would duplicate them and hide
+        # the marker-outside-main diagnostic.
         return False
     returns = _count_returns(func.body)
     if func.ret_type == "void":
@@ -68,6 +148,21 @@ def _count_statements(stmt: ast.Stmt) -> int:
     elif isinstance(stmt, (ast.While, ast.For)):
         total += _count_statements(stmt.body)
     return total
+
+
+def _has_marker(stmt: ast.Stmt) -> bool:
+    """True when ``stmt`` contains a ``__subtask``/``__taskend`` marker."""
+    if isinstance(stmt, (ast.Subtask, ast.TaskEnd)):
+        return True
+    if isinstance(stmt, ast.Block):
+        return any(_has_marker(s) for s in stmt.stmts)
+    if isinstance(stmt, ast.If):
+        if _has_marker(stmt.then):
+            return True
+        return stmt.els is not None and _has_marker(stmt.els)
+    if isinstance(stmt, (ast.While, ast.For)):
+        return _has_marker(stmt.body)
+    return False
 
 
 def _count_returns(stmt: ast.Stmt) -> int:

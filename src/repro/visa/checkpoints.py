@@ -100,6 +100,60 @@ def watchdog_increments(checkpoints: list[float], count_freq_hz: float) -> list[
     return increments
 
 
+def check_plan(plan: CheckpointPlan, wcet_rec: TaskWCET) -> list[str]:
+    """Audit a checkpoint plan against EQ 1 and the watchdog protocol.
+
+    Verifies that the plan has one checkpoint per sub-task, that interim
+    deadlines are positive and strictly increasing, that each equals
+    ``deadline - ovhd - tail`` for the given recovery-frequency WCETs, and
+    that the watchdog increments are the floor-quantized checkpoint deltas
+    and give the counter at least one cycle per sub-task.
+
+    Returns a list of human-readable problems (empty when sound).  Used by
+    ``repro lint`` and the defect-corpus tests; it never raises.
+    """
+    problems: list[str] = []
+    count = len(wcet_rec.subtasks)
+    cps = plan.checkpoints
+    if len(cps) != count:
+        problems.append(
+            f"plan has {len(cps)} checkpoints for {count} sub-tasks"
+        )
+        return problems
+    if len(plan.increments) != count:
+        problems.append(
+            f"plan has {len(plan.increments)} increments for {count} sub-tasks"
+        )
+        return problems
+    for i, cp in enumerate(cps):
+        if cp <= 0:
+            problems.append(f"checkpoint {i} is not positive ({cp:.9g} s)")
+        expected = plan.deadline - plan.ovhd - wcet_rec.tail_seconds(i)
+        if not math.isclose(cp, expected, rel_tol=1e-9, abs_tol=1e-12):
+            problems.append(
+                f"checkpoint {i} is {cp:.9g} s, EQ 1 gives {expected:.9g} s"
+            )
+    for prev_i, (prev, cur) in enumerate(zip(cps, cps[1:])):
+        if cur <= prev:
+            problems.append(
+                f"checkpoints not strictly increasing: "
+                f"checkpoint {prev_i + 1} ({cur:.9g} s) <= "
+                f"checkpoint {prev_i} ({prev:.9g} s)"
+            )
+    expected_incs = watchdog_increments(cps, plan.count_freq_hz)
+    for i, (got, want) in enumerate(zip(plan.increments, expected_incs)):
+        if got != want:
+            problems.append(
+                f"watchdog increment {i} is {got} cycles, expected {want}"
+            )
+        if got < 1:
+            problems.append(
+                f"watchdog increment {i} ({got} cycles) gives the counter "
+                "no budget"
+            )
+    return problems
+
+
 def build_plan(
     deadline: float,
     ovhd: float,

@@ -85,23 +85,52 @@ class ProgramCFG:
     def entry_function(self) -> FunctionCFG:
         return self.functions[self.program.entry]
 
+    def _describe_function(self, addr: int) -> str:
+        """Symbol name of the function at ``addr`` (hex when unnamed)."""
+        cfg = self.functions.get(addr)
+        if cfg is not None and cfg.name:
+            return f"{cfg.name} ({addr:#x})"
+        return hex(addr)
+
     def check_no_recursion(self) -> None:
-        """Raise if the call graph has a cycle (unanalyzable)."""
+        """Raise if the call graph has a cycle (unanalyzable).
+
+        The traversal is an explicit-stack DFS, so arbitrarily deep
+        (synthetic) call chains cannot hit Python's recursion limit.
+
+        Raises:
+            AnalysisError: naming the call chain of the offending cycle.
+        """
+        # 0 = unvisited, 1 = on the current DFS path, 2 = fully explored.
         color: dict[int, int] = {}
-
-        def visit(node: int, stack: tuple[int, ...]) -> None:
-            if color.get(node) == 2:
-                return
-            if color.get(node) == 1:
-                names = " -> ".join(hex(a) for a in stack + (node,))
-                raise AnalysisError(f"recursive call cycle: {names}")
-            color[node] = 1
-            for callee in self.call_graph.get(node, ()):
-                visit(callee, stack + (node,))
-            color[node] = 2
-
-        for func in self.functions:
-            visit(func, ())
+        for root in self.functions:
+            if color.get(root):
+                continue
+            # Each stack entry is (node, iterator over its callees); the
+            # stack itself is the current call chain for error reporting.
+            stack: list[tuple[int, list[int]]] = [
+                (root, sorted(self.call_graph.get(root, ())))
+            ]
+            color[root] = 1
+            while stack:
+                node, pending = stack[-1]
+                if not pending:
+                    color[node] = 2
+                    stack.pop()
+                    continue
+                callee = pending.pop()
+                state = color.get(callee, 0)
+                if state == 2:
+                    continue
+                if state == 1:
+                    chain = [entry for entry, _ in stack] + [callee]
+                    start = chain.index(callee)
+                    names = " -> ".join(
+                        self._describe_function(a) for a in chain[start:]
+                    )
+                    raise AnalysisError(f"recursive call cycle: {names}")
+                color[callee] = 1
+                stack.append((callee, sorted(self.call_graph.get(callee, ()))))
 
 
 def _function_entries(program: Program) -> set[int]:

@@ -114,3 +114,32 @@ class TestDominatorsAndLoops:
         syms = pcfg.program.symbols
         assert forest.innermost(syms["inner"]).header == syms["inner"]
         assert forest.innermost(func.entry) is None
+
+
+class TestRecursionCheck:
+    def test_deep_call_chain_does_not_overflow(self):
+        # A call chain far past Python's default recursion limit: the
+        # cycle check must be iterative, not call-stack recursive.
+        depth = 5000
+        lines = ["main:", "    jal f0", "    halt"]
+        for i in range(depth):
+            lines.append(f"f{i}:")
+            if i + 1 < depth:
+                lines.append(f"    jal f{i + 1}")
+            lines.append("    jr ra")
+        pcfg = cfg_of("\n".join(lines))
+        assert len(pcfg.functions) == depth + 1
+
+    def test_call_cycle_names_the_chain(self):
+        source = "\n".join(
+            [
+                "main:", "    jal ping", "    halt",
+                "ping:", "    jal pong", "    jr ra",
+                "pong:", "    jal ping", "    jr ra",
+            ]
+        )
+        with pytest.raises(AnalysisError) as excinfo:
+            cfg_of(source)
+        message = str(excinfo.value)
+        assert "recursive call cycle" in message
+        assert "ping" in message and "pong" in message

@@ -1,0 +1,344 @@
+"""Seeded-defect corpus for ``repro lint``.
+
+Each hand-written assembly program triggers exactly one diagnostic class
+(well beyond the required five classes), and the tests pin down the
+reported address, register, severity, and definiteness — so a regression
+in any check's precision shows up as a changed address or a spurious
+second finding, not just a changed count.
+"""
+
+import pytest
+
+from repro.analysis import Diagnostic, Severity, lint_program
+from repro.analysis.checks import ALL_CHECKS
+from repro.isa.assembler import assemble
+from repro.isa.opcodes import Op
+from repro.visa.checkpoints import build_plan, check_plan
+from repro.wcet.analyzer import SubtaskWCET, TaskWCET
+
+
+def lint_asm(source: str):
+    program = assemble(source)
+    return program, lint_program(program)
+
+
+def addr_of(program, op: Op, n: int = 0) -> int:
+    """Address of the n-th instruction with opcode ``op``."""
+    hits = [inst.addr for inst in program.instructions if inst.op is op]
+    return hits[n]
+
+
+def classes(diags: list[Diagnostic]) -> set[str]:
+    return {d.check for d in diags}
+
+
+class TestDefectCorpus:
+    def test_maybe_uninit_read(self):
+        program, diags = lint_asm(
+            """
+            .data
+            buf: .word 0, 0
+            .text
+            main:
+                la t1, buf
+                add t2, t0, t0
+                sw t2, 0(t1)
+                halt
+            """
+        )
+        assert classes(diags) == {"maybe-uninit-read"}
+        (diag,) = diags
+        assert diag.addr == addr_of(program, Op.ADD)
+        assert diag.reg == "t0"
+        assert diag.severity == Severity.WARNING
+        assert not diag.definite
+        assert "add t2, t0, t0" in diag.instruction
+        assert diag.context.startswith("main")
+
+    def test_dead_store(self):
+        program, diags = lint_asm(
+            """
+            .data
+            buf: .word 0
+            .text
+            main:
+                li t0, 1
+                li t0, 2
+                la t1, buf
+                sw t0, 0(t1)
+                halt
+            """
+        )
+        assert classes(diags) == {"dead-store"}
+        (diag,) = diags
+        # The dead write is the *first* li (overwritten before any read).
+        assert diag.addr == program.text_base
+        assert diag.reg == "t0"
+        assert diag.severity == Severity.WARNING
+
+    def test_callee_saved_clobber(self):
+        program, diags = lint_asm(
+            """
+            main:
+                jal f
+                halt
+            f:
+                li s0, 5
+                jr ra
+            """
+        )
+        assert classes(diags) == {"callee-saved-clobber"}
+        (diag,) = diags
+        assert diag.addr == addr_of(program, Op.JR)
+        assert diag.reg == "s0"
+        assert diag.severity == Severity.ERROR
+        assert diag.context.startswith("f")
+
+    def test_return_address_clobber(self):
+        program, diags = lint_asm(
+            """
+            main:
+                jal f
+                halt
+            f:
+                li ra, 0
+                jr ra
+            """
+        )
+        assert classes(diags) == {"return-address-clobber"}
+        (diag,) = diags
+        assert diag.addr == addr_of(program, Op.JR)
+        assert diag.reg == "ra"
+        assert diag.severity == Severity.ERROR
+
+    def test_stack_imbalance(self):
+        program, diags = lint_asm(
+            """
+            main:
+                jal f
+                halt
+            f:
+                subi sp, sp, 8
+                jr ra
+            """
+        )
+        assert classes(diags) == {"stack-imbalance"}
+        (diag,) = diags
+        assert diag.addr == addr_of(program, Op.JR)
+        assert diag.reg == "sp"
+        assert diag.severity == Severity.ERROR
+
+    def test_misaligned_access(self):
+        program, diags = lint_asm(
+            """
+            .data
+            buf: .word 1, 2
+            .text
+            main:
+                la t0, buf
+                lw t1, 2(t0)
+                sw t1, 0(t0)
+                halt
+            """
+        )
+        assert classes(diags) == {"misaligned-access"}
+        (diag,) = diags
+        assert diag.addr == addr_of(program, Op.LW)
+        assert diag.severity == Severity.ERROR
+        assert diag.definite  # every execution reaching it faults
+
+    def test_text_segment_access(self):
+        program, diags = lint_asm(
+            """
+            .data
+            buf: .word 0
+            .text
+            main:
+                la t0, main
+                lw t1, 0(t0)
+                la t2, buf
+                sw t1, 0(t2)
+                halt
+            """
+        )
+        assert classes(diags) == {"text-segment-access"}
+        (diag,) = diags
+        assert diag.addr == addr_of(program, Op.LW)
+        assert diag.severity == Severity.ERROR
+        assert diag.definite
+
+    def test_wild_address(self):
+        program, diags = lint_asm(
+            """
+            main:
+                lui t0, 0x2000
+                lw t1, 0(t0)
+                sw t1, 4(t0)
+                halt
+            """
+        )
+        assert classes(diags) == {"wild-address"}
+        assert {d.addr for d in diags} == {
+            addr_of(program, Op.LW),
+            addr_of(program, Op.SW),
+        }
+        assert all(d.severity == Severity.WARNING for d in diags)
+        assert not any(d.definite for d in diags)
+
+    def test_unreachable_code(self):
+        program, diags = lint_asm(
+            """
+            main:
+                j end
+                li t0, 1
+                li t1, 2
+            end:
+                halt
+            """
+        )
+        assert classes(diags) == {"unreachable-code"}
+        (diag,) = diags
+        assert diag.addr == program.text_base + 4
+        assert diag.span == 2
+        assert diag.addresses() == [program.text_base + 4, program.text_base + 8]
+        assert diag.severity == Severity.WARNING
+        assert diag.definite
+
+    def test_loop_bound_missing(self):
+        program, diags = lint_asm(
+            """
+            main:
+                li t0, 4
+            loop:
+                subi t0, t0, 1
+                bnez t0, loop
+                halt
+            """
+        )
+        assert classes(diags) == {"loop-bound-missing"}
+        (diag,) = diags
+        assert diag.addr == program.address_of("loop")
+        assert diag.severity == Severity.ERROR
+
+    def test_frame_mismatch(self):
+        program, diags = lint_asm(
+            """
+            main:
+                jal f
+                halt
+            f:
+                .frame 16
+                subi sp, sp, 8
+                addi sp, sp, 8
+                jr ra
+            """
+        )
+        assert program.frame_sizes == {program.address_of("f"): 16}
+        assert classes(diags) == {"frame-mismatch"}
+        (diag,) = diags
+        assert diag.addr == addr_of(program, Op.ADDI, 0)
+        assert diag.severity == Severity.WARNING
+
+    def test_cfg_error_on_indirect_call(self):
+        _, diags = lint_asm(
+            """
+            main:
+                la t0, main
+                jalr ra, t0
+                halt
+            """
+        )
+        assert classes(diags) == {"cfg-error"}
+        (diag,) = diags
+        assert diag.severity == Severity.ERROR
+        assert "indirect call" in diag.message
+
+    def test_clean_program_is_clean(self):
+        _, diags = lint_asm(
+            """
+            .data
+            buf: .word 0, 0
+            .text
+            main:
+                li t0, 3
+                la t1, buf
+                sw t0, 0(t1)
+                lw t2, 0(t1)
+                sw t2, 4(t1)
+                halt
+            """
+        )
+        assert diags == []
+
+
+class TestDiagnosticFramework:
+    def test_corpus_covers_at_least_five_classes(self):
+        # The class coverage the satellite task requires, kept as an
+        # explicit self-check of this file.
+        covered = {
+            "maybe-uninit-read", "dead-store", "callee-saved-clobber",
+            "return-address-clobber", "stack-imbalance", "misaligned-access",
+            "text-segment-access", "wild-address", "unreachable-code",
+            "loop-bound-missing", "frame-mismatch", "cfg-error",
+        }
+        assert len(covered) >= 5
+        assert covered <= set(ALL_CHECKS)
+
+    def test_disable_filters_and_validates(self):
+        program = assemble("main:\n    j end\n    li t0, 1\nend:\n    halt\n")
+        assert lint_program(program, disable=frozenset({"unreachable-code"})) == []
+        with pytest.raises(ValueError):
+            lint_program(program, disable=frozenset({"no-such-check"}))
+
+    def test_render_mentions_check_and_address(self):
+        program = assemble("main:\n    j end\n    li t0, 1\nend:\n    halt\n")
+        (diag,) = lint_program(program)
+        text = diag.render()
+        assert "[unreachable-code]" in text
+        assert f"{program.text_base + 4:#x}" in text
+
+
+def _wcet(subtask_cycles: list[int], freq_hz: float = 1e9) -> TaskWCET:
+    return TaskWCET(
+        freq_hz=freq_hz,
+        stall=10,
+        subtasks=[
+            SubtaskWCET(index=i, cycles=c, stall=10)
+            for i, c in enumerate(subtask_cycles)
+        ],
+    )
+
+
+class TestCheckPlan:
+    def test_sound_plan_is_clean(self):
+        wcet = _wcet([1000, 2000, 1500])
+        plan = build_plan(1e-5, 1e-7, wcet, count_freq_hz=1e9)
+        assert check_plan(plan, wcet) == []
+
+    def test_count_mismatch(self):
+        wcet = _wcet([1000, 2000])
+        plan = build_plan(1e-5, 1e-7, wcet, count_freq_hz=1e9)
+        plan.checkpoints.append(plan.checkpoints[-1] + 1e-6)
+        problems = check_plan(plan, wcet)
+        assert any("3 checkpoints for 2 sub-tasks" in p for p in problems)
+
+    def test_non_increasing_checkpoints(self):
+        wcet = _wcet([1000, 2000, 1500])
+        plan = build_plan(1e-5, 1e-7, wcet, count_freq_hz=1e9)
+        plan.checkpoints[1] = plan.checkpoints[0]  # stall the schedule
+        problems = check_plan(plan, wcet)
+        assert any("strictly increasing" in p for p in problems)
+
+    def test_eq1_inconsistency(self):
+        wcet = _wcet([1000, 2000, 1500])
+        plan = build_plan(1e-5, 1e-7, wcet, count_freq_hz=1e9)
+        plan.checkpoints[2] += 1e-6  # drifts off EQ 1
+        problems = check_plan(plan, wcet)
+        assert any("EQ 1" in p for p in problems)
+
+    def test_wrong_increments(self):
+        wcet = _wcet([1000, 2000, 1500])
+        plan = build_plan(1e-5, 1e-7, wcet, count_freq_hz=1e9)
+        plan.increments[1] += 7
+        problems = check_plan(plan, wcet)
+        assert any("watchdog increment 1" in p for p in problems)

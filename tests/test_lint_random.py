@@ -1,0 +1,183 @@
+"""Differential soundness fuzz for ``repro lint``.
+
+An instrumented architectural interpreter (the *observer*) executes a
+program while recording, per dynamic instruction, every register read
+that happens before any write to that register.  Linting the same
+program must then satisfy three soundness obligations on 200 randomized
+MiniC programs (the generator from ``test_cross_core_random``):
+
+* every observed read-before-write is covered by a *maybe-uninit-read*
+  diagnostic at that exact address and register;
+* no address the trace executed lies inside an *unreachable-code* span;
+* no *dead-store* diagnostic names a write the trace saw a later read of.
+
+The observer starts from the same :data:`LOADER_DEFINED` register set the
+analysis assumes pre-initialized at program entry, so the two sides share
+one ABI model and any divergence is a genuine analysis bug.
+"""
+
+import pytest
+
+from repro.analysis import lint_program
+from repro.analysis.regflow import LOADER_DEFINED
+from repro.isa import layout
+from repro.isa.assembler import assemble
+from repro.isa.opcodes import Op
+from repro.isa.registers import fp_reg_name, int_reg_name
+from repro.isa.semantics import execute
+from repro.memory.machine import Machine
+from repro.minicc import compile_source
+from repro.pipelines.state import CoreState
+
+from tests.test_cross_core_random import _program
+
+N_PROGRAMS = 200
+CHUNK = 25
+
+
+class Observation:
+    """What one architectural run revealed about register traffic."""
+
+    def __init__(self):
+        #: (pc, bank, num) of reads before any dynamic write of that reg.
+        self.read_before_write: set[tuple[int, str, int]] = set()
+        #: Addresses of every executed instruction.
+        self.executed: set[int] = set()
+        #: Addresses of register writes some later instruction read.
+        self.observed_writers: set[int] = set()
+
+
+def run_observed(program, max_steps: int = 500_000) -> Observation:
+    """Interpret ``program`` with instrumented register-read closures."""
+    obs = Observation()
+    state = CoreState(pc=program.entry)
+    machine = Machine(program)
+    written: set[tuple[str, int]] = set(LOADER_DEFINED)
+    last_writer: dict[tuple[str, int], int] = {}
+    pc_cell = [program.entry]
+
+    def note_read(bank: str, num: int) -> None:
+        if bank == "i" and num == 0:
+            return
+        ref = (bank, num)
+        if ref not in written:
+            obs.read_before_write.add((pc_cell[0], bank, num))
+        writer = last_writer.get(ref)
+        if writer is not None:
+            obs.observed_writers.add(writer)
+
+    def read_int(num: int) -> int:
+        note_read("i", num)
+        return state.read_int(num)
+
+    def read_fp(num: int) -> float:
+        note_read("f", num)
+        return state.read_fp(num)
+
+    for _ in range(max_steps):
+        pc = state.pc
+        pc_cell[0] = pc
+        inst = program.inst_at(pc)
+        obs.executed.add(pc)
+        res = execute(inst, read_int, read_fp)
+        if inst.is_load:
+            if layout.is_mmio(res.eff_addr):
+                value = machine.mmio.read(res.eff_addr, state.now)
+            else:
+                value, _ = machine.data_read(res.eff_addr, state.now)
+            state.write_reg(inst.dest, value)
+        elif inst.is_store:
+            if layout.is_mmio(res.eff_addr):
+                machine.mmio.write(res.eff_addr, res.store_value, state.now)
+            else:
+                machine.data_write(res.eff_addr, res.store_value, state.now)
+        elif inst.dest is not None:
+            state.write_reg(inst.dest, res.value)
+        if inst.dest is not None and inst.dest != ("i", 0):
+            written.add(inst.dest)
+            last_writer[inst.dest] = pc
+        state.pc = res.target if res.target is not None else pc + 4
+        if res.halt:
+            return obs
+    raise AssertionError("program did not halt within the step budget")
+
+
+def assert_lint_sound(program, obs: Observation) -> None:
+    """Check the three trace-vs-lint soundness obligations."""
+    diags = lint_program(program)
+
+    uninit = {
+        (d.addr, d.reg) for d in diags if d.check == "maybe-uninit-read"
+    }
+    for pc, bank, num in sorted(obs.read_before_write):
+        name = int_reg_name(num) if bank == "i" else fp_reg_name(num)
+        assert (pc, name) in uninit, (
+            f"trace read {name} before any write at {pc:#x} "
+            "but lint did not flag it"
+        )
+
+    for d in diags:
+        if d.check == "unreachable-code":
+            overlap = obs.executed.intersection(d.addresses())
+            assert not overlap, (
+                f"lint called {sorted(map(hex, overlap))} unreachable "
+                "but the trace executed them"
+            )
+        elif d.check == "dead-store":
+            assert d.addr not in obs.observed_writers, (
+                f"lint called the write at {d.addr:#x} ({d.reg}) dead "
+                "but the trace observed a later read of it"
+            )
+
+
+@pytest.mark.parametrize("chunk", range(N_PROGRAMS // CHUNK))
+def test_lint_sound_on_random_programs(chunk):
+    """Lint never crashes and never contradicts the observer's trace."""
+    for seed in range(chunk * CHUNK, (chunk + 1) * CHUNK):
+        program = compile_source(_program(seed))
+        obs = run_observed(program)
+        assert_lint_sound(program, obs)
+
+
+def test_observer_sees_seeded_uninit_read():
+    """Positive control: a genuine uninit read is caught by BOTH sides."""
+    program = assemble(
+        """
+        .data
+        buf: .word 0
+        .text
+        main:
+            la t1, buf
+            add t2, t0, t0
+            sw t2, 0(t1)
+            halt
+        """
+    )
+    obs = run_observed(program)
+    (add_addr,) = [i.addr for i in program.instructions if i.op is Op.ADD]
+    assert (add_addr, "i", 8) in obs.read_before_write
+    assert_lint_sound(program, obs)
+
+
+def test_observer_loader_defined_regs_are_not_rbw():
+    """Reading a callee-saved/ABI register at entry is not read-before-write."""
+    program = assemble(
+        """
+        .data
+        buf: .word 0
+        .text
+        main:
+            subi sp, sp, 8
+            sw s0, 0(sp)
+            sw ra, 4(sp)
+            la t1, buf
+            sw gp, 0(t1)
+            lw s0, 0(sp)
+            lw ra, 4(sp)
+            addi sp, sp, 8
+            halt
+        """
+    )
+    obs = run_observed(program)
+    assert obs.read_before_write == set()
+    assert_lint_sound(program, obs)

@@ -1,0 +1,54 @@
+"""Every built-in C-lab workload must lint completely clean.
+
+This is the repo-level guarantee the CI lint job enforces: the compiler,
+the ABI model, and every analysis in ``repro.analysis`` agree on all
+eight workloads.  A diagnostic here means either a real codegen bug or
+an analysis false positive — both block the PR.
+"""
+
+import pytest
+
+from repro.analysis import lint_program
+from repro.cli import main
+from repro.workloads.suite import (
+    EXTRA_WORKLOAD_NAMES,
+    WORKLOAD_NAMES,
+    get_workload,
+)
+
+ALL_NAMES = WORKLOAD_NAMES + EXTRA_WORKLOAD_NAMES
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_workload_lints_clean(name):
+    program = get_workload(name, "tiny").program
+    diags = lint_program(program)
+    assert diags == [], "\n".join(d.render() for d in diags)
+
+
+def test_cli_lint_workloads_clean(capsys):
+    assert main(["lint", "--workloads"]) == 0
+    err = capsys.readouterr().err
+    assert f"{len(ALL_NAMES)} program(s)" in err
+    assert "clean" in err
+
+
+def test_cli_lint_reports_findings(tmp_path, capsys):
+    bad = tmp_path / "bad.s"
+    bad.write_text("main:\n    j end\n    li t0, 1\nend:\n    halt\n")
+    assert main(["lint", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "unreachable-code" in out
+
+    # The finding disappears when its check is disabled.
+    assert main(["lint", "--disable", "unreachable-code", str(bad)]) == 0
+
+
+def test_cli_lint_rejects_unknown_check(capsys):
+    assert main(["lint", "--workloads", "--disable", "bogus-check"]) == 2
+    assert "unknown checks" in capsys.readouterr().err
+
+
+def test_cli_lint_requires_targets(capsys):
+    assert main(["lint"]) == 2
+    assert "no files" in capsys.readouterr().err
