@@ -1,0 +1,152 @@
+"""Service throughput benchmark: cold/warm jobs per second at ``--jobs 4``.
+
+Boots a real ``repro serve`` daemon against a scratch cache directory,
+drives a batch of distinct run jobs through the blocking client from
+concurrent submitter threads, and measures end-to-end wall clock:
+
+* **cold** — empty cache, every job simulates;
+* **warm** — the same batch resubmitted, every job served from the run
+  cache inside the workers (service overhead + cache load only).
+
+Merges a ``service`` section into ``BENCH_speed.json`` alongside the
+interpreter/cache numbers so the daemon's overhead is tracked by the
+same artifact.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+WORKERS = 4
+DRAIN_DEADLINE = 60.0
+
+
+def _batch(smoke: bool) -> list[dict]:
+    """Distinct run payloads (no two coalesce) spanning the workloads."""
+    workloads = ("adpcm", "cnt", "fft", "lms") if smoke else (
+        "adpcm", "cnt", "crc", "fft", "fir", "lms", "mm", "srt"
+    )
+    payloads = []
+    for workload in workloads:
+        payloads.append({"workload": workload, "instances": 6})
+        if not smoke:
+            payloads.append(
+                {"workload": workload, "instances": 6, "deadline": "loose"}
+            )
+    return payloads
+
+
+def _start_daemon(cache_dir: str) -> tuple[subprocess.Popen, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--jobs", str(WORKERS), "--cache-dir", cache_dir,
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    line = proc.stdout.readline()
+    if "listening on" not in line:
+        proc.kill()
+        raise RuntimeError(f"daemon failed to start: {line!r}")
+    return proc, int(line.split(":")[-1].split()[0])
+
+
+def _drive_batch(port: int, payloads: list[dict]) -> float:
+    """Submit every payload concurrently; wall seconds until all done."""
+    from repro.service.client import ServiceClient
+
+    failures: list[BaseException] = []
+
+    def submit(payload: dict) -> None:
+        try:
+            with ServiceClient("127.0.0.1", port, timeout=600.0) as client:
+                result = client.submit_retry("run", payload)
+                assert result.ok
+        except BaseException as exc:
+            failures.append(exc)
+
+    threads = [
+        threading.Thread(target=submit, args=(p,)) for p in payloads
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=600)
+    wall = time.perf_counter() - start
+    if failures:
+        raise RuntimeError(f"batch failed: {failures[:3]}")
+    return wall
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small batch for CI (still measures both phases)",
+    )
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_speed.json"),
+        help="JSON file to merge the service section into",
+    )
+    args = parser.parse_args(argv)
+
+    payloads = _batch(args.smoke)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-service-") as tmp:
+        proc, port = _start_daemon(tmp)
+        try:
+            cold_wall = _drive_batch(port, payloads)
+            warm_wall = _drive_batch(port, payloads)
+        finally:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+                try:
+                    proc.communicate(timeout=DRAIN_DEADLINE)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.communicate()
+                    raise RuntimeError("daemon did not drain cleanly")
+
+    count = len(payloads)
+    section = {
+        "jobs_flag": WORKERS,
+        "batch_jobs": count,
+        "smoke": args.smoke,
+        "cold_wall_seconds": round(cold_wall, 4),
+        "cold_jobs_per_second": round(count / cold_wall, 2),
+        "warm_wall_seconds": round(warm_wall, 4),
+        "warm_jobs_per_second": round(count / warm_wall, 2),
+        "warm_speedup": round(cold_wall / warm_wall, 1),
+    }
+    print(f"bench_service: {json.dumps(section, indent=2)}")
+
+    out = pathlib.Path(args.out)
+    report = json.loads(out.read_text()) if out.exists() else {}
+    report["service"] = section
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"bench_service: wrote service section to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    raise SystemExit(main())

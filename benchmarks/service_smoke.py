@@ -1,0 +1,108 @@
+"""CI smoke check: the repro service round-trips every job kind.
+
+Boots a real daemon subprocess, submits one job of each kind (``run``,
+``wcet``, ``lint``, ``experiment``) through the blocking client,
+validates each result shape, then sends SIGTERM and requires a clean
+drain (exit code 0) within a deadline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+DRAIN_DEADLINE = 60.0
+
+JOBS: list[tuple[str, dict, str]] = [
+    ("run", {"workload": "cnt", "instances": 6}, "savings"),
+    ("wcet", {"workload": "fft"}, "total_cycles"),
+    ("lint", {"workload": "lms"}, "clean"),
+    ("experiment", {"name": "table3", "instances": 4}, "rows"),
+]
+
+
+def main() -> int:
+    from repro.service.client import ServiceClient
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-service-smoke-") as tmp:
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0", "--jobs", "2", "--cache-dir", tmp,
+            ],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env,
+        )
+        try:
+            line = proc.stdout.readline()
+            if "listening on" not in line:
+                print(
+                    f"service_smoke: FAIL: bad startup line {line!r}",
+                    file=sys.stderr,
+                )
+                return 1
+            port = int(line.split(":")[-1].split()[0])
+
+            with ServiceClient("127.0.0.1", port, timeout=300.0) as client:
+                if not client.ping():
+                    print("service_smoke: FAIL: ping", file=sys.stderr)
+                    return 1
+                for kind, payload, key in JOBS:
+                    start = time.perf_counter()
+                    result = client.submit(kind, payload)
+                    elapsed = time.perf_counter() - start
+                    if not result.ok or key not in result.value:
+                        print(
+                            f"service_smoke: FAIL: {kind} returned "
+                            f"{result!r}",
+                            file=sys.stderr,
+                        )
+                        return 1
+                    print(
+                        f"service_smoke: {kind:<10} ok in {elapsed:6.2f}s "
+                        f"({key} present)"
+                    )
+
+            proc.send_signal(signal.SIGTERM)
+            try:
+                proc.communicate(timeout=DRAIN_DEADLINE)
+            except subprocess.TimeoutExpired:
+                print(
+                    "service_smoke: FAIL: daemon did not drain within "
+                    f"{DRAIN_DEADLINE}s of SIGTERM",
+                    file=sys.stderr,
+                )
+                return 1
+            if proc.returncode != 0:
+                print(
+                    f"service_smoke: FAIL: drain exit code "
+                    f"{proc.returncode}",
+                    file=sys.stderr,
+                )
+                return 1
+            print("service_smoke: OK (all kinds round-trip, clean drain)")
+            return 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    raise SystemExit(main())

@@ -18,7 +18,16 @@ Commands:
   ``REPRO_JOBS`` is the environment equivalent; ``--no-cache`` bypasses
   the on-disk setup/run caches like ``REPRO_NO_CACHE=1``).
 * ``cache``          — inspect the on-disk cache (``repro cache`` lists
-  entries and sizes; ``repro cache clear`` deletes them).
+  entries and sizes; ``repro cache stats`` prints entry/byte totals plus
+  the in-process hit/miss/store counters; ``repro cache clear`` deletes
+  entries).
+* ``serve``          — run the toolchain as a long-lived asyncio daemon
+  (job queue, process worker pool, request coalescing, live metrics —
+  see docs/service.md).
+* ``submit``         — send one job (run/wcet/lint/experiment) to a
+  running service and print the result.
+* ``status``         — query a running service (``--metrics`` for the
+  Prometheus-style text exposition).
 
 MiniC files use extension ``.c`` (anything other than ``.s``/``.asm``);
 assembly files use ``.s``/``.asm``.
@@ -191,18 +200,14 @@ def cmd_trace(args) -> int:
 
 
 def cmd_experiment(args) -> int:
-    """``experiment``: run one of the paper's experiments."""
-    import os
+    """``experiment``: run one of the paper's experiments.
 
+    ``--jobs`` and ``--no-cache`` are threaded through as explicit
+    parameters (environment variables remain the defaults only), so
+    concurrent in-process callers — the service daemon in particular —
+    never race on mutated global state.
+    """
     from repro.experiments import ablations, figure2, figure3, figure4, table3
-
-    if args.jobs is not None:
-        # Publish via the environment so parallel_map's default — and any
-        # worker processes it spawns — see the same setting.
-        os.environ["REPRO_JOBS"] = str(args.jobs)
-    if args.no_cache:
-        # Same channel as the env var so worker processes inherit it.
-        os.environ["REPRO_NO_CACHE"] = "1"
 
     modules = {
         "table3": table3,
@@ -211,18 +216,32 @@ def cmd_experiment(args) -> int:
         "figure4": figure4,
         "ablations": ablations,
     }
-    modules[args.name].main()
+    no_cache = True if args.no_cache else None  # None = REPRO_NO_CACHE default
+    modules[args.name].main(jobs=args.jobs, no_cache=no_cache)
     return 0
 
 
 def cmd_cache(args) -> int:
-    """``cache``: list or clear the on-disk setup/run/warm-up caches."""
+    """``cache``: inspect or clear the on-disk setup/run/warm-up caches."""
+    from repro.experiments.common import format_table
     from repro.snapshot import runcache
 
     directory = runcache.cache_dir()
     if args.action == "clear":
         removed, freed = runcache.clear_cache()
         print(f"removed {removed} entries ({freed} bytes) from {directory}")
+        return 0
+    if args.action == "stats":
+        stats = runcache.cache_stats()
+        rows = [
+            ["entries", str(stats["entries"])],
+            ["bytes", str(stats["bytes"])],
+            ["hits (this process)", str(stats["hits"])],
+            ["misses (this process)", str(stats["misses"])],
+            ["stores (this process)", str(stats["stores"])],
+        ]
+        print(format_table(["cache statistic", "value"], rows))
+        print(f"# directory: {stats['directory']}")
         return 0
     entries = runcache.cache_entries()
     if not entries:
@@ -232,6 +251,119 @@ def cmd_cache(args) -> int:
     for filename, size in entries:
         print(f"{size:>10}  {filename}")
     print(f"{total:>10}  total in {len(entries)} entries ({directory})")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """``serve``: run the async simulation service until SIGTERM."""
+    import asyncio
+
+    from repro.service.server import ServiceConfig, serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.jobs,
+        queue_depth=args.queue_depth,
+        default_timeout=args.timeout,
+        drain_grace=args.drain_grace,
+        cache_dir=args.cache_dir,
+    )
+    asyncio.run(serve(config))
+    return 0
+
+
+def _submit_payload(args) -> dict:
+    """Map ``repro submit`` flags onto the job payload for its kind."""
+    if args.kind == "run":
+        deadline = args.deadline
+        if deadline not in ("tight", "loose"):
+            deadline = float(deadline)
+        payload = {
+            "workload": args.target,
+            "scale": args.scale,
+            "deadline": deadline,
+            "instances": args.instances,
+        }
+        if args.flush_rate:
+            payload["flush_rate"] = args.flush_rate
+        return payload
+    if args.kind == "wcet":
+        return {
+            "workload": args.target,
+            "scale": args.scale,
+            "freq_mhz": args.freq,
+        }
+    if args.kind == "lint":
+        return {"workload": args.target, "scale": args.scale}
+    return {  # experiment
+        "name": args.target,
+        "scale": args.scale,
+        "instances": args.instances,
+    }
+
+
+def cmd_submit(args) -> int:
+    """``submit``: send one job to a running service and print the result."""
+    import json
+
+    from repro.service.client import ServiceClient
+    from repro.service.protocol import Response
+
+    def on_event(event: Response) -> None:
+        print(
+            f"# {event.job_id}: {event.stage} (attempt {event.attempts})",
+            file=sys.stderr,
+        )
+
+    with ServiceClient(args.host, args.port) as client:
+        if args.no_wait:
+            accepted = client.submit(
+                args.kind, _submit_payload(args),
+                priority=args.priority, wait=False,
+            )
+            print(accepted.job_id)
+            return 0
+        result = client.submit_retry(
+            args.kind, _submit_payload(args),
+            priority=args.priority, on_event=on_event,
+        )
+    value = result.value if result.value is not None else {}
+    if isinstance(value, dict) and "table" in value:
+        print(value["table"])
+    else:
+        print(json.dumps(value, indent=2, sort_keys=True))
+    print(
+        f"# job {result.job_id}: ok in {result.attempts} attempt(s)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_status(args) -> int:
+    """``status``: query a running service (add ``--metrics`` for the text
+    exposition)."""
+    import json
+
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(args.host, args.port) as client:
+        if args.metrics:
+            print(client.metrics_text(), end="")
+            return 0
+        response = client.status(args.job)
+        if args.job is not None:
+            summary = {
+                "job_id": response.job_id,
+                "state": response.stage,
+                "attempts": response.attempts,
+                "ok": response.ok,
+                "error": response.error,
+                "value": response.value,
+            }
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(json.dumps(response.value, indent=2, sort_keys=True))
     return 0
 
 
@@ -319,11 +451,103 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "action",
         nargs="?",
-        choices=["show", "clear"],
+        choices=["show", "stats", "clear"],
         default="show",
-        help="'show' lists entries and sizes (default); 'clear' deletes them",
+        help=(
+            "'show' lists entries and sizes (default); 'stats' prints one "
+            "table of entry count, bytes, and hit/miss/store counters; "
+            "'clear' deletes all entries"
+        ),
     )
     p.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser("serve", help="run the async simulation service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=7341,
+        help="TCP port (0 picks a free port, printed on startup)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=2, help="worker processes (default 2)"
+    )
+    p.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        help="max queued jobs before submissions are rejected (default 64)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="default per-job wall-clock budget, seconds (default 300)",
+    )
+    p.add_argument(
+        "--drain-grace",
+        type=float,
+        default=30.0,
+        help="SIGTERM drain budget for accepted jobs, seconds (default 30)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory for workers (default: REPRO_CACHE_DIR)",
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("submit", help="submit one job to a running service")
+    p.add_argument(
+        "kind", choices=["run", "wcet", "lint", "experiment"], help="job kind"
+    )
+    p.add_argument(
+        "target",
+        help="workload name (run/wcet/lint) or experiment name (experiment)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7341)
+    p.add_argument(
+        "--scale", choices=["tiny", "default", "paper"], default="tiny"
+    )
+    p.add_argument(
+        "--deadline",
+        default="tight",
+        help="run jobs: 'tight', 'loose', or seconds (default tight)",
+    )
+    p.add_argument(
+        "--instances",
+        type=int,
+        default=12,
+        help="task instances for run/experiment jobs (default 12)",
+    )
+    p.add_argument(
+        "--flush-rate",
+        type=float,
+        default=0.0,
+        help="run jobs: induced pipeline-flush rate in [0, 1]",
+    )
+    p.add_argument("--freq", type=float, default=1000.0, help="wcet jobs: MHz")
+    p.add_argument(
+        "--priority", type=int, default=0, help="queue priority (higher first)"
+    )
+    p.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="print the job id immediately instead of waiting for the result",
+    )
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("status", help="query a running service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7341)
+    p.add_argument("--job", default=None, help="job id (default: service-wide)")
+    p.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the Prometheus-style text exposition instead",
+    )
+    p.set_defaults(func=cmd_status)
 
     return parser
 

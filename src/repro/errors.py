@@ -67,6 +67,29 @@ class SnapshotError(ReproError):
     """
 
 
+class ProtocolError(ReproError):
+    """Raised on malformed or version-mismatched service wire messages."""
+
+
+class ServiceError(ReproError):
+    """Raised by the service client on transport or server-side failures.
+
+    Carries the machine-readable error ``code`` from the response (e.g.
+    ``queue_full``, ``draining``, ``timeout``) and, for backpressure
+    rejections, the server's suggested ``retry_after`` delay in seconds.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        code: str | None = None,
+        retry_after: float | None = None,
+    ):
+        self.code = code
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
 class DeadlineMissError(ReproError):
     """Raised if a hard deadline is ever missed during simulation.
 

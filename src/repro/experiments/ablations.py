@@ -67,6 +67,7 @@ def run_subtask_granularity(
     instances: int = 30,
     counts: tuple[int, ...] = (2, 5, 10),
     jobs: int | None = None,
+    no_cache: bool | None = None,
 ) -> list[AblationRow]:
     """srt with varying checkpoint granularity; one shared deadline."""
     # Deadline from the canonical 10-sub-task version so variants compete
@@ -77,7 +78,7 @@ def run_subtask_granularity(
     analyzer.dcache_bounds = base_bounds
     deadline = 1.2 * analyzer.analyze(1e9).total_seconds + OVHD
     cells = [(scale, instances, count, deadline) for count in counts]
-    return parallel_map(_granularity_cell, cells, jobs)
+    return parallel_map(_granularity_cell, cells, jobs, no_cache)
 
 
 def _pet_cell(args: tuple[str, int, str, float, str, dict]) -> AblationRow:
@@ -98,6 +99,7 @@ def run_pet_policies(
     instances: int = 30,
     benchmark: str = "lms",
     jobs: int | None = None,
+    no_cache: bool | None = None,
 ) -> list[AblationRow]:
     """last-N vs histogram PET selection (§4.3)."""
     workload = get_workload(benchmark, scale)
@@ -114,7 +116,7 @@ def run_pet_policies(
         (scale, instances, benchmark, deadline, label, overrides)
         for label, overrides in policies
     ]
-    return parallel_map(_pet_cell, cells, jobs)
+    return parallel_map(_pet_cell, cells, jobs, no_cache)
 
 
 def _overhead_cell(args: tuple[str, int, str, float, float]) -> AblationRow:
@@ -135,6 +137,7 @@ def run_switch_overhead(
     benchmark: str = "cnt",
     overheads: tuple[float, ...] = (0.5e-6, 2e-6, 8e-6),
     jobs: int | None = None,
+    no_cache: bool | None = None,
 ) -> list[AblationRow]:
     """Sensitivity to the mode/frequency switch overhead (EQ 1's ovhd)."""
     workload = get_workload(benchmark, scale)
@@ -145,7 +148,7 @@ def run_switch_overhead(
     cells = [
         (scale, instances, benchmark, wcet, ovhd) for ovhd in overheads
     ]
-    return parallel_map(_overhead_cell, cells, jobs)
+    return parallel_map(_overhead_cell, cells, jobs, no_cache)
 
 
 @dataclass
@@ -196,7 +199,9 @@ def _dcache_cell(args: tuple[str, str]) -> DCacheModelRow:
 
 
 def run_dcache_models(
-    scale: str = "tiny", jobs: int | None = None
+    scale: str = "tiny",
+    jobs: int | None = None,
+    no_cache: bool | None = None,
 ) -> list[DCacheModelRow]:
     """Trace-derived padding vs fully-static D-cache bounds (§3.3).
 
@@ -207,7 +212,7 @@ def run_dcache_models(
     from repro.workloads import WORKLOAD_NAMES
 
     cells = [(name, scale) for name in WORKLOAD_NAMES]
-    return parallel_map(_dcache_cell, cells, jobs)
+    return parallel_map(_dcache_cell, cells, jobs, no_cache)
 
 
 def render_dcache(rows: list[DCacheModelRow]) -> str:
@@ -236,7 +241,10 @@ class SensitivityRow:
 
 
 def run_power_sensitivity(
-    scale: str = "tiny", instances: int = 40, benchmark: str = "lms"
+    scale: str = "tiny",
+    instances: int = 40,
+    benchmark: str = "lms",
+    no_cache: bool | None = None,
 ) -> list[SensitivityRow]:
     """Is Figure 2 an artifact of the power constants?  Re-score one
     tight-deadline run under perturbed :class:`PowerParams` (the phases
@@ -252,8 +260,11 @@ def run_power_sensitivity(
     from repro.power.model import PowerParams
     from repro.power.report import power_savings
 
-    prep = setup(benchmark, scale)
-    pair = run_pair(prep, prep.deadline_tight, instances)
+    from repro.snapshot import runcache
+
+    with runcache.no_cache_override(no_cache):
+        prep = setup(benchmark, scale)
+        pair = run_pair(prep, prep.deadline_tight, instances)
     skip = min(20, instances // 2)
     visa_runs = pair.visa_runs[skip:]
     simple_runs = pair.simple_runs[skip:]
@@ -308,22 +319,22 @@ def render(rows: list[AblationRow]) -> str:
     return format_table(headers, body)
 
 
-def main() -> None:
+def main(jobs: int | None = None, no_cache: bool | None = None) -> None:
     """Command-line entry point: run and print every ablation study."""
     print("== Sub-task granularity (srt) ==")
-    print(render(run_subtask_granularity()))
+    print(render(run_subtask_granularity(jobs=jobs, no_cache=no_cache)))
     print()
     print("== PET policy (lms) ==")
-    print(render(run_pet_policies()))
+    print(render(run_pet_policies(jobs=jobs, no_cache=no_cache)))
     print()
     print("== Switch overhead (cnt) ==")
-    print(render(run_switch_overhead()))
+    print(render(run_switch_overhead(jobs=jobs, no_cache=no_cache)))
     print()
     print("== D-cache bound models ==")
-    print(render_dcache(run_dcache_models()))
+    print(render_dcache(run_dcache_models(jobs=jobs, no_cache=no_cache)))
     print()
     print("== Power-model sensitivity (lms) ==")
-    print(render_sensitivity(run_power_sensitivity()))
+    print(render_sensitivity(run_power_sensitivity(no_cache=no_cache)))
 
 
 if __name__ == "__main__":

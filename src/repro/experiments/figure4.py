@@ -65,6 +65,7 @@ def run(
     instances: int | None = None,
     rates: tuple[float, ...] = RATES,
     jobs: int | None = None,
+    no_cache: bool | None = None,
 ) -> list[Figure4Row]:
     """Run the experiment; returns one row per measured configuration."""
     scale = scale or default_scale()
@@ -74,7 +75,7 @@ def run(
         for name in WORKLOAD_NAMES
         for rate in rates
     ]
-    return parallel_map(_cell, cells, jobs)
+    return parallel_map(_cell, cells, jobs, no_cache)
 
 
 def render(rows: list[Figure4Row]) -> str:
@@ -111,13 +112,13 @@ def chart(rows: list[Figure4Row]) -> str:
         groups, title="Savings under induced mispredictions"
     )
 
-def main() -> None:
+def main(jobs: int | None = None, no_cache: bool | None = None) -> None:
     """Command-line entry point: run and print the experiment."""
     print(
         "Figure 4 reproduction: induced mispredictions "
         "(scale=%s, instances=%d)" % (default_scale(), default_instances())
     )
-    rows = run()
+    rows = run(jobs=jobs, no_cache=no_cache)
     print(render(rows))
     print()
     print(chart(rows))

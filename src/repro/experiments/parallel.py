@@ -28,9 +28,11 @@ from __future__ import annotations
 import os
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
+from functools import partial
 from typing import TypeVar
 
 from repro.errors import ReproError
+from repro.snapshot import runcache
 
 C = TypeVar("C")
 R = TypeVar("R")
@@ -49,10 +51,23 @@ def default_jobs() -> int:
         ) from None
 
 
+def _cell_with_overrides(fn: Callable[[C], R], no_cache: bool, cell: C) -> R:
+    """Run one cell under an explicit cache-bypass override.
+
+    Module-level (and composed via :func:`functools.partial`) so the
+    resulting callable pickles into worker processes; the override is
+    re-entered *inside* each process rather than published through
+    ``os.environ``, which concurrent in-process callers would race on.
+    """
+    with runcache.no_cache_override(no_cache):
+        return fn(cell)
+
+
 def parallel_map(
     fn: Callable[[C], R],
     cells: Iterable[C],
     jobs: int | None = None,
+    no_cache: bool | None = None,
 ) -> list[R]:
     """Map ``fn`` over ``cells``, optionally across worker processes.
 
@@ -61,6 +76,11 @@ def parallel_map(
     ``REPRO_JOBS``) at 1 — or a single cell — no pool is created and the
     map runs in-process, which also keeps tracebacks simple.
 
+    ``no_cache`` threads the CLI's ``--no-cache`` down to every cell as an
+    explicit parameter (``None`` defers to the ``REPRO_NO_CACHE``
+    environment default) — global state is never mutated, so concurrent
+    in-process callers cannot observe each other's setting.
+
     Worker exceptions propagate to the caller (the pool is shut down
     eagerly; remaining cells may or may not have run, exactly like an
     exception mid-way through the serial loop).
@@ -68,10 +88,13 @@ def parallel_map(
     items: Sequence[C] = cells if isinstance(cells, Sequence) else list(cells)
     if jobs is None:
         jobs = default_jobs()
+    call: Callable[[C], R] = (
+        fn if no_cache is None else partial(_cell_with_overrides, fn, no_cache)
+    )
     if jobs <= 1 or len(items) <= 1:
-        return [fn(c) for c in items]
+        return [call(c) for c in items]
     with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-        return list(pool.map(fn, items))
+        return list(pool.map(call, items))
 
 
 __all__ = ["default_jobs", "parallel_map"]

@@ -1,0 +1,113 @@
+"""Bounded priority job queue with per-client round-robin fairness.
+
+Ordering is two-level: strict priority between levels (higher ``priority``
+values pop first), round-robin across clients *within* a level (so one
+chatty client cannot starve others at its own priority), FIFO within one
+client's jobs at one level.  The structure is loop-agnostic plain data —
+the server owns wake-ups — which also keeps it trivially unit-testable.
+
+Backpressure is explicit: :meth:`FairPriorityQueue.push` raises
+:class:`QueueFullError` once ``maxsize`` entries are queued, and the
+server translates that into a ``queue_full`` response with a
+``retry_after`` hint derived from recent job latency.  Requeues after a
+worker crash use ``force=True`` so recovery is never blocked by
+backpressure (the job already held a queue slot once).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Generic, TypeVar
+
+from repro.errors import ReproError
+
+T = TypeVar("T")
+
+
+class QueueFullError(ReproError):
+    """Raised when the queue is at capacity; carries the current depth."""
+
+    def __init__(self, depth: int, maxsize: int):
+        self.depth = depth
+        self.maxsize = maxsize
+        super().__init__(f"job queue full ({depth}/{maxsize} entries)")
+
+
+@dataclass
+class _Level(Generic[T]):
+    """One priority level: per-client FIFOs plus the round-robin rotation."""
+
+    fifos: dict[str, deque[T]] = field(default_factory=dict)
+    rotation: deque[str] = field(default_factory=deque)
+
+
+class FairPriorityQueue(Generic[T]):
+    """Priority + per-client-fairness queue with a hard depth bound."""
+
+    def __init__(self, maxsize: int = 64):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._levels: dict[int, _Level[T]] = {}
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def push(
+        self, item: T, *, client: str, priority: int = 0, force: bool = False
+    ) -> None:
+        """Enqueue ``item`` for ``client`` at ``priority``.
+
+        Raises :class:`QueueFullError` at capacity unless ``force`` (used
+        for crash requeues, which re-admit a job that already held a
+        slot).
+        """
+        if self._size >= self.maxsize and not force:
+            raise QueueFullError(self._size, self.maxsize)
+        level = self._levels.setdefault(priority, _Level())
+        fifo = level.fifos.get(client)
+        if fifo is None:
+            fifo = level.fifos[client] = deque()
+            level.rotation.append(client)
+        fifo.append(item)
+        self._size += 1
+
+    def pop(self) -> T | None:
+        """Dequeue the next item, or ``None`` when empty.
+
+        Highest priority level first; within it, the client at the front
+        of the rotation yields one job and moves to the back (round
+        robin).  Clients with no remaining jobs leave the rotation.
+        """
+        if self._size == 0:
+            return None
+        priority = max(
+            p for p, level in self._levels.items() if level.rotation
+        )
+        level = self._levels[priority]
+        client = level.rotation[0]
+        fifo = level.fifos[client]
+        item = fifo.popleft()
+        self._size -= 1
+        level.rotation.popleft()
+        if fifo:
+            level.rotation.append(client)
+        else:
+            del level.fifos[client]
+        if not level.rotation:
+            del self._levels[priority]
+        return item
+
+    def clients(self) -> list[str]:
+        """Distinct clients currently holding queued jobs (sorted)."""
+        names = {
+            client
+            for level in self._levels.values()
+            for client in level.fifos
+        }
+        return sorted(names)
+
+
+__all__ = ["FairPriorityQueue", "QueueFullError"]

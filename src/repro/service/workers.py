@@ -1,0 +1,287 @@
+"""Process worker pool: resident simulators with crash recovery.
+
+Workers are long-lived child processes (the same fork model
+:mod:`repro.experiments.parallel` uses for experiment fan-out) that loop
+on a duplex pipe: receive ``(job_id, kind, payload, env)``, execute via
+the :mod:`repro.service.jobs` registry, reply with the result plus the
+run-cache counter delta the job produced.  Being resident is the point —
+``functools.lru_cache``'d setups, compiled workloads, and the shared
+``.repro_cache/`` directory stay warm across jobs, so a stream of small
+queries amortizes all per-process startup the one-shot CLI pays every
+time.
+
+Failure handling:
+
+* **Per-job timeout** — the worker is killed (no cooperative
+  cancellation exists inside a simulation) and replaced; the caller gets
+  :class:`JobTimeoutError`.
+* **Worker crash** (segfault, OOM-kill, ``kill -9``) — detected as EOF
+  on the pipe; the worker is replaced and the caller gets
+  :class:`WorkerCrashError` so the server can requeue the job (once).
+* **Job exception** — the worker survives; the exception text comes back
+  as :class:`JobFailedError` with the cache delta preserved.
+
+Blocking pipe reads are pushed onto the default thread-pool executor so
+the asyncio server stays responsive; killing the child closes its pipe
+end, which unblocks any reader thread with ``EOFError``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import time
+from multiprocessing.connection import Connection
+from multiprocessing.context import BaseContext
+from multiprocessing.process import BaseProcess
+from typing import Any
+
+from repro.errors import ReproError
+from repro.service.protocol import JSONDict
+
+#: ``(job_id, kind, payload, env)`` request / ``(job_id, ok, result,
+#: cache_delta)`` reply, as sent over the worker pipe.
+WorkerRequest = tuple[str, str, JSONDict, dict[str, str]]
+WorkerReply = tuple[str, bool, Any, dict[str, int]]
+
+
+class WorkerCrashError(ReproError):
+    """The worker process died mid-job (EOF on the pipe)."""
+
+
+class JobTimeoutError(ReproError):
+    """The job exceeded its wall-clock budget; its worker was killed."""
+
+
+class JobFailedError(ReproError):
+    """The job raised inside the worker; carries the cache delta."""
+
+    def __init__(self, message: str, cache_delta: dict[str, int]):
+        self.cache_delta = cache_delta
+        super().__init__(message)
+
+
+def _pick_context() -> BaseContext:
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def _worker_main(conn: Connection) -> None:
+    """Child-process loop: execute jobs until shutdown or EOF."""
+    from repro.service import jobs as job_registry
+    from repro.snapshot import runcache
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message is None:  # graceful shutdown
+            conn.close()
+            return
+        job_id, kind, payload, env = message
+        for key, value in env.items():
+            os.environ[key] = value
+        before = {
+            op: int(runcache.STATS[op]) for op in ("hits", "misses", "stores")
+        }
+        ok = True
+        result: Any
+        try:
+            result = job_registry.execute(kind, payload)
+        except Exception as exc:
+            ok = False
+            result = f"{type(exc).__name__}: {exc}"
+        delta = {
+            op: int(runcache.STATS[op]) - before[op] for op in before
+        }
+        try:
+            conn.send((job_id, ok, result, delta))
+        except (BrokenPipeError, OSError):
+            return
+
+
+class WorkerHandle:
+    """One worker process plus the server's end of its pipe."""
+
+    def __init__(self, index: int, ctx: BaseContext):
+        self.index = index
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.conn: Connection = parent_conn
+        self.process: BaseProcess = ctx.Process(
+            target=_worker_main, args=(child_conn,), daemon=True,
+            name=f"repro-worker-{index}",
+        )
+        self.process.start()
+        child_conn.close()
+        self.busy_job: str | None = None
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def send(self, message: WorkerRequest) -> None:
+        self.conn.send(message)
+
+    def recv(self) -> WorkerReply:
+        reply = self.conn.recv()
+        return (
+            str(reply[0]), bool(reply[1]), reply[2], dict(reply[3])
+        )
+
+    def kill(self) -> None:
+        """Hard-stop the process; unblocks any pending ``recv``."""
+        try:
+            self.process.kill()
+            self.process.join(timeout=5.0)
+        except (OSError, ValueError):
+            pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+    def shutdown(self, grace: float = 2.0) -> None:
+        """Ask the loop to exit; escalate to kill after ``grace``."""
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=grace)
+        if self.process.is_alive():
+            self.kill()
+        else:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+
+
+class WorkerPool:
+    """Fixed-size pool of :class:`WorkerHandle` with async job dispatch."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        self.size = size
+        self._ctx = _pick_context()
+        self._next_index = 0
+        self._handles: list[WorkerHandle] = []
+        self._idle: asyncio.Queue[WorkerHandle] = asyncio.Queue()
+        self.restarts = 0
+        self._closed = False
+
+    def start(self) -> None:
+        """Spawn every worker (before the server accepts connections)."""
+        for _ in range(self.size):
+            handle = self._spawn()
+            self._idle.put_nowait(handle)
+
+    def _spawn(self) -> WorkerHandle:
+        handle = WorkerHandle(self._next_index, self._ctx)
+        self._next_index += 1
+        self._handles.append(handle)
+        return handle
+
+    def _replace(self, dead: WorkerHandle) -> WorkerHandle:
+        """Kill and forget ``dead``; spawn and return its replacement."""
+        dead.kill()
+        if dead in self._handles:
+            self._handles.remove(dead)
+        self.restarts += 1
+        return self._spawn()
+
+    def alive_count(self) -> int:
+        return sum(1 for handle in self._handles if handle.alive())
+
+    def info(self) -> list[dict[str, Any]]:
+        """Per-worker view for ``status`` responses (pid, busy job)."""
+        return [
+            {
+                "index": handle.index,
+                "pid": handle.pid,
+                "alive": handle.alive(),
+                "busy_job": handle.busy_job,
+            }
+            for handle in sorted(self._handles, key=lambda h: h.index)
+        ]
+
+    async def run_job(
+        self,
+        job_id: str,
+        kind: str,
+        payload: JSONDict,
+        env: dict[str, str],
+        timeout: float,
+    ) -> tuple[JSONDict, dict[str, int]]:
+        """Execute one job on the next idle worker.
+
+        Returns ``(result, cache_delta)`` or raises
+        :class:`JobTimeoutError` / :class:`WorkerCrashError` /
+        :class:`JobFailedError`.  The worker slot is always returned to
+        the idle queue — as a fresh process when the incumbent died.
+        """
+        handle = await self._idle.get()
+        try:
+            handle.busy_job = job_id
+            try:
+                handle.send((job_id, kind, payload, env))
+            except (BrokenPipeError, OSError):
+                handle = self._replace(handle)
+                raise WorkerCrashError(
+                    f"worker died before accepting job {job_id}"
+                ) from None
+            loop = asyncio.get_running_loop()
+            try:
+                reply = await asyncio.wait_for(
+                    loop.run_in_executor(None, handle.recv), timeout
+                )
+            except asyncio.TimeoutError:
+                handle = self._replace(handle)
+                raise JobTimeoutError(
+                    f"job {job_id} exceeded {timeout:.1f}s; worker killed"
+                ) from None
+            except (EOFError, OSError):
+                handle = self._replace(handle)
+                raise WorkerCrashError(
+                    f"worker died while running job {job_id}"
+                ) from None
+            _, ok, result, delta = reply
+            if not ok:
+                raise JobFailedError(str(result), delta)
+            return dict(result), delta
+        finally:
+            handle.busy_job = None
+            if not self._closed:
+                self._idle.put_nowait(handle)
+
+    async def drain_idle(self, grace: float) -> bool:
+        """Wait until every worker is idle (True) or ``grace`` expires."""
+        deadline = time.monotonic() + grace
+        while time.monotonic() < deadline:
+            if self._idle.qsize() >= len(self._handles):
+                return True
+            await asyncio.sleep(0.05)
+        return self._idle.qsize() >= len(self._handles)
+
+    def close(self) -> None:
+        """Shut every worker down (graceful, then kill)."""
+        self._closed = True
+        for handle in list(self._handles):
+            handle.shutdown()
+        self._handles.clear()
+
+
+__all__ = [
+    "JobFailedError",
+    "JobTimeoutError",
+    "WorkerCrashError",
+    "WorkerHandle",
+    "WorkerPool",
+]

@@ -22,12 +22,15 @@ smoke checks.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
 import os
 import tempfile
 from collections import Counter
+from collections.abc import Iterator
+from contextvars import ContextVar
 from pathlib import Path
 
 from repro.snapshot.state import FORMAT_VERSION, canonical_json, program_digest
@@ -49,9 +52,43 @@ def cache_dir() -> Path:
     return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
 
 
+#: Context-local override for :func:`cache_disabled`.  ``None`` defers to
+#: the ``REPRO_NO_CACHE`` environment variable; ``True``/``False`` wins
+#: outright.  Being a :class:`~contextvars.ContextVar` (not plain module
+#: state, and never ``os.environ``), concurrent in-process callers — the
+#: service's asyncio tasks in particular — cannot race on it.
+_NO_CACHE_OVERRIDE: ContextVar[bool | None] = ContextVar(
+    "repro_no_cache_override", default=None
+)
+
+
 def cache_disabled() -> bool:
-    """True when ``REPRO_NO_CACHE`` requests bypassing every disk cache."""
+    """True when the disk caches should be bypassed.
+
+    An explicit :func:`no_cache_override` (threaded down from the CLI's
+    ``--no-cache`` or an API ``no_cache=`` parameter) takes precedence;
+    the ``REPRO_NO_CACHE`` environment variable is only the default.
+    """
+    override = _NO_CACHE_OVERRIDE.get()
+    if override is not None:
+        return override
     return os.environ.get("REPRO_NO_CACHE", "") not in ("", "0")
+
+
+@contextlib.contextmanager
+def no_cache_override(value: bool | None) -> Iterator[None]:
+    """Scope an explicit cache-bypass decision (``None`` = no opinion).
+
+    Used by the experiment entry points to honor ``no_cache=`` without
+    mutating global environment state that parallel in-process callers
+    would race on; worker processes re-enter the override around each
+    cell (see :func:`repro.experiments.parallel.parallel_map`).
+    """
+    token = _NO_CACHE_OVERRIDE.set(value)
+    try:
+        yield
+    finally:
+        _NO_CACHE_OVERRIDE.reset(token)
 
 
 def atomic_write_json(path: Path, payload) -> None:
@@ -219,6 +256,25 @@ def cache_entries() -> list[tuple[str, int]]:
                 continue
     entries.sort(key=lambda e: (-e[1], e[0]))
     return entries
+
+
+def cache_stats() -> dict:
+    """One collector for every cache-observability surface.
+
+    Combines the on-disk view (entry count, total bytes) with the
+    in-process :data:`STATS` hit/miss/store counters.  ``repro cache
+    stats`` renders this directly and the service's metrics endpoint
+    feeds its gauges from the same function, so the two always agree.
+    """
+    entries = cache_entries()
+    return {
+        "directory": str(cache_dir()),
+        "entries": len(entries),
+        "bytes": sum(size for _, size in entries),
+        "hits": int(STATS["hits"]),
+        "misses": int(STATS["misses"]),
+        "stores": int(STATS["stores"]),
+    }
 
 
 def clear_cache() -> tuple[int, int]:

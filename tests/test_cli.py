@@ -127,9 +127,55 @@ class TestExperimentCommand:
         import repro.experiments.table3 as table3
 
         calls = []
-        monkeypatch.setattr(table3, "main", lambda: calls.append("table3"))
+        monkeypatch.setattr(
+            table3,
+            "main",
+            lambda jobs=None, no_cache=None: calls.append(
+                ("table3", jobs, no_cache)
+            ),
+        )
         assert main(["experiment", "table3"]) == 0
-        assert calls == ["table3"]
+        assert calls == [("table3", None, None)]
+
+    def test_experiment_flags_become_parameters_not_env(
+        self, monkeypatch, capsys
+    ):
+        """--jobs/--no-cache are explicit arguments; os.environ untouched."""
+        import os
+
+        import repro.experiments.figure2 as figure2
+
+        calls = []
+        monkeypatch.setattr(
+            figure2,
+            "main",
+            lambda jobs=None, no_cache=None: calls.append((jobs, no_cache)),
+        )
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        assert main(["experiment", "figure2", "--jobs", "3", "--no-cache"]) == 0
+        assert calls == [(3, True)]
+        assert "REPRO_JOBS" not in os.environ
+        assert "REPRO_NO_CACHE" not in os.environ
+
+
+class TestCacheCommand:
+    def test_cache_stats_reports_disk_and_counters(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.snapshot import runcache
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        (tmp_path / "run-x-abc.json").write_text("{}")
+        runcache.reset_stats()
+        runcache.STATS["hits"] += 5
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert str(tmp_path) in out
+        for column in ("entries", "bytes", "hits", "misses", "stores"):
+            assert column in out
+        assert "5" in out
+        runcache.reset_stats()
 
 
 class TestErrorHandling:
