@@ -38,9 +38,36 @@ BASELINE = {
     "ooo": {"inst_per_s": 231_726, "cyc_per_s": 296_750},
 }
 
+#: ``measured.<core>.fast`` throughput before the block JIT landed (same
+#: host class, ``cnt`` @ tiny, measured at the pre-blockjit commit).  The
+#: acceptance bar is >= 2x on the in-order core relative to this.
+BASELINE_PRE_JIT = {
+    "inorder": {"inst_per_s": 1_078_901},
+    "ooo": {"inst_per_s": 616_141},
+}
 
-def _measure_core(core_kind: str, method: str, min_seconds: float) -> dict:
+
+def _host_section(jit: bool | None = None) -> dict:
+    """Per-section host facts: CPUs, effective workers, and the JIT flag.
+
+    Recorded in *every* measured section (not just once at top level) so
+    a section copied out of the JSON stays self-describing.
+    """
+    from repro.experiments.parallel import default_jobs
+    from repro.isa import blockjit
+
+    return {
+        "cpus": os.cpu_count(),
+        "effective_workers": default_jobs(),
+        "jit": blockjit.jit_enabled() if jit is None else jit,
+    }
+
+
+def _measure_core(
+    core_kind: str, method: str, min_seconds: float, jit: bool | None = None
+) -> dict:
     """Simulated inst/s and cyc/s for repeated warm task instances."""
+    from repro.isa import blockjit
     from repro.pipelines.inorder import InOrderCore
     from repro.pipelines.ooo.core import ComplexCore
     from repro.visa.spec import VISASpec
@@ -55,29 +82,92 @@ def _measure_core(core_kind: str, method: str, min_seconds: float) -> dict:
 
     instructions = cycles = 0
     seed = 0
-    start = time.perf_counter()
-    while True:
-        inputs = workload.generate_inputs(seed)
-        workload.apply_inputs(machine, inputs)
-        core.state.pc = program.entry
-        core.state.halted = False
-        if hasattr(core, "drain"):
-            core.drain()
-        c0, i0 = core.state.now, core.state.instret
-        result = run()
-        assert result.reason == "halt"
-        cycles += result.end_cycle - c0
-        instructions += core.state.instret - i0
-        seed += 1
-        elapsed = time.perf_counter() - start
-        if elapsed >= min_seconds:
-            break
+    with blockjit.jit_override(jit):
+        start = time.perf_counter()
+        while True:
+            inputs = workload.generate_inputs(seed)
+            workload.apply_inputs(machine, inputs)
+            core.state.pc = program.entry
+            core.state.halted = False
+            if hasattr(core, "drain"):
+                core.drain()
+            c0, i0 = core.state.now, core.state.instret
+            result = run()
+            assert result.reason == "halt"
+            cycles += result.end_cycle - c0
+            instructions += core.state.instret - i0
+            seed += 1
+            elapsed = time.perf_counter() - start
+            if elapsed >= min_seconds:
+                break
     return {
         "inst_per_s": round(instructions / elapsed),
         "cyc_per_s": round(cycles / elapsed),
         "instances": seed,
         "wall_seconds": round(elapsed, 3),
     }
+
+
+def _measure_blockjit(min_seconds: float) -> dict:
+    """Block-JIT throughput (on vs off, both cores) and codegen-cache
+    cold-vs-warm build times, in a throwaway ``REPRO_CACHE_DIR``."""
+    import shutil
+    import tempfile
+
+    from repro.isa import blockjit
+    from repro.pipelines.ooo.core import OOOParams
+    from repro.visa.spec import VISASpec
+    from repro.workloads import get_workload
+
+    saved = os.environ.get("REPRO_CACHE_DIR")
+    tmpdir = tempfile.mkdtemp(prefix="repro-bench-blockjit-")
+    os.environ["REPRO_CACHE_DIR"] = tmpdir
+    try:
+        workload = get_workload("cnt", "tiny")
+        machine = VISASpec().machine(workload.program)
+        section: dict = {"host": _host_section(True)}
+
+        # Codegen cache: cold (compile + store) vs warm (load from disk).
+        # The per-program memo is cleared between timings so the warm pass
+        # actually exercises the disk path.
+        codegen = {}
+        for engine, params in (("inorder", None), ("ooo", OOOParams())):
+            workload.program._blockjit_tables.clear()
+            start = time.perf_counter()
+            blockjit.block_table(machine, engine, params)
+            cold_s = time.perf_counter() - start
+            workload.program._blockjit_tables.clear()
+            start = time.perf_counter()
+            blockjit.block_table(machine, engine, params)
+            warm_s = time.perf_counter() - start
+            codegen[engine] = {
+                "cold_seconds": round(cold_s, 4),
+                "warm_seconds": round(warm_s, 4),
+                "warm_speedup": round(cold_s / warm_s, 1),
+            }
+        section["codegen_cache"] = codegen
+
+        for core_kind in ("inorder", "ooo"):
+            jit_on = _measure_core(core_kind, "run", min_seconds, jit=True)
+            jit_off = _measure_core(core_kind, "run", min_seconds, jit=False)
+            base = BASELINE_PRE_JIT[core_kind]["inst_per_s"]
+            section[core_kind] = {
+                "jit": jit_on,
+                "nojit": jit_off,
+                "speedup_vs_nojit": round(
+                    jit_on["inst_per_s"] / jit_off["inst_per_s"], 2
+                ),
+                "speedup_vs_pre_jit_baseline": round(
+                    jit_on["inst_per_s"] / base, 2
+                ),
+            }
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+        if saved is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = saved
+    return section
 
 
 def _measure_figure2_cell(instances: int) -> dict:
@@ -209,6 +299,7 @@ def main(argv: list[str] | None = None) -> int:
         "phase_wall_seconds": phase_seconds,
         "smoke": args.smoke,
         "baseline_pre_pr": BASELINE,
+        "baseline_pre_jit": BASELINE_PRE_JIT,
         "measured": {},
         "note": (
             "Process-parallel fan-out (REPRO_JOBS) is bit-identical to the "
@@ -224,6 +315,7 @@ def main(argv: list[str] | None = None) -> int:
         phase_seconds[core_kind] = round(time.perf_counter() - phase_start, 3)
         base = BASELINE[core_kind]["inst_per_s"]
         report["measured"][core_kind] = {
+            "host": _host_section(),
             "fast": fast,
             "reference": ref,
             "speedup_vs_reference": round(
@@ -239,8 +331,29 @@ def main(argv: list[str] | None = None) -> int:
             f"({report['measured'][core_kind]['speedup_vs_pre_pr_baseline']}x "
             "vs pre-PR)"
         )
+
     phase_start = time.perf_counter()
-    report["measured"]["figure2_cell"] = _measure_figure2_cell(cell_instances)
+    jit_section = _measure_blockjit(min_seconds)
+    phase_seconds["blockjit"] = round(time.perf_counter() - phase_start, 3)
+    report["measured"]["blockjit"] = jit_section
+    for core_kind in ("inorder", "ooo"):
+        sec = jit_section[core_kind]
+        print(
+            f"blockjit {core_kind:7s}  jit {sec['jit']['inst_per_s']:>9,} "
+            f"inst/s  nojit {sec['nojit']['inst_per_s']:>9,} inst/s  "
+            f"({sec['speedup_vs_nojit']}x; "
+            f"{sec['speedup_vs_pre_jit_baseline']}x vs pre-JIT fast)"
+        )
+    for engine, times in jit_section["codegen_cache"].items():
+        print(
+            f"blockjit codegen {engine:7s}  cold {times['cold_seconds']:.3f}s  "
+            f"warm {times['warm_seconds']:.3f}s ({times['warm_speedup']}x)"
+        )
+
+    phase_start = time.perf_counter()
+    cell = _measure_figure2_cell(cell_instances)
+    cell["host"] = _host_section()
+    report["measured"]["figure2_cell"] = cell
     phase_seconds["figure2_cell"] = round(time.perf_counter() - phase_start, 3)
     print(
         "figure2 cell (cnt/T, %d instances): %.2fs"
@@ -249,6 +362,7 @@ def main(argv: list[str] | None = None) -> int:
 
     phase_start = time.perf_counter()
     run_cache = _measure_run_cache(cell_instances)
+    run_cache["host"] = _host_section()
     phase_seconds["run_cache"] = round(time.perf_counter() - phase_start, 3)
     report["measured"]["run_cache"] = run_cache
     print(
@@ -273,6 +387,13 @@ def main(argv: list[str] | None = None) -> int:
     speedup = report["measured"]["inorder"]["speedup_vs_pre_pr_baseline"]
     if not args.smoke and speedup < 3.0:
         failures.append(f"in-order speedup {speedup}x < 3x acceptance bar")
+    jit_speedup = jit_section["inorder"]["speedup_vs_pre_jit_baseline"]
+    if not args.smoke and jit_speedup < 2.0:
+        failures.append(
+            f"blockjit in-order {jit_speedup}x < 2x pre-JIT acceptance bar"
+        )
+    if jit_section["ooo"]["speedup_vs_nojit"] < 1.0:
+        failures.append("blockjit slows the OOO core down")
     if not args.smoke and run_cache["cached_speedup"] < 10.0:
         failures.append(
             f"cached cell only {run_cache['cached_speedup']}x faster "

@@ -1,0 +1,86 @@
+"""CI smoke: block-JIT on vs off must produce bit-identical run digests.
+
+Runs every workload (all 8, tiny scale) on both pipelines twice — once
+with the block compiler enabled, once forced to the per-instruction
+interpreter — and digests the complete observable outcome: run result,
+final registers, memory image, console output (with cycle stamps),
+event counters, and cache statistics.  Any digest mismatch is a
+miscompilation and exits nonzero.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/jit_parity_smoke.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _digest(core, machine, result) -> str:
+    blob = repr((
+        result.reason,
+        result.start_cycle,
+        result.end_cycle,
+        result.instructions,
+        result.exception_cycle,
+        list(core.state.int_regs),
+        list(core.state.fp_regs),
+        core.state.pc,
+        core.state.now,
+        core.state.instret,
+        sorted(core.state.counters.items()),
+        sorted(machine.memory.snapshot().items()),
+        list(machine.mmio.console),
+        (machine.icache.stats.hits, machine.icache.stats.misses),
+        (machine.dcache.stats.hits, machine.dcache.stats.misses),
+    ))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def main() -> int:
+    from repro.isa import blockjit
+    from repro.memory.machine import Machine
+    from repro.pipelines.inorder import InOrderCore
+    from repro.pipelines.ooo.core import ComplexCore
+    from repro.workloads.suite import (
+        EXTRA_WORKLOAD_NAMES,
+        WORKLOAD_NAMES,
+        get_workload,
+    )
+
+    failures = 0
+    for name in WORKLOAD_NAMES + EXTRA_WORKLOAD_NAMES:
+        workload = get_workload(name, "tiny")
+        inputs = workload.generate_inputs(seed=0) if workload.inputs else None
+        for label, core_cls in (("inorder", InOrderCore), ("ooo", ComplexCore)):
+            digests = {}
+            for jit in (True, False):
+                machine = Machine(workload.program)
+                if inputs is not None:
+                    workload.apply_inputs(machine, inputs)
+                core = core_cls(machine)
+                with blockjit.jit_override(jit):
+                    result = core.run()
+                digests[jit] = _digest(core, machine, result)
+            ok = digests[True] == digests[False]
+            status = "ok" if ok else "MISMATCH"
+            print(
+                f"{name:6s} {label:7s}  jit {digests[True]}  "
+                f"nojit {digests[False]}  {status}"
+            )
+            failures += 0 if ok else 1
+    if failures:
+        print(f"FAIL: {failures} jit/no-jit digest mismatch(es)", file=sys.stderr)
+        return 1
+    print("all workloads bit-identical with the block JIT on and off")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    raise SystemExit(main())

@@ -85,11 +85,14 @@ def cmd_disasm(args) -> int:
 
 def cmd_run(args) -> int:
     """``run``: execute on a simulated core; print console + stats."""
+    from repro.isa import blockjit
+
     program = _load_program(args.file)
     machine = Machine(program)
     core_cls = ComplexCore if args.core == "complex" else InOrderCore
     core = core_cls(machine, freq_hz=args.freq * 1e6)
-    result = core.run()
+    with blockjit.jit_override(False if args.no_jit else None):
+        result = core.run()
     for cycle, value in machine.mmio.console:
         print(f"[cycle {cycle}] {value}")
     print(
@@ -217,7 +220,8 @@ def cmd_experiment(args) -> int:
         "ablations": ablations,
     }
     no_cache = True if args.no_cache else None  # None = REPRO_NO_CACHE default
-    modules[args.name].main(jobs=args.jobs, no_cache=no_cache)
+    no_jit = True if args.no_jit else None  # None = REPRO_JIT default
+    modules[args.name].main(jobs=args.jobs, no_cache=no_cache, no_jit=no_jit)
     return 0
 
 
@@ -233,15 +237,22 @@ def cmd_cache(args) -> int:
         return 0
     if args.action == "stats":
         stats = runcache.cache_stats()
+        jit = stats["blockjit"]
         rows = [
             ["entries", str(stats["entries"])],
             ["bytes", str(stats["bytes"])],
             ["hits (this process)", str(stats["hits"])],
             ["misses (this process)", str(stats["misses"])],
             ["stores (this process)", str(stats["stores"])],
+            ["blockjit entries", str(jit["entries"])],
+            ["blockjit bytes", str(jit["bytes"])],
+            ["blockjit hits (this process)", str(jit["hits"])],
+            ["blockjit misses (this process)", str(jit["misses"])],
+            ["blockjit stores (this process)", str(jit["stores"])],
         ]
         print(format_table(["cache statistic", "value"], rows))
         print(f"# directory: {stats['directory']}")
+        print(f"# blockjit directory: {jit['directory']}")
         return 0
     entries = runcache.cache_entries()
     if not entries:
@@ -287,6 +298,8 @@ def _submit_payload(args) -> dict:
         }
         if args.flush_rate:
             payload["flush_rate"] = args.flush_rate
+        if args.no_jit:
+            payload["no_jit"] = True
         return payload
     if args.kind == "wcet":
         return {
@@ -296,11 +309,14 @@ def _submit_payload(args) -> dict:
         }
     if args.kind == "lint":
         return {"workload": args.target, "scale": args.scale}
-    return {  # experiment
+    payload = {  # experiment
         "name": args.target,
         "scale": args.scale,
         "instances": args.instances,
     }
+    if args.no_jit:
+        payload["no_jit"] = True
+    return payload
 
 
 def cmd_submit(args) -> int:
@@ -391,6 +407,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("--core", choices=["simple", "complex"], default="simple")
     p.add_argument("--freq", type=float, default=1000.0, help="MHz")
+    p.add_argument(
+        "--no-jit",
+        action="store_true",
+        help="disable block compilation (same as REPRO_JIT=0)",
+    )
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("wcet", help="static WCET analysis")
@@ -444,6 +465,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="bypass the on-disk setup/run caches (same as REPRO_NO_CACHE=1)",
+    )
+    p.add_argument(
+        "--no-jit",
+        action="store_true",
+        help="disable block compilation (same as REPRO_JIT=0)",
     )
     p.set_defaults(func=cmd_experiment)
 
@@ -528,6 +554,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="run jobs: induced pipeline-flush rate in [0, 1]",
     )
     p.add_argument("--freq", type=float, default=1000.0, help="wcet jobs: MHz")
+    p.add_argument(
+        "--no-jit",
+        action="store_true",
+        help="run/experiment jobs: disable block compilation in the worker",
+    )
     p.add_argument(
         "--priority", type=int, default=0, help="queue priority (higher first)"
     )

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 from repro.experiments.common import OVHD, format_table
 from repro.experiments.parallel import parallel_map
+from repro.isa import blockjit
 from repro.power.model import PowerModel
 from repro.power.report import energy_of_runs
 from repro.visa.runtime import RuntimeConfig, VISARuntime
@@ -68,6 +69,7 @@ def run_subtask_granularity(
     counts: tuple[int, ...] = (2, 5, 10),
     jobs: int | None = None,
     no_cache: bool | None = None,
+    no_jit: bool | None = None,
 ) -> list[AblationRow]:
     """srt with varying checkpoint granularity; one shared deadline."""
     # Deadline from the canonical 10-sub-task version so variants compete
@@ -78,7 +80,7 @@ def run_subtask_granularity(
     analyzer.dcache_bounds = base_bounds
     deadline = 1.2 * analyzer.analyze(1e9).total_seconds + OVHD
     cells = [(scale, instances, count, deadline) for count in counts]
-    return parallel_map(_granularity_cell, cells, jobs, no_cache)
+    return parallel_map(_granularity_cell, cells, jobs, no_cache, no_jit)
 
 
 def _pet_cell(args: tuple[str, int, str, float, str, dict]) -> AblationRow:
@@ -100,6 +102,7 @@ def run_pet_policies(
     benchmark: str = "lms",
     jobs: int | None = None,
     no_cache: bool | None = None,
+    no_jit: bool | None = None,
 ) -> list[AblationRow]:
     """last-N vs histogram PET selection (§4.3)."""
     workload = get_workload(benchmark, scale)
@@ -116,7 +119,7 @@ def run_pet_policies(
         (scale, instances, benchmark, deadline, label, overrides)
         for label, overrides in policies
     ]
-    return parallel_map(_pet_cell, cells, jobs, no_cache)
+    return parallel_map(_pet_cell, cells, jobs, no_cache, no_jit)
 
 
 def _overhead_cell(args: tuple[str, int, str, float, float]) -> AblationRow:
@@ -138,6 +141,7 @@ def run_switch_overhead(
     overheads: tuple[float, ...] = (0.5e-6, 2e-6, 8e-6),
     jobs: int | None = None,
     no_cache: bool | None = None,
+    no_jit: bool | None = None,
 ) -> list[AblationRow]:
     """Sensitivity to the mode/frequency switch overhead (EQ 1's ovhd)."""
     workload = get_workload(benchmark, scale)
@@ -148,7 +152,7 @@ def run_switch_overhead(
     cells = [
         (scale, instances, benchmark, wcet, ovhd) for ovhd in overheads
     ]
-    return parallel_map(_overhead_cell, cells, jobs, no_cache)
+    return parallel_map(_overhead_cell, cells, jobs, no_cache, no_jit)
 
 
 @dataclass
@@ -202,6 +206,7 @@ def run_dcache_models(
     scale: str = "tiny",
     jobs: int | None = None,
     no_cache: bool | None = None,
+    no_jit: bool | None = None,
 ) -> list[DCacheModelRow]:
     """Trace-derived padding vs fully-static D-cache bounds (§3.3).
 
@@ -212,7 +217,7 @@ def run_dcache_models(
     from repro.workloads import WORKLOAD_NAMES
 
     cells = [(name, scale) for name in WORKLOAD_NAMES]
-    return parallel_map(_dcache_cell, cells, jobs, no_cache)
+    return parallel_map(_dcache_cell, cells, jobs, no_cache, no_jit)
 
 
 def render_dcache(rows: list[DCacheModelRow]) -> str:
@@ -245,6 +250,7 @@ def run_power_sensitivity(
     instances: int = 40,
     benchmark: str = "lms",
     no_cache: bool | None = None,
+    no_jit: bool | None = None,
 ) -> list[SensitivityRow]:
     """Is Figure 2 an artifact of the power constants?  Re-score one
     tight-deadline run under perturbed :class:`PowerParams` (the phases
@@ -262,7 +268,8 @@ def run_power_sensitivity(
 
     from repro.snapshot import runcache
 
-    with runcache.no_cache_override(no_cache):
+    jit = None if no_jit is None else not no_jit
+    with runcache.no_cache_override(no_cache), blockjit.jit_override(jit):
         prep = setup(benchmark, scale)
         pair = run_pair(prep, prep.deadline_tight, instances)
     skip = min(20, instances // 2)
@@ -319,22 +326,26 @@ def render(rows: list[AblationRow]) -> str:
     return format_table(headers, body)
 
 
-def main(jobs: int | None = None, no_cache: bool | None = None) -> None:
+def main(
+    jobs: int | None = None,
+    no_cache: bool | None = None,
+    no_jit: bool | None = None,
+) -> None:
     """Command-line entry point: run and print every ablation study."""
     print("== Sub-task granularity (srt) ==")
-    print(render(run_subtask_granularity(jobs=jobs, no_cache=no_cache)))
+    print(render(run_subtask_granularity(jobs=jobs, no_cache=no_cache, no_jit=no_jit)))
     print()
     print("== PET policy (lms) ==")
-    print(render(run_pet_policies(jobs=jobs, no_cache=no_cache)))
+    print(render(run_pet_policies(jobs=jobs, no_cache=no_cache, no_jit=no_jit)))
     print()
     print("== Switch overhead (cnt) ==")
-    print(render(run_switch_overhead(jobs=jobs, no_cache=no_cache)))
+    print(render(run_switch_overhead(jobs=jobs, no_cache=no_cache, no_jit=no_jit)))
     print()
     print("== D-cache bound models ==")
-    print(render_dcache(run_dcache_models(jobs=jobs, no_cache=no_cache)))
+    print(render_dcache(run_dcache_models(jobs=jobs, no_cache=no_cache, no_jit=no_jit)))
     print()
     print("== Power-model sensitivity (lms) ==")
-    print(render_sensitivity(run_power_sensitivity(no_cache=no_cache)))
+    print(render_sensitivity(run_power_sensitivity(no_cache=no_cache, no_jit=no_jit)))
 
 
 if __name__ == "__main__":

@@ -60,6 +60,7 @@ def run(
     instances: int | None = None,
     jobs: int | None = None,
     no_cache: bool | None = None,
+    no_jit: bool | None = None,
 ) -> list[Figure2Row]:
     """Run the experiment; returns one row per measured configuration."""
     scale = scale or default_scale()
@@ -69,7 +70,7 @@ def run(
         for name in WORKLOAD_NAMES
         for kind in ("T", "L")
     ]
-    return parallel_map(_cell, cells, jobs, no_cache)
+    return parallel_map(_cell, cells, jobs, no_cache, no_jit)
 
 
 def render(rows: list[Figure2Row]) -> str:
@@ -105,13 +106,17 @@ def chart(rows: list[Figure2Row]) -> str:
         bars, title="Power savings of the VISA complex core vs simple-fixed"
     )
 
-def main(jobs: int | None = None, no_cache: bool | None = None) -> None:
+def main(
+    jobs: int | None = None,
+    no_cache: bool | None = None,
+    no_jit: bool | None = None,
+) -> None:
     """Command-line entry point: run and print the experiment."""
     print(
         "Figure 2 reproduction (scale=%s, instances=%d)"
         % (default_scale(), default_instances())
     )
-    rows = run(jobs=jobs, no_cache=no_cache)
+    rows = run(jobs=jobs, no_cache=no_cache, no_jit=no_jit)
     print(render(rows))
     print()
     print(chart(rows))

@@ -32,6 +32,7 @@ from functools import partial
 from typing import TypeVar
 
 from repro.errors import ReproError
+from repro.isa import blockjit
 from repro.snapshot import runcache
 
 C = TypeVar("C")
@@ -51,16 +52,23 @@ def default_jobs() -> int:
         ) from None
 
 
-def _cell_with_overrides(fn: Callable[[C], R], no_cache: bool, cell: C) -> R:
-    """Run one cell under an explicit cache-bypass override.
+def _cell_with_overrides(
+    fn: Callable[[C], R],
+    no_cache: bool | None,
+    no_jit: bool | None,
+    cell: C,
+) -> R:
+    """Run one cell under explicit cache-bypass / JIT overrides.
 
     Module-level (and composed via :func:`functools.partial`) so the
-    resulting callable pickles into worker processes; the override is
+    resulting callable pickles into worker processes; the overrides are
     re-entered *inside* each process rather than published through
     ``os.environ``, which concurrent in-process callers would race on.
     """
+    jit = None if no_jit is None else not no_jit
     with runcache.no_cache_override(no_cache):
-        return fn(cell)
+        with blockjit.jit_override(jit):
+            return fn(cell)
 
 
 def parallel_map(
@@ -68,6 +76,7 @@ def parallel_map(
     cells: Iterable[C],
     jobs: int | None = None,
     no_cache: bool | None = None,
+    no_jit: bool | None = None,
 ) -> list[R]:
     """Map ``fn`` over ``cells``, optionally across worker processes.
 
@@ -79,7 +88,8 @@ def parallel_map(
     ``no_cache`` threads the CLI's ``--no-cache`` down to every cell as an
     explicit parameter (``None`` defers to the ``REPRO_NO_CACHE``
     environment default) — global state is never mutated, so concurrent
-    in-process callers cannot observe each other's setting.
+    in-process callers cannot observe each other's setting.  ``no_jit``
+    threads ``--no-jit`` the same way (``None`` defers to ``REPRO_JIT``).
 
     Worker exceptions propagate to the caller (the pool is shut down
     eagerly; remaining cells may or may not have run, exactly like an
@@ -89,7 +99,9 @@ def parallel_map(
     if jobs is None:
         jobs = default_jobs()
     call: Callable[[C], R] = (
-        fn if no_cache is None else partial(_cell_with_overrides, fn, no_cache)
+        fn
+        if no_cache is None and no_jit is None
+        else partial(_cell_with_overrides, fn, no_cache, no_jit)
     )
     if jobs <= 1 or len(items) <= 1:
         return [call(c) for c in items]

@@ -1,0 +1,1820 @@
+"""Basic-block JIT: compile straight-line runs of the fast plan to Python.
+
+The PR 1 threaded-code plan (:mod:`repro.isa.fastexec`) still pays one
+Python call per instruction plus the interpreter's per-instruction
+bookkeeping.  This module goes one step further: it groups the plan into
+basic blocks (boundaries from :func:`repro.wcet.cfg.build_cfg`, with a
+linear fallback when the CFG analysis rejects a program) and emits one
+specialized Python function *per block* via ``compile()``/``exec``.
+
+Within a generated block:
+
+* register values live in locals (promoted on first read, rebound on
+  write) and are spilled back to the architectural arrays only at block
+  exit or immediately before any operation that can raise (MMIO access,
+  misaligned/text-range data access, DIV/REM/FDIV/FSQRT/FTOI),
+* the in-order timing recurrence and the OOO constraint system are
+  emitted inline with SSA-style names, mirroring the hand-specialized
+  hot loops in :mod:`repro.pipelines.inorder` and
+  :mod:`repro.pipelines.ooo.core` statement for statement, and
+* event counters whose increments are statically known (fetch, regread,
+  regwrite, retired) become literal offsets baked into the exit writes.
+
+The contract is *bit-identical observable state*: architectural
+registers and memory, cycle counts, cache statistics, event counters,
+watchdog/exception cycles, and fault side effects all match the
+interpreter fast path (and therefore ``run_reference``) exactly.  The
+single documented exclusion: a ``TypeError`` raised by arithmetic on a
+float-contaminated integer register (already undefined behaviour in the
+reference paths) may leave partially-updated batched state.
+
+The compiled block table is memoized on the :class:`~repro.isa.program.
+Program` and persisted under ``.repro_cache/blockjit/`` keyed by the
+program digest, cache geometry, and pipeline parameters (same
+``FORMAT_VERSION``/sha256 mechanism as the run cache).  Opt-out follows
+the PR 4 pattern: ``REPRO_JIT=0`` or ``--no-jit`` threaded as an
+explicit parameter into :func:`jit_override` — never ``os.environ``
+mutation.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import marshal
+import os
+import sys
+from collections import deque
+from collections.abc import Iterator
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import astuple
+from typing import TYPE_CHECKING, Any, Callable, NamedTuple
+
+from repro.errors import AnalysisError, ReproError, SimulationError
+from repro.isa import layout
+from repro.isa.fastexec import (
+    K_ALU,
+    K_BRANCH,
+    K_HALT,
+    K_INDIRECT,
+    K_JUMP,
+    K_LOAD,
+    K_STORE,
+)
+from repro.isa.opcodes import Op
+from repro.isa.semantics import _fdiv, _fsqrt, _trunc_div, _trunc_rem
+from repro.pipelines.inorder_engine import BRANCH_PENALTY, _FRONT_DEPTH
+from repro.wcet.cfg import build_cfg
+
+if TYPE_CHECKING:
+    from pathlib import Path
+
+    from repro.isa.program import Program
+
+#: Bump when the emitted code changes shape; stale disk entries miss.
+CODEGEN_VERSION = 1
+
+_M = 0xFFFFFFFF
+_S = 0x80000000
+_MMIO = layout.MMIO_BASE
+_REDIRECT_OFFSET = BRANCH_PENALTY - _FRONT_DEPTH + 1
+_RUNAWAY = 200_000_000
+
+_CONTROL_KINDS = (K_BRANCH, K_JUMP, K_INDIRECT, K_HALT)
+
+BlockFn = Callable[..., Any]
+BlockEntry = tuple[BlockFn, int]
+
+# --- opt-out (REPRO_JIT=0 / --no-jit), mirroring runcache.no_cache_override --
+
+_JIT_OVERRIDE: ContextVar[bool | None] = ContextVar("repro_jit", default=None)
+
+
+def jit_enabled() -> bool:
+    """True when block compilation should be used for full-run segments.
+
+    An active :func:`jit_override` wins; otherwise ``REPRO_JIT=0``
+    disables the JIT and any other value (including unset) enables it.
+    """
+    override = _JIT_OVERRIDE.get()
+    if override is not None:
+        return override
+    return os.environ.get("REPRO_JIT", "") != "0"
+
+
+@contextmanager
+def jit_override(value: bool | None) -> Iterator[None]:
+    """Scoped JIT on/off override (``None`` defers to ``REPRO_JIT``).
+
+    ContextVar-based like ``runcache.no_cache_override`` so concurrent
+    in-process callers never observe each other's setting.
+    """
+    token = _JIT_OVERRIDE.set(value)
+    try:
+        yield
+    finally:
+        _JIT_OVERRIDE.reset(token)
+
+
+# --- expression text builders (must mirror fastexec closures exactly) --------
+
+
+class _Regs:
+    """Register promotion tracker: flat key (int n -> n, fp n -> 32+n).
+
+    Each register is represented by TEXT: a stable local name (``R5`` /
+    ``F5``), an int literal (constant-folded writes), or its home array
+    slot before first use.  Reads of ``r0`` fold to ``0``.  Writes mark
+    the key dirty; :meth:`spill` emits the home-array writebacks.
+    """
+
+    def __init__(self, lines: list[str]) -> None:
+        self._lines = lines
+        # key -> ("name", text) | ("const", value)
+        self._val: dict[int, tuple[str, Any]] = {}
+        self.dirty: set[int] = set()
+
+    @staticmethod
+    def _home(key: int) -> str:
+        return f"ir[{key}]" if key < 32 else f"fr[{key - 32}]"
+
+    @staticmethod
+    def _name(key: int) -> str:
+        return f"R{key}" if key < 32 else f"F{key - 32}"
+
+    def read(self, key: int, ind: str) -> str:
+        """Text for the current value of ``key`` (promoting on first read)."""
+        if key == 0:
+            return "0"
+        state = self._val.get(key)
+        if state is None:
+            name = self._name(key)
+            self._lines.append(f"{ind}{name} = {self._home(key)}")
+            self._val[key] = ("name", name)
+            return name
+        if state[0] == "const":
+            value = state[1]
+            return f"({value})" if value < 0 else str(value)
+        return str(state[1])
+
+    def read_const(self, key: int) -> int | None:
+        """The statically-known int value of ``key``, if any (r0 -> 0)."""
+        if key == 0:
+            return 0
+        state = self._val.get(key)
+        if state is not None and state[0] == "const":
+            return int(state[1])
+        return None
+
+    def write_name(self, key: int) -> str:
+        """Local name to assign ``key``'s new value into (marks dirty)."""
+        name = self._name(key)
+        self._val[key] = ("name", name)
+        self.dirty.add(key)
+        return name
+
+    def write_const(self, key: int, value: int) -> None:
+        """Record a constant write (no code emitted until spill)."""
+        self._val[key] = ("const", value)
+        self.dirty.add(key)
+
+    def prepare_write(self, key: int, ind: str) -> None:
+        """Materialize ``key``'s *old* value into its home local.
+
+        Needed before a conditional/faulting write site (load dest): a
+        sync emitted between :meth:`write_name` and the actual
+        assignment spills the local name, which must therefore already
+        hold the pre-write architectural value on every path.
+        """
+        state = self._val.get(key)
+        if state is not None and state[0] == "name":
+            return
+        name = self._name(key)
+        if state is None:
+            self._lines.append(f"{ind}{name} = {self._home(key)}")
+            self._val[key] = ("name", name)
+        else:  # pending const: keep the dirty flag, value moves to the local
+            value = state[1]
+            self._lines.append(f"{ind}{name} = {value}")
+            self._val[key] = ("name", name)
+
+    def spill_lines(self, ind: str) -> list[str]:
+        """Home-array writebacks for every dirty register."""
+        out = []
+        for key in sorted(self.dirty):
+            state = self._val[key]
+            text = str(state[1]) if state[0] == "const" else state[1]
+            out.append(f"{ind}{self._home(key)} = {text}")
+        return out
+
+
+#: ALU ops whose generated expression can raise and therefore need a
+#: state sync before evaluation (fault-state parity with the reference).
+_MAY_RAISE_OPS = frozenset({Op.DIV, Op.REM, Op.FDIV, Op.FSQRT, Op.FTOI})
+
+#: Pure integer ALU ops safe to constant-fold at codegen time by
+#: evaluating the *generated expression itself* (so folded values are
+#: identical to runtime values by construction).
+_FOLDABLE_OPS = frozenset({
+    Op.ADD, Op.SUB, Op.MUL, Op.AND, Op.OR, Op.XOR, Op.NOR, Op.SLT,
+    Op.SLTU, Op.SLL, Op.SRL, Op.SRA, Op.SLLV, Op.SRLV, Op.SRAV,
+    Op.ADDI, Op.SLTI, Op.SLTIU, Op.ANDI, Op.ORI, Op.XORI, Op.LUI,
+})
+
+_FOLD_GLOBALS = {"_M": _M, "_S": _S, "__builtins__": {}}
+
+
+def _alu_expr(inst: Any, regs: _Regs, ind: str) -> tuple[str, bool]:
+    """(expression text, may_raise) for a K_ALU instruction.
+
+    The text mirrors the matching :mod:`repro.isa.fastexec` closure body
+    token for token, with register references replaced by the tracker's
+    current text.
+    """
+    op = inst.op
+
+    def ri(num: int) -> str:
+        return regs.read(num, ind)
+
+    def rf(num: int) -> str:
+        return regs.read(32 + num, ind)
+
+    s, t = inst.rs, inst.rt
+    if op is Op.ADD:
+        return f"(({ri(s)} + {ri(t)} + _S) & _M) - _S", False
+    if op is Op.SUB:
+        return f"(({ri(s)} - {ri(t)} + _S) & _M) - _S", False
+    if op is Op.MUL:
+        return f"(({ri(s)} * {ri(t)} + _S) & _M) - _S", False
+    if op is Op.AND:
+        return f"((({ri(s)} & {ri(t)}) + _S) & _M) - _S", False
+    if op is Op.OR:
+        return f"((({ri(s)} | {ri(t)}) + _S) & _M) - _S", False
+    if op is Op.XOR:
+        return f"((({ri(s)} ^ {ri(t)}) + _S) & _M) - _S", False
+    if op is Op.DIV:
+        return f"((_trunc_div({ri(s)}, {ri(t)}) + _S) & _M) - _S", True
+    if op is Op.REM:
+        return f"((_trunc_rem({ri(s)}, {ri(t)}) + _S) & _M) - _S", True
+    if op is Op.NOR:
+        return f"((~({ri(s)} | {ri(t)}) + _S) & _M) - _S", False
+    if op is Op.SLT:
+        return f"1 if {ri(s)} < {ri(t)} else 0", False
+    if op is Op.SLTU:
+        return f"1 if ({ri(s)} & _M) < ({ri(t)} & _M) else 0", False
+    if op is Op.SLL:
+        return f"(((({ri(t)} & _M) << {inst.shamt}) + _S) & _M) - _S", False
+    if op is Op.SRL:
+        return f"(((({ri(t)} & _M) >> {inst.shamt}) + _S) & _M) - _S", False
+    if op is Op.SRA:
+        return f"((({ri(t)} + _S) & _M) - _S) >> {inst.shamt}", False
+    if op is Op.SLLV:
+        return f"(((({ri(t)} & _M) << ({ri(s)} & 0x1F)) + _S) & _M) - _S", False
+    if op is Op.SRLV:
+        return f"(((({ri(t)} & _M) >> ({ri(s)} & 0x1F)) + _S) & _M) - _S", False
+    if op is Op.SRAV:
+        return f"((({ri(t)} + _S) & _M) - _S) >> ({ri(s)} & 0x1F)", False
+    if op is Op.ADDI:
+        return f"(({ri(s)} + {inst.imm} + _S) & _M) - _S", False
+    if op is Op.SLTI:
+        return f"1 if {ri(s)} < {inst.imm} else 0", False
+    if op is Op.SLTIU:
+        return f"1 if ({ri(s)} & _M) < {inst.imm & _M} else 0", False
+    if op is Op.ANDI:
+        return f"{ri(s)} & {inst.imm & 0xFFFF}", False
+    if op is Op.ORI:
+        return f"((({ri(s)} & _M) | {inst.imm & 0xFFFF}) + _S & _M) - _S", False
+    if op is Op.XORI:
+        return f"((({ri(s)} & _M) ^ {inst.imm & 0xFFFF}) + _S & _M) - _S", False
+    if op is Op.LUI:
+        return str((((inst.imm & 0xFFFF) << 16) + _S & _M) - _S), False
+    if op is Op.FADD:
+        return f"{rf(s)} + {rf(t)}", False
+    if op is Op.FSUB:
+        return f"{rf(s)} - {rf(t)}", False
+    if op is Op.FMUL:
+        return f"{rf(s)} * {rf(t)}", False
+    if op is Op.FDIV:
+        return f"_fdiv({rf(s)}, {rf(t)})", True
+    if op is Op.FSQRT:
+        return f"_fsqrt({rf(s)})", True
+    if op is Op.FABS:
+        return f"abs({rf(s)})", False
+    if op is Op.FNEG:
+        return f"-{rf(s)}", False
+    if op is Op.FMOV:
+        return f"{rf(s)}", False
+    if op is Op.FEQ:
+        return f"1 if {rf(s)} == {rf(t)} else 0", False
+    if op is Op.FLT_:
+        return f"1 if {rf(s)} < {rf(t)} else 0", False
+    if op is Op.FLE:
+        return f"1 if {rf(s)} <= {rf(t)} else 0", False
+    if op is Op.ITOF:
+        return f"float({ri(s)})", False
+    if op is Op.FTOI:
+        return f"((int({rf(s)}) + _S) & _M) - _S", True
+    raise AssertionError(f"unhandled ALU op {op}")
+
+
+def _alu_fold(inst: Any, regs: _Regs) -> int | None:
+    """Constant-fold a pure int ALU op when every register source is known.
+
+    Folds by evaluating the generated expression with source texts that
+    are themselves literals, so the folded value is identical to what
+    the emitted code would compute.
+    """
+    if inst.op not in _FOLDABLE_OPS:
+        return None
+    for bank, num in inst.sources:
+        key = num if bank == "i" else 32 + num
+        if regs.read_const(key) is None:
+            return None
+    expr, _ = _alu_expr(inst, regs, "")  # const reads: no promotion emitted
+    return int(eval(expr, dict(_FOLD_GLOBALS)))  # noqa: S307 - own codegen
+
+
+def _branch_expr(inst: Any, regs: _Regs, ind: str) -> str:
+    """Condition text for a K_BRANCH instruction (mirrors ``_branch``)."""
+    op = inst.op
+    a = regs.read(inst.rs, ind)
+    if op is Op.BLEZ:
+        return f"{a} <= 0"
+    if op is Op.BGTZ:
+        return f"{a} > 0"
+    b = regs.read(inst.rt, ind)
+    if op is Op.BEQ:
+        return f"{a} == {b}"
+    if op is Op.BNE:
+        return f"{a} != {b}"
+    if op is Op.BLT:
+        return f"{a} < {b}"
+    return f"{a} >= {b}"
+
+
+def _wrap_s32(value: int) -> int:
+    return ((value + _S) & _M) - _S
+
+
+# --- in-order block emitter --------------------------------------------------
+#
+# Generated signature: def _b{pc:x}(ir, fr, ready, st, env)
+#
+# st (list, 22 slots): 0..7 the fast-timing vector [last_fetch, redirect,
+#   ex_free, mem_free, prev_mem_start, front0, front1, front2], 8 itick,
+#   9 dtick, 10 ihits, 11 imiss, 12 dhits, 13 dmiss, 14 fetched,
+#   15 c_regread, 16 c_regwrite, 17 c_dcache, 18 pc, 19 executed,
+#   20 wd (honor and not masked and wd_enabled), 21 wd_expiry.
+# env (tuple, 14): words, words.get, icache sets, dcache sets, mmio,
+#   mmio.read, mmio.write, machine.data_read, machine.data_write,
+#   stall_cycles, timing base, honor_watchdog, gshare-train-or-None,
+#   indirect-train-or-None.
+#
+# Return protocol: int -> next block pc (full block retired); "h" -> halt;
+# "w" -> watchdog.  String exits (and faults) leave the authoritative
+# pc/executed in st[18]/st[19]; every may-raise operation is preceded by a
+# full st write so faults are observationally identical to the reference.
+
+_INORDER_ENV = (
+    "words, words_get, isets, dsets, mmio, mmio_read, mmio_write, "
+    "data_read, data_write, stall, base, honor, tg, ti"
+)
+_INORDER_ST = (
+    "lf, rd, xf, mf, pm, q0, q1, q2, itick, dtick, ihits, imiss, dhits, "
+    "dmiss, cfe, crr, crw, cdc, _pc, nex, wd, wdx"
+)
+
+
+def _ctr(name: str, add: int) -> str:
+    return f"{name} + {add}" if add else name
+
+
+class _InOrderEmitter:
+    """Emit one in-order basic-block function (see layout comment above)."""
+
+    def __init__(self, geom: "_Geometry") -> None:
+        self.g = geom
+        self.lines: list[str] = []
+        self.regs = _Regs(self.lines)
+        # Semantic timing-state names -> current text (SSA per instruction).
+        self.nm = {k: k for k in
+                   ("lf", "rd", "xf", "mf", "pm", "q0", "q1", "q2")}
+        self.cfe = 0
+        self.crr = 0
+        self.crw = 0
+        self.nex = 0
+        # Statically-guaranteed icache hits, batched: pending tick count and
+        # last way-write offset per (set, block).
+        self.ip_count = 0
+        self.ip_ways: dict[tuple[int, int], int] = {}
+        self._last_line: dict[int, int] = {}
+
+    # -- helpers --
+
+    def emit(self, ind: str, text: str) -> None:
+        self.lines.append(ind + text)
+
+    def _pending_way_lines(self, ind: str) -> list[str]:
+        out = []
+        for (setk, blk), off in self.ip_ways.items():
+            tick = _ctr("itick", off)
+            out.append(f"{ind}iw{setk}[{blk}] = {tick}")
+        return out
+
+    def _materialize_icache(self, ind: str) -> None:
+        """Apply batched guaranteed-hit icache accesses (mutating)."""
+        if not self.ip_count:
+            return
+        self.lines.extend(self._pending_way_lines(ind))
+        self.emit(ind, f"itick += {self.ip_count}")
+        self.emit(ind, f"ihits += {self.ip_count}")
+        self.ip_count = 0
+        self.ip_ways.clear()
+
+    def _sync(self, ind: str, pc_expr: str) -> None:
+        """Write full architectural+batched state to st (fault parity).
+
+        Never clears codegen-side pending/dirty state: on raising paths
+        nothing follows, and on continuing paths the pending way-writes
+        are idempotent re-writes and spills simply repeat later.
+        """
+        self.lines.extend(self._pending_way_lines(ind))
+        self.lines.extend(self.regs.spill_lines(ind))
+        n = self.nm
+        self.emit(ind, "st[:] = (" + ", ".join((
+            n["lf"], n["rd"], n["xf"], n["mf"], n["pm"],
+            n["q0"], n["q1"], n["q2"],
+            _ctr("itick", self.ip_count), "dtick",
+            _ctr("ihits", self.ip_count), "imiss", "dhits", "dmiss",
+            _ctr("cfe", self.cfe), _ctr("crr", self.crr),
+            _ctr("crw", self.crw), "cdc",
+            pc_expr, _ctr("nex", self.nex), "wd", "wdx",
+        )) + ")")
+
+    def _exit(self, ind: str, pc_expr: str, ret: str) -> None:
+        self._sync(ind, pc_expr)
+        self.emit(ind, f"return {ret}")
+
+    def _icache(self, i: int, pc: int, f: str) -> None:
+        """Inline I-cache access for the fetch of ``pc`` (ind level 1)."""
+        g = self.g
+        blk = pc >> g.ishift
+        setk = blk % g.insets
+        if self._last_line.get(setk) == blk:
+            # Guaranteed hit: the set's previous access was this line and
+            # nothing touched the set since -> batch tick/hit/way-write.
+            self.ip_ways[(setk, blk)] = self.ip_count
+            self.ip_count += 1
+        else:
+            self._materialize_icache("    ")
+            w = f"iw{setk}"
+            self.emit("    ", f"if {blk} in {w}:")
+            self.emit("        ", f"{w}[{blk}] = itick")
+            self.emit("        ", "itick += 1")
+            self.emit("        ", "ihits += 1")
+            self.emit("    ", "else:")
+            self.emit("        ", f"{w}[{blk}] = itick")
+            self.emit("        ", "itick += 1")
+            self.emit("        ", f"if len({w}) > {g.iassoc}:")
+            self.emit("            ",
+                      f"del {w}[min({w}, key={w}.__getitem__)]")
+            self.emit("        ", "imiss += 1")
+            self.emit("        ", f"{f} += stall")
+            self._last_line[setk] = blk
+        self.cfe += 1
+
+    def _dcache(self, ind: str, i: int, a: str, d: str | None) -> None:
+        """Inline D-cache access for address text ``a``.
+
+        ``d`` names the dcache_extra local to set (None: caller only
+        needs the stats/LRU side effects — OOO store commit path).
+        """
+        g = self.g
+        self.emit(ind, f"b{i} = {a} >> {g.dshift}")
+        self.emit(ind, f"w = dsets[b{i} % {g.dnsets}]")
+        self.emit(ind, f"if b{i} in w:")
+        self.emit(ind + "    ", f"w[b{i}] = dtick")
+        self.emit(ind + "    ", "dtick += 1")
+        self.emit(ind + "    ", "dhits += 1")
+        if d is not None:
+            self.emit(ind + "    ", f"{d} = 0")
+        self.emit(ind, "else:")
+        self.emit(ind + "    ", f"w[b{i}] = dtick")
+        self.emit(ind + "    ", "dtick += 1")
+        self.emit(ind + "    ", f"if len(w) > {g.dassoc}:")
+        self.emit(ind + "        ", "del w[min(w, key=w.__getitem__)]")
+        self.emit(ind + "    ", "dmiss += 1")
+        if d is not None:
+            self.emit(ind + "    ", f"{d} = stall")
+
+    # -- main entry --
+
+    def emit_block(self, pc: int, insts: list[tuple[int, Any]]) -> str:
+        """Generate the block function source for ``insts`` at ``pc``."""
+        fname = f"_b{pc:x}"
+        head = [
+            f"def {fname}(ir, fr, ready, st, env):",
+            f"    ({_INORDER_ENV}) = env",
+            f"    ({_INORDER_ST}) = st",
+        ]
+        g = self.g
+        sets_used = sorted({
+            (ipc >> g.ishift) % g.insets for ipc, _ in insts
+        })
+        for setk in sets_used:
+            head.append(f"    iw{setk} = isets[{setk}]")
+        for idx, (ipc, fi) in enumerate(insts):
+            self._inst(idx, ipc, fi, is_last=idx == len(insts) - 1)
+        return "\n".join(head + self.lines) + "\n"
+
+    def _inst(self, i: int, pc: int, fi: Any, is_last: bool) -> None:
+        (kind, _ex, src_keys, dkey, wbank, dnum, nsrc, lat,
+         npc, starget, ptaken, inst) = fi
+        n = self.nm
+        regs = self.regs
+        g = self.g
+        ind = "    "
+
+        # -- fetch timing + I-cache (reference lines: fetch clamps then
+        # `fetch += icache_extra`, emitted as `f += stall` on the miss arm).
+        f = f"f{i}"
+        self.emit(ind, f"{f} = {n['lf']} + 1")
+        self.emit(ind, f"if {n['rd']} > {f}:")
+        self.emit(ind + "    ", f"{f} = {n['rd']}")
+        self.emit(ind, f"if {n['q0']} > {f}:")
+        self.emit(ind + "    ", f"{f} = {n['q0']}")
+        self._icache(i, pc, f)
+
+        # -- execute section (specialized expression + dcache access) --
+        a = f"a{i}"
+        d = f"d{i}"
+        const_addr: int | None = None
+        mmio_static: bool | None = None
+        vt = ""
+        if kind == K_ALU:
+            folded = _alu_fold(inst, regs)
+            if folded is not None:
+                if wbank != 0:
+                    regs.write_const(dkey, folded)
+            else:
+                expr, may_raise = _alu_expr(inst, regs, ind)
+                if may_raise:
+                    self._sync(ind, str(pc))
+                if wbank != 0:
+                    self.emit(ind, f"{regs.write_name(dkey)} = {expr}")
+                elif may_raise:
+                    self.emit(ind, f"v{i} = {expr}")
+        elif kind == K_LOAD or kind == K_STORE:
+            base_c = regs.read_const(inst.rs)
+            if kind == K_LOAD:
+                if base_c is not None:
+                    const_addr = (base_c + inst.imm) & _M
+                    a = str(const_addr)
+                else:
+                    s_txt = regs.read(inst.rs, ind)
+                    self.emit(ind, f"{a} = ({s_txt} + {inst.imm}) & _M")
+            else:
+                s_txt = "" if base_c is not None else regs.read(inst.rs, ind)
+                vt = (regs.read(32 + inst.rt, ind) if inst.op is Op.FSW
+                      else regs.read(inst.rt, ind))
+                if base_c is not None:
+                    const_addr = (base_c + inst.imm) & _M
+                    a = str(const_addr)
+                else:
+                    self.emit(ind, f"{a} = ({s_txt} + {inst.imm}) & _M")
+            mmio_static = (const_addr >= _MMIO) if const_addr is not None \
+                else None
+            if mmio_static is True:
+                self.emit(ind, f"{d} = 0")
+            elif mmio_static is False:
+                self.emit(ind, "cdc += 1")
+                self._dcache(ind, i, a, d)
+            elif kind == K_LOAD:
+                self.emit(ind, f"o{i} = {a} >= {_MMIO}")
+                self.emit(ind, f"if o{i}:")
+                self.emit(ind + "    ", f"{d} = 0")
+                self.emit(ind, "else:")
+                self.emit(ind + "    ", "cdc += 1")
+                self._dcache(ind + "    ", i, a, d)
+            else:
+                self.emit(ind, f"if {a} < {_MMIO}:")
+                self.emit(ind + "    ", "cdc += 1")
+                self._dcache(ind + "    ", i, a, d)
+                self.emit(ind, "else:")
+                self.emit(ind + "    ", f"{d} = 0")
+        elif kind == K_BRANCH:
+            k = f"k{i}"
+            self.emit(ind, f"{k} = {_branch_expr(inst, regs, ind)}")
+            self.emit(ind, "if tg is not None:")
+            self.emit(ind + "    ", f"tg({pc}, {k})")
+        elif kind == K_INDIRECT:
+            s_txt = regs.read(inst.rs, ind)
+            self.emit(ind, f"g{i} = {s_txt} & _M")
+            self.emit(ind, "if ti is not None:")
+            self.emit(ind + "    ", f"ti({pc}, g{i})")
+        # K_JUMP / K_HALT: nothing to execute.
+
+        # -- timing recurrence (inlined inorder_engine.advance) --
+        x = f"x{i}"
+        self.emit(ind, f"{x} = {f} + {_FRONT_DEPTH}")
+        self.emit(ind, f"t = {n['xf']} + 1")
+        self.emit(ind, f"if t > {x}:")
+        self.emit(ind + "    ", f"{x} = t")
+        self.emit(ind, f"if {n['pm']} > {x}:")
+        self.emit(ind + "    ", f"{x} = {n['pm']}")
+        for sk in dict.fromkeys(src_keys):
+            self.emit(ind, f"t = ready[{sk}]")
+            self.emit(ind, f"if t > {x}:")
+            self.emit(ind + "    ", f"{x} = t")
+        if lat == 1:
+            xe = x
+        else:
+            xe = f"e{i}"
+            self.emit(ind, f"{xe} = {x} + {lat - 1}")
+        m = f"m{i}"
+        self.emit(ind, f"{m} = {xe} + 1")
+        self.emit(ind, f"t = {n['mf']} + 1")
+        self.emit(ind, f"if t > {m}:")
+        self.emit(ind + "    ", f"{m} = t")
+        if kind == K_LOAD or kind == K_STORE:
+            if mmio_static is True:
+                u = m  # dcache_extra statically 0
+            else:
+                u = f"u{i}"
+                self.emit(ind, f"{u} = {m} + {d}")
+        else:
+            u = m
+        if dkey >= 0:
+            src = f"{u} + 1" if kind == K_LOAD else f"{xe} + 1"
+            self.emit(ind, f"ready[{dkey}] = {src}")
+        rd_old = n["rd"]
+        if kind == K_BRANCH:
+            r = f"r{i}"
+            pen = f"{xe} + {_REDIRECT_OFFSET}"
+            if ptaken:
+                self.emit(ind, f"{r} = {rd_old} if k{i} else ({pen})")
+            else:
+                self.emit(ind, f"{r} = ({pen}) if k{i} else {rd_old}")
+            n["rd"] = r
+        elif kind == K_INDIRECT:
+            r = f"r{i}"
+            self.emit(ind, f"{r} = {xe} + {_REDIRECT_OFFSET}")
+            n["rd"] = r
+        n["q0"], n["q1"], n["q2"] = n["q1"], n["q2"], x
+        n["lf"], n["xf"], n["mf"], n["pm"] = f, xe, u, m
+
+        # -- architectural side effects --
+        pc_next = str(npc)
+        if kind == K_LOAD:
+            if wbank != 0:
+                regs.prepare_write(dkey, ind)
+                dest = regs.write_name(dkey)
+            else:
+                dest = f"v{i}"
+            mm = f"{dest} = mmio_read({a}, base + {m})"
+            mem_guard = f"if {a} & 3 or {g.tbase} <= {a} < {g.text_end}:"
+            mem_read = f"data_read({a}, base + {u} + 1)"
+            mem_val = f"{dest} = words_get({a}, 0)"
+            if mmio_static is True:
+                self._sync(ind, str(pc))
+                self.emit(ind, mm)
+            elif mmio_static is False:
+                self.emit(ind, mem_guard)
+                self._sync(ind + "    ", str(pc))
+                self.emit(ind + "    ", mem_read)
+                self.emit(ind, mem_val)
+            else:
+                self.emit(ind, f"if o{i}:")
+                self._sync(ind + "    ", str(pc))
+                self.emit(ind + "    ", mm)
+                self.emit(ind, "else:")
+                self.emit(ind + "    ", mem_guard)
+                self._sync(ind + "        ", str(pc))
+                self.emit(ind + "        ", mem_read)
+                self.emit(ind + "    ", mem_val)
+        elif kind == K_STORE:
+            wr = self._store_words_lines(ind, a, vt)
+            mm = [
+                f"mmio_write({a}, {vt}, base + {m})",
+                "wd = honor and not mmio.exceptions_masked"
+                " and mmio._wd_enabled",
+                "wdx = mmio._wd_expiry",
+            ]
+            mem_guard = f"if {a} & 3 or {g.tbase} <= {a} < {g.text_end}:"
+            mem_write = f"data_write({a}, {vt}, base + {u} + 1)"
+            if mmio_static is True:
+                self._sync(ind, str(pc))
+                for line in mm:
+                    self.emit(ind, line)
+            elif mmio_static is False:
+                self.emit(ind, mem_guard)
+                self._sync(ind + "    ", str(pc))
+                self.emit(ind + "    ", mem_write)
+                for line in wr:
+                    self.emit(ind, line)
+            else:
+                self.emit(ind, f"if {a} >= {_MMIO}:")
+                self._sync(ind + "    ", str(pc))
+                for line in mm:
+                    self.emit(ind + "    ", line)
+                self.emit(ind, "else:")
+                self.emit(ind + "    ", mem_guard)
+                self._sync(ind + "        ", str(pc))
+                self.emit(ind + "        ", mem_write)
+                for line in wr:
+                    self.emit(ind + "    ", line)
+        elif kind == K_BRANCH:
+            pc_next = f"n{i}"
+            self.emit(ind, f"{pc_next} = {starget} if k{i} else {npc}")
+        elif kind == K_JUMP:
+            if wbank == 1:
+                regs.write_const(dkey, npc)
+            pc_next = str(starget)
+        elif kind == K_INDIRECT:
+            if wbank == 1:
+                regs.write_const(dkey, npc)
+            pc_next = f"g{i}"
+        # K_ALU: write already folded into the execute section.  K_HALT:
+        # pc advances to npc (pc_next default).
+
+        # -- event counters (statically known; become exit literals) --
+        self.crr += nsrc
+        if dkey >= 0:
+            self.crw += 1
+        self.nex += 1
+
+        if kind == K_HALT:
+            self._exit(ind, pc_next, '"h"')
+            return
+
+        self.emit(ind, f"if wd and base + {u} + 1 >= wdx:")
+        self._exit(ind + "    ", pc_next, '"w"')
+
+        if is_last:
+            self._exit(ind, pc_next, pc_next)
+
+    def _store_words_lines(self, ind: str, a: str, vt: str) -> list[str]:
+        """The memory-image store with the reference's int wrap check."""
+        try:
+            const = int(vt)
+        except ValueError:
+            return [
+                f"if {vt}.__class__ is int:",
+                f"    words[{a}] = (({vt} + {_S}) & {_M}) - {_S}",
+                "else:",
+                f"    words[{a}] = {vt}",
+            ]
+        return [f"words[{a}] = {_wrap_s32(const)}"]
+
+
+# --- OOO block emitter --------------------------------------------------------
+#
+# Generated signature: def _o{pc:x}(ir, fr, ready, st, env)
+#
+# st (list, 23 slots): 0 bus_free, 1 fetch_cycle, 2 group_done,
+#   3 group_count, 4 group_block, 5 redirect, 6 last_commit (the
+#   *committed* value: at a mid-instruction fault it lags the commit-stage
+#   clamp exactly like ``committed_now`` in the reference), 7 itick,
+#   8 dtick, 9 ihits, 10 imiss, 11 dhits, 12 dmiss, 13 c_group,
+#   14 c_bpred, 15 c_regread, 16 c_regwrite, 17 c_dcache, 18 n_mem,
+#   19 pc, 20 executed, 21 wd, 22 wd_expiry.
+# env (tuple, 32): words, words.get, icache sets, dcache sets, mmio,
+#   mmio.read, mmio.write, machine.data_read, machine.data_write,
+#   stall penalty, timing base, honor_watchdog, gshare.predict,
+#   gshare.update, indirect.predict, indirect.update, then the per-segment
+#   scheduling structures: dis_used/dis_get, iss_used/iss_get,
+#   com_used/com_get, port_used/port_get, rob_commits/rob_append,
+#   iq_issues/iq_append, lsq_commits/lsq_append,
+#   inflight_stores/inflight_stores.get.
+
+_OOO_ENV = (
+    "words, words_get, isets, dsets, mmio, mmio_read, mmio_write, "
+    "data_read, data_write, pen, base, honor, gpredict, gupdate, "
+    "ipredict, iupdate, dis_used, dis_get, iss_used, iss_get, com_used, "
+    "com_get, port_used, port_get, rob_commits, rob_append, iq_issues, "
+    "iq_append, lsq_commits, lsq_append, inflight_stores, get_inflight"
+)
+_OOO_ST = (
+    "bf, fc, gd, gc, gb, rd, lc, itick, dtick, ihits, imiss, dhits, "
+    "dmiss, cg, cbp, crr, crw, cdc, nmem, _pc, nex, wd, wdx"
+)
+
+
+class _OOOEmitter:
+    """Emit one complex-mode basic-block function (layout comment above)."""
+
+    def __init__(self, geom: "_Geometry", params: Any) -> None:
+        self.g = geom
+        self.p = params
+        self.lines: list[str] = []
+        self.regs = _Regs(self.lines)
+        # Commit-clamp name (the reference's ``last_commit``, updated at
+        # the commit stage) vs sync name (``committed_now``'s cycle part,
+        # which only advances *after* an instruction's side effects).
+        self.lc = "lc"
+        self.lc_sync = "lc"
+        self.cbp = 0
+        self.crr = 0
+        self.crw = 0
+        self.nex = 0
+        self.nmem = 0
+        self._prev_blk: int | None = None
+
+    def emit(self, ind: str, text: str) -> None:
+        self.lines.append(ind + text)
+
+    def _sync(self, ind: str, pc_expr: str) -> None:
+        """Write full architectural state to st before a may-raise op."""
+        self.lines.extend(self.regs.spill_lines(ind))
+        self.emit(ind, "st[:] = (" + ", ".join((
+            "bf", "fc", "gd", "gc", "gb", "rd", self.lc_sync,
+            "itick", "dtick", "ihits", "imiss", "dhits", "dmiss", "cg",
+            _ctr("cbp", self.cbp), _ctr("crr", self.crr),
+            _ctr("crw", self.crw), "cdc", _ctr("nmem", self.nmem),
+            pc_expr, _ctr("nex", self.nex), "wd", "wdx",
+        )) + ")")
+
+    def _exit(self, ind: str, pc_expr: str, ret: str) -> None:
+        self._sync(ind, pc_expr)
+        self.emit(ind, f"return {ret}")
+
+    def _dcache_hit(self, ind: str, i: int, a: str) -> None:
+        """Inline D-cache access setting the hit flag ``h{i}``."""
+        g = self.g
+        self.emit(ind, f"b{i} = {a} >> {g.dshift}")
+        self.emit(ind, f"w = dsets[b{i} % {g.dnsets}]")
+        self.emit(ind, f"if b{i} in w:")
+        self.emit(ind + "    ", f"w[b{i}] = dtick")
+        self.emit(ind + "    ", "dtick += 1")
+        self.emit(ind + "    ", "dhits += 1")
+        self.emit(ind + "    ", f"h{i} = True")
+        self.emit(ind, "else:")
+        self.emit(ind + "    ", f"w[b{i}] = dtick")
+        self.emit(ind + "    ", "dtick += 1")
+        self.emit(ind + "    ", f"if len(w) > {g.dassoc}:")
+        self.emit(ind + "        ", "del w[min(w, key=w.__getitem__)]")
+        self.emit(ind + "    ", "dmiss += 1")
+        self.emit(ind + "    ", f"h{i} = False")
+
+    def _dcache_store_commit(self, ind: str, i: int, a: str, y: str) -> None:
+        """Store-commit D-cache access; a miss occupies the bus (fill)."""
+        g = self.g
+        self.emit(ind, f"b{i} = {a} >> {g.dshift}")
+        self.emit(ind, f"w = dsets[b{i} % {g.dnsets}]")
+        self.emit(ind, f"if b{i} in w:")
+        self.emit(ind + "    ", f"w[b{i}] = dtick")
+        self.emit(ind + "    ", "dtick += 1")
+        self.emit(ind + "    ", "dhits += 1")
+        self.emit(ind, "else:")
+        self.emit(ind + "    ", f"w[b{i}] = dtick")
+        self.emit(ind + "    ", "dtick += 1")
+        self.emit(ind + "    ", f"if len(w) > {g.dassoc}:")
+        self.emit(ind + "        ", "del w[min(w, key=w.__getitem__)]")
+        self.emit(ind + "    ", "dmiss += 1")
+        self.emit(ind + "    ", f"t = {y}")
+        self.emit(ind + "    ", "if bf > t:")
+        self.emit(ind + "        ", "t = bf")
+        self.emit(ind + "    ", "bf = t + pen")
+
+    def emit_block(self, pc: int, insts: list[tuple[int, Any]]) -> str:
+        fname = f"_o{pc:x}"
+        head = [
+            f"def {fname}(ir, fr, ready, st, env):",
+            f"    ({_OOO_ENV}) = env",
+            f"    ({_OOO_ST}) = st",
+        ]
+        for idx, (ipc, fi) in enumerate(insts):
+            self._inst(idx, ipc, fi, is_last=idx == len(insts) - 1)
+        return "\n".join(head + self.lines) + "\n"
+
+    def _fetch_group(self, i: int, pc: int) -> None:
+        """Fetch-group formation (reference 'fetch group' section)."""
+        g = self.g
+        fw = self.p.fetch_width
+        blk = pc >> g.ishift
+        setk = blk % g.insets
+        ind = "    "
+        if i == 0:
+            # Block entry: fully dynamic condition.
+            self.emit(ind, f"if gc >= {fw} or gb != {blk} or fc < rd:")
+            self._group_body(ind + "    ", blk, setk, clamp=True)
+        elif self._prev_blk != blk:
+            # New cache line mid-block: `blk != group_block` holds (the
+            # last group formed on the previous line) and mid-block
+            # `fetch_cycle >= redirect` always -> form unconditionally.
+            self._group_body(ind, blk, setk, clamp=False)
+        else:
+            # Same line as the previous instruction: only width overflow
+            # can break the group, and the line is a guaranteed hit (the
+            # set's most recent access was this very line).
+            self.emit(ind, f"if gc >= {fw}:")
+            b = ind + "    "
+            self.emit(b, "fc += 1")
+            self.emit(b, "gc = 0")
+            self.emit(b, "cg += 1")
+            self.emit(b, f"w = isets[{setk}]")
+            self.emit(b, f"w[{blk}] = itick")
+            self.emit(b, "itick += 1")
+            self.emit(b, "ihits += 1")
+            self.emit(b, "gd = fc")
+        self.emit(ind, "gc += 1")
+        self._prev_blk = blk
+
+    def _group_body(self, b: str, blk: int, setk: int, clamp: bool) -> None:
+        self.emit(b, "fc += 1")
+        if clamp:
+            self.emit(b, "if rd > fc:")
+            self.emit(b + "    ", "fc = rd")
+        self.emit(b, "gc = 0")
+        self.emit(b, f"gb = {blk}")
+        self.emit(b, "cg += 1")
+        self.emit(b, f"w = isets[{setk}]")
+        self.emit(b, f"if {blk} in w:")
+        self.emit(b + "    ", f"w[{blk}] = itick")
+        self.emit(b + "    ", "itick += 1")
+        self.emit(b + "    ", "ihits += 1")
+        self.emit(b + "    ", "gd = fc")
+        self.emit(b, "else:")
+        self.emit(b + "    ", f"w[{blk}] = itick")
+        self.emit(b + "    ", "itick += 1")
+        self.emit(b + "    ", f"if len(w) > {self.g.iassoc}:")
+        self.emit(b + "        ", "del w[min(w, key=w.__getitem__)]")
+        self.emit(b + "    ", "imiss += 1")
+        self.emit(b + "    ", "t = fc")
+        self.emit(b + "    ", "if bf > t:")
+        self.emit(b + "        ", "t = bf")
+        self.emit(b + "    ", "bf = t + pen")
+        self.emit(b + "    ", "gd = bf")
+        self.emit(b + "    ", "fc = gd")
+
+    def _inst(self, i: int, pc: int, fi: Any, is_last: bool) -> None:
+        (kind, _ex, src_keys, dkey, wbank, dnum, nsrc, lat,
+         npc, starget, ptaken, inst) = fi
+        regs = self.regs
+        g = self.g
+        p = self.p
+        ind = "    "
+
+        self._fetch_group(i, pc)
+
+        # -- architectural execute + branch prediction --
+        a = f"a{i}"
+        const_addr: int | None = None
+        mmio_static: bool | None = None
+        vt = ""
+        if kind == K_ALU:
+            folded = _alu_fold(inst, regs)
+            if folded is not None:
+                if wbank != 0:
+                    regs.write_const(dkey, folded)
+            else:
+                expr, may_raise = _alu_expr(inst, regs, ind)
+                if may_raise:
+                    self._sync(ind, str(pc))
+                if wbank != 0:
+                    self.emit(ind, f"{regs.write_name(dkey)} = {expr}")
+                elif may_raise:
+                    self.emit(ind, f"v{i} = {expr}")
+        elif kind == K_LOAD or kind == K_STORE:
+            base_c = regs.read_const(inst.rs)
+            s_txt = "" if base_c is not None else regs.read(inst.rs, ind)
+            if kind == K_STORE:
+                vt = (regs.read(32 + inst.rt, ind) if inst.op is Op.FSW
+                      else regs.read(inst.rt, ind))
+            if base_c is not None:
+                const_addr = (base_c + inst.imm) & _M
+                a = str(const_addr)
+                mmio_static = const_addr >= _MMIO
+            else:
+                self.emit(ind, f"{a} = ({s_txt} + {inst.imm}) & _M")
+        elif kind == K_BRANCH:
+            self.emit(ind, f"k{i} = {_branch_expr(inst, regs, ind)}")
+            self.emit(ind, f"p{i} = gpredict({pc})")
+            self.emit(ind, f"gupdate({pc}, k{i})")
+            self.cbp += 1
+        elif kind == K_INDIRECT:
+            s_txt = regs.read(inst.rs, ind)
+            self.emit(ind, f"g{i} = {s_txt} & _M")
+            self.emit(ind, f"p{i} = ipredict({pc})")
+            self.emit(ind, f"iupdate({pc}, g{i})")
+            self.cbp += 1
+        # K_JUMP / K_HALT: nothing to execute.
+
+        # -- dispatch (rename, allocate ROB/IQ/LSQ) --
+        is_mem = kind == K_LOAD or kind == K_STORE
+        d = f"d{i}"
+        self.emit(ind, f"{d} = gd + 1")
+        for q, n_entries in (
+            ("rob_commits", p.rob_entries),
+            ("iq_issues", p.iq_entries),
+        ):
+            self.emit(ind, f"if len({q}) == {n_entries}:")
+            self.emit(ind + "    ", f"t = {q}[0] + 1")
+            self.emit(ind + "    ", f"if t > {d}:")
+            self.emit(ind + "        ", f"{d} = t")
+        if is_mem:
+            self.nmem += 1
+            self.emit(ind, f"if len(lsq_commits) == {p.lsq_entries}:")
+            self.emit(ind + "    ", "t = lsq_commits[0] + 1")
+            self.emit(ind + "    ", f"if t > {d}:")
+            self.emit(ind + "        ", f"{d} = t")
+        self.emit(ind, f"while dis_get({d}, 0) >= {p.dispatch_width}:")
+        self.emit(ind + "    ", f"{d} += 1")
+        self.emit(ind, f"dis_used[{d}] = dis_get({d}, 0) + 1")
+
+        # -- issue (wakeup/select) --
+        s = f"s{i}"
+        self.emit(ind, f"{s} = {d} + 1")
+        for sk in dict.fromkeys(src_keys):
+            self.emit(ind, f"t = ready[{sk}]")
+            self.emit(ind, f"if t > {s}:")
+            self.emit(ind + "    ", f"{s} = t")
+        if is_mem:
+            self.emit(ind, "while True:")
+            self.emit(ind + "    ", f"while iss_get({s}, 0) >= {p.issue_width}:")
+            self.emit(ind + "        ", f"{s} += 1")
+            self.emit(ind + "    ", f"t = {s}")
+            self.emit(ind + "    ", f"while port_get(t, 0) >= {p.cache_ports}:")
+            self.emit(ind + "        ", "t += 1")
+            self.emit(ind + "    ", f"if t == {s}:")
+            self.emit(ind + "        ", "break")
+            self.emit(ind + "    ", f"{s} = t")
+            self.emit(ind, f"port_used[{s}] = port_get({s}, 0) + 1")
+        else:
+            self.emit(ind, f"while iss_get({s}, 0) >= {p.issue_width}:")
+            self.emit(ind + "    ", f"{s} += 1")
+        self.emit(ind, f"iss_used[{s}] = iss_get({s}, 0) + 1")
+        self.crr += nsrc
+
+        x = f"x{i}"
+        self.emit(ind, f"{x} = {s} + {p.issue_to_ex}")
+
+        # -- execute / memory --
+        c = f"c{i}"
+        if kind == K_LOAD:
+            if mmio_static is True:
+                self.emit(ind, f"{c} = {x} + 1")
+            elif mmio_static is False:
+                self._load_mem_timing(ind, i, a, x, c)
+            else:
+                self.emit(ind, f"o{i} = {a} >= {_MMIO}")
+                self.emit(ind, f"if o{i}:")
+                self.emit(ind + "    ", f"{c} = {x} + 1")
+                self.emit(ind, "else:")
+                self._load_mem_timing(ind + "    ", i, a, x, c)
+        elif kind == K_STORE:
+            self.emit(ind, f"{c} = {x} + 1")
+        else:
+            self.emit(ind, f"{c} = {x} + {lat}")
+
+        # -- redirect / group break --
+        fw = p.fetch_width
+        if kind == K_BRANCH:
+            self.emit(ind, f"if p{i} != k{i}:")
+            self.emit(ind + "    ", f"rd = {c} + 1")
+            self.emit(ind + "    ", "fc = rd - 1")
+            self.emit(ind + "    ", f"gc = {fw}")
+            self.emit(ind, f"elif p{i}:")
+            self.emit(ind + "    ", f"gc = {fw}")
+        elif kind == K_INDIRECT:
+            self.emit(ind, f"if p{i} != g{i}:")
+            self.emit(ind + "    ", f"rd = {c} + 1")
+            self.emit(ind + "    ", "fc = rd - 1")
+            self.emit(ind, f"gc = {fw}")
+        elif kind == K_JUMP:
+            self.emit(ind, f"gc = {fw}")
+
+        # -- commit (in order, 4-wide) --
+        y = f"y{i}"
+        self.emit(ind, f"{y} = {c} + 1")
+        self.emit(ind, f"if {self.lc} > {y}:")
+        self.emit(ind + "    ", f"{y} = {self.lc}")
+        self.emit(ind, f"while com_get({y}, 0) >= {p.commit_width}:")
+        self.emit(ind + "    ", f"{y} += 1")
+        self.emit(ind, f"com_used[{y}] = com_get({y}, 0) + 1")
+        self.emit(ind, f"rob_append({y})")
+        if is_mem:
+            self.emit(ind, f"lsq_append({y})")
+        self.emit(ind, f"iq_append({s})")
+        # y >= old last_commit by construction, so last_commit becomes y.
+        self.lc = y
+
+        # -- architectural side effects --
+        pc_next = str(npc)
+        if kind == K_LOAD:
+            if wbank != 0:
+                regs.prepare_write(dkey, ind)
+                dest = regs.write_name(dkey)
+            else:
+                dest = f"v{i}"
+            mm = f"{dest} = mmio_read({a}, base + {x} + 1)"
+            mem_guard = f"if {a} & 3 or {g.tbase} <= {a} < {g.text_end}:"
+            mem_read = f"data_read({a}, base + {y})"
+            mem_val = f"{dest} = words_get({a}, 0)"
+            if mmio_static is True:
+                self._sync(ind, str(pc))
+                self.emit(ind, mm)
+            elif mmio_static is False:
+                self.emit(ind, mem_guard)
+                self._sync(ind + "    ", str(pc))
+                self.emit(ind + "    ", mem_read)
+                self.emit(ind, mem_val)
+            else:
+                self.emit(ind, f"if o{i}:")
+                self._sync(ind + "    ", str(pc))
+                self.emit(ind + "    ", mm)
+                self.emit(ind, "else:")
+                self.emit(ind + "    ", mem_guard)
+                self._sync(ind + "        ", str(pc))
+                self.emit(ind + "        ", mem_read)
+                self.emit(ind + "    ", mem_val)
+        elif kind == K_STORE:
+            mm = [
+                f"mmio_write({a}, {vt}, base + {y})",
+                "wd = honor and not mmio.exceptions_masked"
+                " and mmio._wd_enabled",
+                "wdx = mmio._wd_expiry",
+            ]
+            mem_guard = f"if {a} & 3 or {g.tbase} <= {a} < {g.text_end}:"
+            mem_write = f"data_write({a}, {vt}, base + {y})"
+            if mmio_static is True:
+                self._sync(ind, str(pc))
+                for line in mm:
+                    self.emit(ind, line)
+            elif mmio_static is False:
+                self.emit(ind, mem_guard)
+                self._sync(ind + "    ", str(pc))
+                self.emit(ind + "    ", mem_write)
+                self._store_commit(ind, i, a, vt, c, y)
+            else:
+                self.emit(ind, f"if {a} >= {_MMIO}:")
+                self._sync(ind + "    ", str(pc))
+                for line in mm:
+                    self.emit(ind + "    ", line)
+                self.emit(ind, "else:")
+                self.emit(ind + "    ", mem_guard)
+                self._sync(ind + "        ", str(pc))
+                self.emit(ind + "        ", mem_write)
+                self._store_commit(ind + "    ", i, a, vt, c, y)
+        elif kind == K_BRANCH:
+            pc_next = f"n{i}"
+            self.emit(ind, f"{pc_next} = {starget} if k{i} else {npc}")
+        elif kind == K_JUMP:
+            if wbank == 1:
+                regs.write_const(dkey, npc)
+            pc_next = str(starget)
+        elif kind == K_INDIRECT:
+            if wbank == 1:
+                regs.write_const(dkey, npc)
+            pc_next = f"g{i}"
+        # K_ALU: write already folded into the execute section.  K_HALT:
+        # pc advances to npc (pc_next default).
+        self.lc_sync = y
+
+        if dkey >= 0:
+            self.crw += 1
+            self.emit(ind, f"ready[{dkey}] = {c} - {p.issue_to_ex}")
+        self.nex += 1
+
+        if kind == K_HALT:
+            self._exit(ind, pc_next, '"h"')
+            return
+
+        self.emit(ind, f"if wd and base + {y} >= wdx:")
+        self._exit(ind + "    ", pc_next, '"w"')
+
+        if is_last:
+            self._exit(ind, pc_next, pc_next)
+
+    def _load_mem_timing(self, ind: str, i: int, a: str, x: str,
+                         c: str) -> None:
+        """Forwarding check + D-cache access + completion time for a load."""
+        self.emit(ind, f"e{i} = get_inflight({a})")
+        self.emit(ind, f"fw{i} = e{i} is not None and e{i}[1] > {x}")
+        self.emit(ind, "cdc += 1")
+        self._dcache_hit(ind, i, a)
+        self.emit(ind, f"if fw{i}:")
+        self.emit(ind + "    ", f"{c} = e{i}[0] + 1")
+        self.emit(ind + "    ", f"t = {x} + 1")
+        self.emit(ind + "    ", f"if t > {c}:")
+        self.emit(ind + "        ", f"{c} = t")
+        self.emit(ind, f"elif h{i}:")
+        self.emit(ind + "    ", f"{c} = {x} + 2")
+        self.emit(ind, "else:")
+        self.emit(ind + "    ", f"t = {x} + 1")
+        self.emit(ind + "    ", "if bf > t:")
+        self.emit(ind + "        ", "t = bf")
+        self.emit(ind + "    ", "bf = t + pen")
+        self.emit(ind + "    ", f"{c} = bf + 1")
+
+    def _store_commit(self, ind: str, i: int, a: str, vt: str, c: str,
+                      y: str) -> None:
+        """Non-MMIO store commit: words write, D-cache, LSQ in-flight entry."""
+        try:
+            const = int(vt)
+        except ValueError:
+            self.emit(ind, f"if {vt}.__class__ is int:")
+            self.emit(ind + "    ",
+                      f"words[{a}] = (({vt} + {_S}) & {_M}) - {_S}")
+            self.emit(ind, "else:")
+            self.emit(ind + "    ", f"words[{a}] = {vt}")
+        else:
+            self.emit(ind, f"words[{a}] = {_wrap_s32(const)}")
+        self.emit(ind, "cdc += 1")
+        self._dcache_store_commit(ind, i, a, y)
+        self.emit(ind, f"inflight_stores[{a}] = ({c}, {y})")
+
+
+# --- block discovery, compilation, and the persistent table -------------------
+
+
+class _Geometry(NamedTuple):
+    """Everything block code shape depends on besides the program itself."""
+
+    ishift: int
+    insets: int
+    iassoc: int
+    dshift: int
+    dnsets: int
+    dassoc: int
+    tbase: int
+    text_end: int
+
+
+#: Upper bound on instructions fused into one generated function; longer
+#: straight-line runs split at the cap (state is fully synced at every
+#: block exit, so an artificial boundary is behaviourally invisible).
+_MAX_BLOCK = 64
+
+_EXEC_GLOBALS: dict[str, Any] = {
+    "_trunc_div": _trunc_div,
+    "_trunc_rem": _trunc_rem,
+    "_fdiv": _fdiv,
+    "_fsqrt": _fsqrt,
+    "_M": _M,
+    "_S": _S,
+    "__builtins__": {"len": len, "min": min, "abs": abs, "int": int,
+                     "float": float, "True": True, "False": False,
+                     "None": None},
+}
+
+
+def _fname(engine: str, pc: int) -> str:
+    return f"_b{pc:x}" if engine == "inorder" else f"_o{pc:x}"
+
+
+def _leaders(program: "Program") -> set[int]:
+    """Static basic-block leaders: CFG block starts when analyzable,
+    else a linear scan over the fast plan (fuzz programs may violate the
+    CFG analyzer's structural requirements)."""
+    leaders = {program.entry}
+    leaders.update(program.subtask_marks)
+    try:
+        cfg = build_cfg(program)
+    except (AnalysisError, ReproError):
+        fast = program.fast_plan()
+        for fi in fast:
+            kind, starget, npc = fi[0], fi[9], fi[8]
+            if kind in _CONTROL_KINDS:
+                leaders.add(npc)
+                if starget is not None:
+                    leaders.add(starget)
+    else:
+        for fn_cfg in cfg.functions.values():
+            leaders.update(fn_cfg.blocks)
+    return {a for a in leaders if program.contains(a)}
+
+
+def _collect_block(
+    program: "Program", start: int, stops: frozenset[int]
+) -> list[tuple[int, Any]]:
+    """Instructions of the block at ``start``: append until a control
+    instruction, a stop address, the text end, or the fuse cap."""
+    fast = program.fast_plan()
+    tbase = program.text_base
+    text_end = program.text_end
+    insts: list[tuple[int, Any]] = []
+    pc = start
+    while True:
+        fi = fast[(pc - tbase) >> 2]
+        insts.append((pc, fi))
+        if fi[0] in _CONTROL_KINDS or len(insts) >= _MAX_BLOCK:
+            break
+        pc += 4
+        if pc in stops or pc >= text_end:
+            break
+    return insts
+
+
+def _emit_block(
+    engine: str, geom: _Geometry, params: Any, start: int,
+    insts: list[tuple[int, Any]],
+) -> str:
+    if engine == "inorder":
+        return _InOrderEmitter(geom).emit_block(start, insts)
+    return _OOOEmitter(geom, params).emit_block(start, insts)
+
+
+class BlockTable:
+    """Compiled blocks of one (program, engine, geometry, params) tuple.
+
+    ``blocks`` maps block-start pc to ``(function, length)``.
+    ``safe_breaks`` is the set of addresses guaranteed never to be
+    block-interior (sub-task marks + entry), i.e. the breakpoint sets the
+    block dispatcher can honor exactly.
+    """
+
+    def __init__(
+        self,
+        program: "Program",
+        engine: str,
+        geom: _Geometry,
+        params: Any,
+        namespace: dict[str, Any],
+        blocks: dict[int, BlockEntry],
+    ) -> None:
+        self.program = program
+        self.engine = engine
+        self.geom = geom
+        self.params = params
+        self.blocks = blocks
+        self._ns = namespace
+        self.safe_breaks: frozenset[int] = (
+            frozenset(program.subtask_marks) | {program.entry}
+        )
+
+    def block_at(self, pc: int) -> BlockEntry:
+        """The block starting at ``pc``, compiling on demand.
+
+        Dynamic targets (indirect jumps into addresses that were not
+        static leaders) are compiled in-process and not persisted.
+        """
+        entry = self.blocks.get(pc)
+        if entry is not None:
+            return entry
+        if not self.program.contains(pc):
+            raise ReproError(f"no instruction at {pc:#x}")
+        insts = _collect_block(self.program, pc, self.safe_breaks)
+        source = _emit_block(self.engine, self.geom, self.params, pc, insts)
+        code = compile(source, f"<blockjit:{self.engine}:{pc:#x}>", "exec")
+        exec(code, self._ns)  # noqa: S102 - executing our own codegen
+        entry = (self._ns[_fname(self.engine, pc)], len(insts))
+        self.blocks[pc] = entry
+        return entry
+
+
+def _disk_key(
+    program: "Program", engine: str, geom: _Geometry,
+    params_tuple: tuple | None,
+) -> str:
+    from repro.snapshot.state import (
+        FORMAT_VERSION,
+        canonical_json,
+        program_digest,
+    )
+
+    payload = {
+        "format": FORMAT_VERSION,
+        "codegen": CODEGEN_VERSION,
+        "engine": engine,
+        "program": program_digest(program),
+        # program_digest intentionally omits the entry point (results in
+        # the run cache key it separately); block boundaries depend on it.
+        "entry": program.entry,
+        "geom": list(geom),
+        "params": list(params_tuple) if params_tuple is not None else None,
+    }
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()[:24]
+
+
+def _disk_path(engine: str, key: str) -> "Path":
+    from repro.snapshot import runcache
+
+    return runcache.cache_dir() / "blockjit" / f"{engine}-{key}.json"
+
+
+def _load_disk(engine: str, key: str) -> dict | None:
+    from repro.snapshot import runcache
+    from repro.snapshot.state import FORMAT_VERSION
+
+    if runcache.cache_disabled():
+        return None
+    try:
+        payload = json.loads(_disk_path(engine, key).read_text())
+    except (OSError, ValueError):
+        runcache.STATS["blockjit_misses"] += 1
+        return None
+    if (
+        not isinstance(payload, dict)
+        or payload.get("format") != FORMAT_VERSION
+        or payload.get("codegen") != CODEGEN_VERSION
+        or payload.get("engine") != engine
+    ):
+        runcache.STATS["blockjit_misses"] += 1
+        return None
+    runcache.STATS["blockjit_hits"] += 1
+    return payload
+
+
+def _store_disk(engine: str, key: str, payload: dict) -> None:
+    from repro.snapshot import runcache
+
+    if runcache.cache_disabled():
+        return
+    runcache.atomic_write_json(_disk_path(engine, key), payload)
+    runcache.STATS["blockjit_stores"] += 1
+
+
+def _build_table(
+    program: "Program", engine: str, geom: _Geometry, params: Any,
+    params_tuple: tuple | None,
+) -> BlockTable:
+    from repro.snapshot.state import FORMAT_VERSION
+
+    key = _disk_key(program, engine, geom, params_tuple)
+    ns = dict(_EXEC_GLOBALS)
+    blocks: dict[int, BlockEntry] = {}
+    payload = _load_disk(engine, key)
+    if payload is not None:
+        code = None
+        # Warm fast path: the marshaled code object skips compile(), which
+        # dominates load time.  Marshal is interpreter-specific, so it is
+        # only trusted under the same cache tag; anything else (older
+        # entries, another Python) falls back to recompiling the source.
+        if payload.get("python") == sys.implementation.cache_tag:
+            try:
+                code = marshal.loads(base64.b64decode(payload["code"]))
+            except (KeyError, ValueError, EOFError, TypeError):
+                code = None
+        if code is None:
+            code = compile(
+                payload["source"], f"<blockjit:{engine}:{key}>", "exec"
+            )
+        exec(code, ns)  # noqa: S102 - executing our own (cached) codegen
+        for spc, (fname, blen) in payload["blocks"].items():
+            blocks[int(spc)] = (ns[fname], int(blen))
+        return BlockTable(program, engine, geom, params, ns, blocks)
+
+    leaders = _leaders(program)
+    stops = frozenset(leaders)
+    pending = sorted(leaders)
+    seen = set(pending)
+    sources: list[str] = []
+    meta: dict[str, list] = {}
+    while pending:
+        start = pending.pop(0)
+        insts = _collect_block(program, start, stops)
+        sources.append(_emit_block(engine, geom, params, start, insts))
+        meta[str(start)] = [_fname(engine, start), len(insts)]
+        # A run split at the fuse cap continues in a follow-on block.
+        last_pc, last_fi = insts[-1]
+        cont = last_pc + 4
+        if (
+            last_fi[0] not in _CONTROL_KINDS
+            and cont not in seen
+            and program.contains(cont)
+        ):
+            seen.add(cont)
+            pending.append(cont)
+    source = "\n".join(sources)
+    code = compile(source, f"<blockjit:{engine}:{key}>", "exec")
+    exec(code, ns)  # noqa: S102 - executing our own codegen
+    for spc, (fname, blen) in meta.items():
+        blocks[int(spc)] = (ns[fname], int(blen))
+    _store_disk(engine, key, {
+        "format": FORMAT_VERSION,
+        "codegen": CODEGEN_VERSION,
+        "engine": engine,
+        "source": source,
+        "python": sys.implementation.cache_tag,
+        "code": base64.b64encode(marshal.dumps(code)).decode("ascii"),
+        "blocks": meta,
+    })
+    return BlockTable(program, engine, geom, params, ns, blocks)
+
+
+def block_table(machine: Any, engine: str, params: Any = None) -> BlockTable:
+    """The (memoized) compiled block table for ``machine``'s program.
+
+    Memoized on the Program keyed by engine, cache geometry, and pipeline
+    parameters, so cores sharing a program (and VISA instances sharing a
+    workload) compile once per process; the generated source additionally
+    persists under ``.repro_cache/blockjit/``.
+    """
+    program = machine.program
+    ic = machine.icache.config
+    dc = machine.dcache.config
+    geom = _Geometry(
+        ic.block_shift, ic.num_sets, ic.assoc,
+        dc.block_shift, dc.num_sets, dc.assoc,
+        program.text_base, program.text_end,
+    )
+    params_tuple = tuple(astuple(params)) if params is not None else None
+    memo_key = (engine, geom, params_tuple)
+    tables = program._blockjit_tables  # noqa: SLF001 - cooperative memo
+    table = tables.get(memo_key)
+    if table is None:
+        table = _build_table(program, engine, geom, params, params_tuple)
+        tables[memo_key] = table
+    return table
+
+
+# --- dispatchers --------------------------------------------------------------
+
+
+def run_inorder(
+    core: Any,
+    table: BlockTable,
+    honor_watchdog: bool = True,
+    break_addrs: frozenset[int] | None = None,
+) -> Any:
+    """Block-dispatch drive of an :class:`InOrderCore` segment.
+
+    Only called for full-run segments (``max_instructions is None``) with
+    ``break_addrs`` (if any) a subset of ``table.safe_breaks``; the
+    wrapper in :mod:`repro.pipelines.inorder` guarantees both.
+    """
+    from repro.pipelines.inorder import RunResult
+
+    state = core.state
+    machine = core.machine
+    mmio = machine.mmio
+    start_cycle = state.now
+    if state.halted:
+        return RunResult("halt", start_cycle, start_cycle, 0)
+
+    ic = machine.icache
+    dc = machine.dcache
+    ft = core._fast_timing  # noqa: SLF001 - shared with the interp path
+    base = core._timing_base  # noqa: SLF001
+    tg = core.train_gshare
+    ti = core.train_indirect
+    wd = (
+        honor_watchdog
+        and not mmio.exceptions_masked
+        and mmio._wd_enabled  # noqa: SLF001
+    )
+    st: list[Any] = [
+        ft[0], ft[1], ft[2], ft[3], ft[4], ft[5], ft[6], ft[7],
+        ic._tick, dc._tick,  # noqa: SLF001
+        0, 0, 0, 0,  # ihits, imiss, dhits, dmiss
+        0, 0, 0, 0,  # fetched, c_regread, c_regwrite, c_dcache
+        state.pc, 0,  # pc, executed
+        wd, mmio._wd_expiry,  # noqa: SLF001
+    ]
+    words = machine.memory._words  # noqa: SLF001
+    env = (
+        words, words.get,
+        ic._sets, dc._sets,  # noqa: SLF001
+        mmio, mmio.read, mmio.write,
+        machine.data_read, machine.data_write,
+        core.stall_cycles, base, honor_watchdog,
+        tg.update if tg is not None else None,
+        ti.update if ti is not None else None,
+    )
+    ir = state.int_regs
+    fr = state.fp_regs
+    ready = core._fast_ready  # noqa: SLF001
+    blocks = table.blocks
+    block_at = table.block_at
+    pc = state.pc
+    try:
+        while True:
+            entry = blocks.get(pc)
+            if entry is None:
+                entry = block_at(pc)
+            r = entry[0](ir, fr, ready, st, env)
+            if r.__class__ is int:
+                pc = r
+                st[18] = pc
+                if break_addrs is not None and pc in break_addrs:
+                    return RunResult(
+                        "breakpoint", start_cycle, base + st[3] + 1, st[19]
+                    )
+                if st[19] > _RUNAWAY:  # pragma: no cover - runaway guard
+                    raise SimulationError(
+                        "instruction budget exceeded (runaway?)"
+                    )
+                continue
+            now = base + st[3] + 1
+            if r == "h":
+                state.halted = True
+                return RunResult("halt", start_cycle, now, st[19])
+            return RunResult(
+                "watchdog", start_cycle, now, st[19],
+                exception_cycle=min(now, st[21]),
+            )
+    finally:
+        # Mirror the interpreter's finally-flush exactly (shared
+        # _fast_timing/_fast_ready keep the two paths interleavable).
+        ft[0] = st[0]
+        ft[1] = st[1]
+        ft[2] = st[2]
+        ft[3] = st[3]
+        ft[4] = st[4]
+        ft[5] = st[5]
+        ft[6] = st[6]
+        ft[7] = st[7]
+        ic._tick = st[8]  # noqa: SLF001
+        dc._tick = st[9]  # noqa: SLF001
+        ics = ic.stats
+        ics.hits += st[10]
+        ics.misses += st[11]
+        dcs = dc.stats
+        dcs.hits += st[12]
+        dcs.misses += st[13]
+        state.pc = st[18]
+        state.now = base + st[3] + 1
+        state.instret += st[19]
+        if st[14]:
+            counters = state.counters
+            k_ic, k_fe, k_dc, k_rr, k_rw, k_fu = core._ckeys  # noqa: SLF001
+            counters[k_ic] += st[14]
+            counters[k_fe] += st[14]
+            if st[19]:
+                counters[k_rr] += st[15]
+                counters[k_fu] += st[19]
+            if st[16]:
+                counters[k_rw] += st[16]
+            if st[17]:
+                counters[k_dc] += st[17]
+
+
+def run_ooo(core: Any, table: BlockTable, honor_watchdog: bool = True) -> Any:
+    """Block-dispatch drive of a :class:`ComplexCore` complex-mode segment."""
+    from repro.pipelines.inorder import RunResult
+
+    state = core.state
+    machine = core.machine
+    mmio = machine.mmio
+    params = core.params
+    start_cycle = state.now
+    if state.halted:
+        return RunResult("halt", start_cycle, start_cycle, 0)
+
+    ic = machine.icache
+    dc = machine.dcache
+    base = state.now
+    dis_used: dict[int, int] = {}
+    iss_used: dict[int, int] = {}
+    com_used: dict[int, int] = {}
+    port_used: dict[int, int] = {}
+    rob_commits: deque[int] = deque(maxlen=params.rob_entries)
+    iq_issues: deque[int] = deque(maxlen=params.iq_entries)
+    lsq_commits: deque[int] = deque(maxlen=params.lsq_entries)
+    inflight_stores: dict[int, tuple[int, int]] = {}
+    ready = [0] * 64
+    wd = (
+        honor_watchdog
+        and not mmio.exceptions_masked
+        and mmio._wd_enabled  # noqa: SLF001
+    )
+    st: list[Any] = [
+        0, 0, 0, 0, -1, 0, 0,  # bf, fc, gd, gc, gb, rd, lc
+        ic._tick, dc._tick,  # noqa: SLF001
+        0, 0, 0, 0,  # ihits, imiss, dhits, dmiss
+        0, 0, 0, 0, 0, 0,  # cg, cbp, crr, crw, cdc, nmem
+        state.pc, 0,  # pc, executed
+        wd, mmio._wd_expiry,  # noqa: SLF001
+    ]
+    words = machine.memory._words  # noqa: SLF001
+    env = (
+        words, words.get,
+        ic._sets, dc._sets,  # noqa: SLF001
+        mmio, mmio.read, mmio.write,
+        machine.data_read, machine.data_write,
+        core.stall_cycles, base, honor_watchdog,
+        core.gshare.predict, core.gshare.update,
+        core.indirect.predict, core.indirect.update,
+        dis_used, dis_used.get, iss_used, iss_used.get,
+        com_used, com_used.get, port_used, port_used.get,
+        rob_commits, rob_commits.append, iq_issues, iq_issues.append,
+        lsq_commits, lsq_commits.append,
+        inflight_stores, inflight_stores.get,
+    )
+    ir = state.int_regs
+    fr = state.fp_regs
+    blocks = table.blocks
+    block_at = table.block_at
+    pc = state.pc
+    try:
+        while True:
+            entry = blocks.get(pc)
+            if entry is None:
+                entry = block_at(pc)
+            r = entry[0](ir, fr, ready, st, env)
+            if r.__class__ is int:
+                pc = r
+                st[19] = pc
+                if st[20] > _RUNAWAY:  # pragma: no cover - runaway guard
+                    raise SimulationError(
+                        "instruction budget exceeded (runaway?)"
+                    )
+                continue
+            now = base + st[6]
+            if r == "h":
+                state.halted = True
+                return RunResult("halt", start_cycle, now, st[20])
+            return RunResult(
+                "watchdog", start_cycle, now, st[20],
+                exception_cycle=min(now, st[22]),
+            )
+    finally:
+        state.pc = st[19]
+        state.now = base + st[6]
+        state.instret += st[20]
+        ic._tick = st[7]  # noqa: SLF001
+        dc._tick = st[8]  # noqa: SLF001
+        ics = ic.stats
+        ics.hits += st[9]
+        ics.misses += st[10]
+        dcs = dc.stats
+        dcs.hits += st[11]
+        dcs.misses += st[12]
+        counters = state.counters
+        executed = st[20]
+        if executed:
+            counters["rename"] += executed
+            counters["rob_write"] += executed
+            counters["iq"] += executed
+            counters["regread"] += st[15]
+            counters["fu"] += executed
+            counters["commit"] += executed
+        if st[13]:
+            counters["icache"] += st[13]
+            counters["fetch"] += st[13]
+        if st[14]:
+            counters["bpred"] += st[14]
+        if st[18]:
+            counters["lsq"] += st[18]
+        if st[17]:
+            counters["dcache"] += st[17]
+        if st[16]:
+            counters["regwrite"] += st[16]
+
+
+# --- cache-observability helpers (``repro cache stats`` / ``clear``) ----------
+
+
+def disk_cache_stats() -> dict:
+    """On-disk blockjit cache stats plus in-process hit/miss/store counters."""
+    from repro.snapshot import runcache
+
+    directory = runcache.cache_dir() / "blockjit"
+    entries = 0
+    total = 0
+    if directory.is_dir():
+        for path in directory.iterdir():
+            if path.is_file() and path.suffix == ".json":
+                try:
+                    total += path.stat().st_size
+                except OSError:
+                    continue
+                entries += 1
+    return {
+        "directory": str(directory),
+        "entries": entries,
+        "bytes": total,
+        "hits": int(runcache.STATS["blockjit_hits"]),
+        "misses": int(runcache.STATS["blockjit_misses"]),
+        "stores": int(runcache.STATS["blockjit_stores"]),
+    }
+
+
+def clear_disk_cache() -> tuple[int, int]:
+    """Delete the blockjit codegen cache; ``(files_removed, bytes_freed)``."""
+    from repro.snapshot import runcache
+
+    removed = freed = 0
+    directory = runcache.cache_dir() / "blockjit"
+    if not directory.is_dir():
+        return 0, 0
+    for path in directory.iterdir():
+        if path.is_file() and path.suffix in (".json", ".tmp"):
+            try:
+                size = path.stat().st_size
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+            freed += size
+    try:
+        directory.rmdir()
+    except OSError:
+        pass
+    return removed, freed
+
+
+__all__ = [
+    "BlockTable",
+    "CODEGEN_VERSION",
+    "block_table",
+    "clear_disk_cache",
+    "disk_cache_stats",
+    "jit_enabled",
+    "jit_override",
+    "run_inorder",
+    "run_ooo",
+]

@@ -57,6 +57,9 @@ class Program:
             for i, word in enumerate(self.words)
         ]
         self._fast_plan: list | None = None
+        # Compiled block tables (repro.isa.blockjit), keyed by
+        # (engine, cache geometry, pipeline params).
+        self._blockjit_tables: dict = {}
 
     # -- code access ---------------------------------------------------------
 

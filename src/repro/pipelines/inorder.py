@@ -32,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ReproError, SimulationError
-from repro.isa import layout
+from repro.isa import blockjit, layout
 from repro.isa.semantics import execute
 from repro.memory.machine import Machine, mem_stall_cycles
 from repro.pipelines.inorder_engine import (
@@ -149,9 +149,29 @@ class InOrderCore:
         before an instruction at one of those addresses executes; used by
         calibration tooling to attribute events to sub-tasks.
 
-        This is the specialized hot loop; :meth:`run_reference` is the
-        behaviourally-identical oracle it is tested against.
+        Full-run segments (no instruction budget, breakpoints only at
+        block-leader addresses) dispatch through the basic-block JIT
+        (:mod:`repro.isa.blockjit`) unless it is disabled; bounded
+        segments use the specialized interpreter loop.  The two share
+        pipeline-timing state and are bit-identical, so segments may
+        interleave freely.  :meth:`run_reference` is the
+        behaviourally-identical oracle both are tested against.
         """
+        if max_instructions is None and blockjit.jit_enabled():
+            table = blockjit.block_table(self.machine, "inorder")
+            if break_addrs is None or break_addrs <= table.safe_breaks:
+                return blockjit.run_inorder(
+                    self, table, honor_watchdog, break_addrs
+                )
+        return self._run_interp(max_instructions, honor_watchdog, break_addrs)
+
+    def _run_interp(
+        self,
+        max_instructions: int | None = None,
+        honor_watchdog: bool = True,
+        break_addrs: frozenset[int] | None = None,
+    ) -> RunResult:
+        """The specialized per-instruction hot loop (see :meth:`run`)."""
         state = self.state
         machine = self.machine
         program = machine.program

@@ -53,7 +53,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.errors import ReproError, SimulationError
-from repro.isa import layout
+from repro.isa import blockjit, layout
 from repro.isa.semantics import execute
 from repro.memory.machine import Machine, MemoryBus, mem_stall_cycles
 from repro.pipelines.inorder import InOrderCore, RunResult
@@ -166,9 +166,24 @@ class ComplexCore:
     ) -> RunResult:
         """Execute in complex mode until halt/watchdog-exception/budget.
 
-        This is the specialized hot loop; :meth:`run_reference` is the
-        behaviourally-identical oracle it is tested against.
+        Full-run segments dispatch through the basic-block JIT
+        (:mod:`repro.isa.blockjit`) unless disabled; bounded segments use
+        the specialized interpreter loop.  Every segment starts from a
+        drained pipeline either way, so the paths are freely
+        interchangeable and bit-identical.  :meth:`run_reference` is the
+        behaviourally-identical oracle both are tested against.
         """
+        if max_instructions is None and blockjit.jit_enabled():
+            table = blockjit.block_table(self.machine, "ooo", self.params)
+            return blockjit.run_ooo(self, table, honor_watchdog)
+        return self._run_interp(max_instructions, honor_watchdog)
+
+    def _run_interp(
+        self,
+        max_instructions: int | None = None,
+        honor_watchdog: bool = True,
+    ) -> RunResult:
+        """The specialized per-instruction hot loop (see :meth:`run`)."""
         state = self.state
         machine = self.machine
         program = machine.program

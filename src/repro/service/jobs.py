@@ -101,7 +101,7 @@ def _normalize_run(payload: JSONDict) -> JSONDict:
         payload,
         frozenset(
             {"workload", "scale", "deadline", "instances", "flush_rate",
-             "no_cache"}
+             "no_cache", "no_jit"}
         ),
     )
     deadline = payload.get("deadline", "tight")
@@ -128,6 +128,7 @@ def _normalize_run(payload: JSONDict) -> JSONDict:
         "instances": _int_field(payload, "instances", 12, 1, 1000),
         "flush_rate": float(flush_rate),
         "no_cache": _bool_field(payload, "no_cache", False),
+        "no_jit": _bool_field(payload, "no_jit", False),
     }
 
 
@@ -178,7 +179,8 @@ def _normalize_lint(payload: JSONDict) -> JSONDict:
 
 def _normalize_experiment(payload: JSONDict) -> JSONDict:
     _check_no_extras(
-        payload, frozenset({"name", "scale", "instances", "jobs", "no_cache"})
+        payload,
+        frozenset({"name", "scale", "instances", "jobs", "no_cache", "no_jit"}),
     )
     name = payload.get("name")
     _require(
@@ -191,6 +193,7 @@ def _normalize_experiment(payload: JSONDict) -> JSONDict:
         "instances": _int_field(payload, "instances", 12, 2, 1000),
         "jobs": _int_field(payload, "jobs", 1, 1, 64),
         "no_cache": _bool_field(payload, "no_cache", False),
+        "no_jit": _bool_field(payload, "no_jit", False),
     }
 
 
@@ -235,9 +238,12 @@ def coalesce_key(kind: str, payload: JSONDict) -> str:
 
 def _execute_run(payload: JSONDict) -> JSONDict:
     from repro.experiments.common import flush_set, run_pair, setup
+    from repro.isa import blockjit
     from repro.snapshot import runcache
 
-    with runcache.no_cache_override(payload["no_cache"] or None):
+    jit = False if payload["no_jit"] else None
+    with runcache.no_cache_override(payload["no_cache"] or None), \
+            blockjit.jit_override(jit):
         prep = setup(payload["workload"], payload["scale"])
         deadline = payload["deadline"]
         if deadline == "tight":
@@ -314,13 +320,16 @@ def _execute_lint(payload: JSONDict) -> JSONDict:
 
 def _execute_experiment(payload: JSONDict) -> JSONDict:
     from repro.experiments import ablations, figure2, figure3, figure4, table3
+    from repro.isa import blockjit
     from repro.snapshot import runcache
 
     name = payload["name"]
     scale = payload["scale"]
     instances = int(payload["instances"])
     jobs = int(payload["jobs"])
-    with runcache.no_cache_override(payload["no_cache"] or None):
+    jit = False if payload["no_jit"] else None
+    with runcache.no_cache_override(payload["no_cache"] or None), \
+            blockjit.jit_override(jit):
         rows: list[Any]
         if name == "table3":
             rows = table3.run(scale=scale, jobs=jobs)

@@ -273,6 +273,18 @@ class ServiceMetrics:
         self.cache_bytes = reg.gauge(
             "repro_cache_bytes", "Total bytes in the on-disk cache directory."
         )
+        self.blockjit_cache_ops = reg.counter(
+            "repro_blockjit_cache_ops_total",
+            "Blockjit codegen-cache hits/misses/stores across workers.",
+        )
+        self.blockjit_cache_entries = reg.gauge(
+            "repro_blockjit_cache_entries",
+            "Entries in the on-disk blockjit codegen cache.",
+        )
+        self.blockjit_cache_bytes = reg.gauge(
+            "repro_blockjit_cache_bytes",
+            "Total bytes in the on-disk blockjit codegen cache.",
+        )
 
     def fold_cache_delta(self, delta: dict[str, int]) -> None:
         """Fold one worker's run-cache counter delta into the aggregate."""
@@ -280,6 +292,9 @@ class ServiceMetrics:
             amount = int(delta.get(op, 0))
             if amount:
                 self.run_cache_ops.inc(amount, op=op)
+            jit_amount = int(delta.get(f"blockjit_{op}", 0))
+            if jit_amount:
+                self.blockjit_cache_ops.inc(jit_amount, op=op)
         hits = self.run_cache_ops.value(op="hits")
         misses = self.run_cache_ops.value(op="misses")
         if hits + misses > 0:
@@ -290,6 +305,8 @@ class ServiceMetrics:
         stats = runcache.cache_stats()
         self.cache_entries.set(stats["entries"])
         self.cache_bytes.set(stats["bytes"])
+        self.blockjit_cache_entries.set(stats["blockjit"]["entries"])
+        self.blockjit_cache_bytes.set(stats["blockjit"]["bytes"])
 
     def render_text(self) -> str:
         self.refresh_disk_gauges()

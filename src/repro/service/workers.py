@@ -86,7 +86,11 @@ def _worker_main(conn: Connection) -> None:
         for key, value in env.items():
             os.environ[key] = value
         before = {
-            op: int(runcache.STATS[op]) for op in ("hits", "misses", "stores")
+            op: int(runcache.STATS[op])
+            for op in (
+                "hits", "misses", "stores",
+                "blockjit_hits", "blockjit_misses", "blockjit_stores",
+            )
         }
         ok = True
         result: Any

@@ -265,7 +265,11 @@ def cache_stats() -> dict:
     in-process :data:`STATS` hit/miss/store counters.  ``repro cache
     stats`` renders this directly and the service's metrics endpoint
     feeds its gauges from the same function, so the two always agree.
+    The nested ``blockjit`` dict covers the generated-code cache under
+    ``blockjit/`` the same way (see :mod:`repro.isa.blockjit`).
     """
+    from repro.isa import blockjit
+
     entries = cache_entries()
     return {
         "directory": str(cache_dir()),
@@ -274,22 +278,26 @@ def cache_stats() -> dict:
         "hits": int(STATS["hits"]),
         "misses": int(STATS["misses"]),
         "stores": int(STATS["stores"]),
+        "blockjit": blockjit.disk_cache_stats(),
     }
 
 
 def clear_cache() -> tuple[int, int]:
-    """Delete every cache entry; returns ``(files_removed, bytes_freed)``."""
+    """Delete every cache entry (run caches *and* the ``blockjit/``
+    codegen cache); returns ``(files_removed, bytes_freed)``."""
+    from repro.isa import blockjit
+
     removed = freed = 0
     directory = cache_dir()
-    if not directory.is_dir():
-        return 0, 0
-    for path in directory.iterdir():
-        if path.is_file() and path.suffix in (".json", ".tmp"):
-            try:
-                size = path.stat().st_size
-                path.unlink()
-            except OSError:
-                continue
-            removed += 1
-            freed += size
-    return removed, freed
+    if directory.is_dir():
+        for path in directory.iterdir():
+            if path.is_file() and path.suffix in (".json", ".tmp"):
+                try:
+                    size = path.stat().st_size
+                    path.unlink()
+                except OSError:
+                    continue
+                removed += 1
+                freed += size
+    jit_removed, jit_freed = blockjit.clear_disk_cache()
+    return removed + jit_removed, freed + jit_freed

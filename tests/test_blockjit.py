@@ -1,0 +1,290 @@
+"""Differential tests for the basic-block compiler (:mod:`repro.isa.blockjit`).
+
+The block JIT fuses straight-line runs of the ``FastInst`` plan into one
+generated Python function per basic block; ``run()`` dispatches per block
+instead of per instruction.  These tests pin the compiled path to the
+reference interpreter:
+
+* fuzz-level: on 200 randomized MiniC programs, ``run()`` (block-compiled)
+  must match ``run_reference()`` bit for bit — end state *and* cycle
+  counts — on both cores;
+* edge-level: block exits at MMIO accesses, faults, flush-window
+  breakpoints, checkpoint (sub-task) boundaries, and watchdog expiry must
+  leave identical architectural state at identical cycles;
+* flag-level: ``REPRO_JIT=0`` / :func:`blockjit.jit_override` select the
+  per-instruction interpreter, which must agree with the JIT exactly;
+* cache-level: the on-disk codegen cache round-trips (hit/miss/store
+  counters observable through :data:`runcache.STATS`).
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.isa import blockjit
+from repro.isa.assembler import assemble
+from repro.memory.machine import Machine
+from repro.minicc import compile_source
+from repro.pipelines.inorder import InOrderCore
+from repro.pipelines.ooo.core import ComplexCore
+from repro.snapshot import runcache
+from repro.workloads import get_workload
+
+from tests.test_cross_core_random import _program
+from tests.test_fastexec import _snapshot
+
+N_PROGRAMS = 200
+CHUNK = 25
+
+BOTH_CORES = pytest.mark.parametrize(
+    "core_cls", [InOrderCore, ComplexCore], ids=["inorder", "ooo"]
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    """Keep codegen-cache writes out of the developer's real cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_JIT", raising=False)
+
+
+def _outcome(core, machine, result):
+    return (
+        result.reason,
+        result.start_cycle,
+        result.end_cycle,
+        result.instructions,
+        result.exception_cycle,
+        _snapshot(core, machine),
+    )
+
+
+def _run_jit_vs_reference(program, core_cls, **kwargs):
+    out = []
+    for method in ("run", "run_reference"):
+        machine = Machine(program)
+        core = core_cls(machine)
+        result = getattr(core, method)(**kwargs)
+        out.append(_outcome(core, machine, result))
+    return out
+
+
+# -- 200-program differential fuzz -------------------------------------------
+
+
+@pytest.mark.parametrize("chunk", range(N_PROGRAMS // CHUNK))
+def test_blockjit_matches_reference_on_random_programs(chunk):
+    """End states *and* cycle counts agree on randomized programs."""
+    for seed in range(chunk * CHUNK, (chunk + 1) * CHUNK):
+        program = compile_source(_program(seed))
+        with blockjit.jit_override(True):
+            for core_cls in (InOrderCore, ComplexCore):
+                jit, ref = _run_jit_vs_reference(program, core_cls)
+                assert jit == ref, (seed, core_cls.__name__)
+        # The JIT path must actually have been exercised.
+        assert program._blockjit_tables
+
+
+# -- block exits at MMIO, fault, flush, checkpoint, watchdog boundaries -------
+
+
+@BOTH_CORES
+def test_mmio_mid_block_exits(core_cls):
+    """MMIO loads/stores mid-block: values *and* device-visible cycles."""
+    source = """
+    main:
+        li t0, 0xFFFF0000
+        addi t1, zero, 5
+        addi t2, zero, 7
+        add t3, t1, t2
+        sw t3, 16(t0)      # CONSOLE_OUT mid straight-line run
+        lw t4, 8(t0)       # CYCLE_COUNT: timing-visible load
+        sw t4, 16(t0)
+        addi t5, t4, 1
+        sw t5, 16(t0)
+        halt
+    """
+    program = assemble(source)
+    jit, ref = _run_jit_vs_reference(program, core_cls)
+    assert jit == ref
+    # Console entries compare with their cycle stamps too.
+    machines = []
+    for method in ("run", "run_reference"):
+        machine = Machine(program)
+        getattr(core_cls(machine), method)()
+        machines.append(list(machine.mmio.console))
+    assert machines[0] == machines[1]
+
+
+@BOTH_CORES
+def test_fault_mid_block_state(core_cls):
+    """A faulting DIV mid-block raises identically with identical state."""
+    source = """
+    main:
+        addi t0, zero, 9
+        addi t1, zero, 3
+        add t2, t0, t1
+        div t3, t2, zero   # faults mid straight-line run
+        addi t4, zero, 1
+        halt
+    """
+    program = assemble(source)
+    outcomes = []
+    for method in ("run", "run_reference"):
+        machine = Machine(program)
+        core = core_cls(machine)
+        with pytest.raises(SimulationError) as exc_info:
+            getattr(core, method)()
+        outcomes.append((str(exc_info.value), _snapshot(core, machine)))
+    assert outcomes[0] == outcomes[1]
+
+
+def test_flush_window_breakpoint_parity():
+    """``break_addrs`` at sub-task marks (the flush/checkpoint windows)."""
+    program = get_workload("srt", "tiny").program
+    marks = sorted(program.subtask_marks)
+    breaks = frozenset(marks[1:])
+    for runner in ("jit", "nojit", "reference"):
+        machine = Machine(program)
+        core = InOrderCore(machine)
+        segments = []
+        for _ in range(200):
+            if runner == "jit":
+                with blockjit.jit_override(True):
+                    result = core.run(break_addrs=breaks)
+            elif runner == "nojit":
+                with blockjit.jit_override(False):
+                    result = core.run(break_addrs=breaks)
+            else:
+                result = core.run_reference(break_addrs=breaks)
+            segments.append(
+                (result.reason, result.start_cycle, result.end_cycle,
+                 result.instructions, core.state.pc)
+            )
+            if result.reason != "breakpoint":
+                break
+        segments.append(_snapshot(core, machine))
+        if runner == "jit":
+            expected = segments
+        else:
+            assert segments == expected, runner
+    assert expected[0][0] == "breakpoint"
+    assert expected[-2][0] == "halt"
+
+
+def test_unsafe_breakpoints_still_match():
+    """Arbitrary break addresses (not block leaders) stay exact."""
+    program = compile_source(_program(3))
+    target = program.entry + 8
+    jit, ref = _run_jit_vs_reference(
+        program, InOrderCore, break_addrs=frozenset({target})
+    )
+    assert jit[0] == "breakpoint"
+    assert jit == ref
+
+
+@BOTH_CORES
+def test_watchdog_expiry_mid_block(core_cls):
+    """Watchdog fires at the same cycle with the same state."""
+    source = """
+    main:
+        li t0, 0xFFFF0000
+        li t1, 150
+        sw t1, 0(t0)       # WATCHDOG_COUNT = 150 cycles
+        li t2, 1
+        sw t2, 4(t0)       # WATCHDOG_CTRL: enable
+    loop:
+        addi t3, t3, 1
+        b loop
+    """
+    program = assemble(source)
+    outcomes = []
+    for method in ("run", "run_reference"):
+        machine = Machine(program)
+        machine.mmio.exceptions_masked = False
+        core = core_cls(machine)
+        result = getattr(core, method)()
+        outcomes.append(_outcome(core, machine, result))
+    assert outcomes[0] == outcomes[1]
+    assert outcomes[0][0] == "watchdog"
+
+
+# -- opt-out flag -------------------------------------------------------------
+
+
+@BOTH_CORES
+def test_no_jit_parity(core_cls):
+    """``jit_override(False)`` runs the interpreter with identical results."""
+    program = get_workload("cnt", "tiny").program
+    outcomes = []
+    for jit in (True, False):
+        machine = Machine(program)
+        core = core_cls(machine)
+        with blockjit.jit_override(jit):
+            result = core.run()
+        outcomes.append(_outcome(core, machine, result))
+    assert outcomes[0] == outcomes[1]
+
+
+def test_repro_jit_env_flag(monkeypatch):
+    monkeypatch.setenv("REPRO_JIT", "0")
+    assert not blockjit.jit_enabled()
+    with blockjit.jit_override(True):
+        assert blockjit.jit_enabled()  # explicit override beats the env
+    monkeypatch.setenv("REPRO_JIT", "1")
+    assert blockjit.jit_enabled()
+    with blockjit.jit_override(False):
+        assert not blockjit.jit_enabled()
+
+
+def test_no_jit_run_uses_interpreter():
+    """With the JIT off, no block table is ever compiled."""
+    program = compile_source(_program(11))
+    machine = Machine(program)
+    with blockjit.jit_override(False):
+        InOrderCore(machine).run()
+    assert not program._blockjit_tables
+
+
+# -- on-disk codegen cache ----------------------------------------------------
+
+
+def test_disk_cache_roundtrip():
+    program = get_workload("cnt", "tiny").program
+    runcache.STATS.pop("blockjit_hits", None)
+    runcache.STATS.pop("blockjit_misses", None)
+    runcache.STATS.pop("blockjit_stores", None)
+
+    machine = Machine(program)
+    program._blockjit_tables.clear()
+    with blockjit.jit_override(True):
+        core = InOrderCore(machine)
+        cold = core.run()
+    assert runcache.STATS["blockjit_misses"] >= 1
+    assert runcache.STATS["blockjit_stores"] >= 1
+    stats = blockjit.disk_cache_stats()
+    assert stats["entries"] >= 1 and stats["bytes"] > 0
+
+    # Drop the in-process memo: the rebuild must come from disk.
+    program._blockjit_tables.clear()
+    machine2 = Machine(program)
+    with blockjit.jit_override(True):
+        warm = InOrderCore(machine2).run()
+    assert runcache.STATS["blockjit_hits"] >= 1
+    assert (warm.reason, warm.end_cycle) == (cold.reason, cold.end_cycle)
+    assert machine2.memory.snapshot() == machine.memory.snapshot()
+
+    removed, freed = blockjit.clear_disk_cache()
+    assert removed >= 1 and freed > 0
+    assert blockjit.disk_cache_stats()["entries"] == 0
+
+
+def test_cache_stats_and_clear_include_blockjit():
+    program = get_workload("cnt", "tiny").program
+    program._blockjit_tables.clear()
+    with blockjit.jit_override(True):
+        InOrderCore(Machine(program)).run()
+    stats = runcache.cache_stats()
+    assert stats["blockjit"]["entries"] >= 1
+    removed, _ = runcache.clear_cache()
+    assert removed >= 1
+    assert runcache.cache_stats()["blockjit"]["entries"] == 0

@@ -130,17 +130,17 @@ class TestExperimentCommand:
         monkeypatch.setattr(
             table3,
             "main",
-            lambda jobs=None, no_cache=None: calls.append(
-                ("table3", jobs, no_cache)
+            lambda jobs=None, no_cache=None, no_jit=None: calls.append(
+                ("table3", jobs, no_cache, no_jit)
             ),
         )
         assert main(["experiment", "table3"]) == 0
-        assert calls == [("table3", None, None)]
+        assert calls == [("table3", None, None, None)]
 
     def test_experiment_flags_become_parameters_not_env(
         self, monkeypatch, capsys
     ):
-        """--jobs/--no-cache are explicit arguments; os.environ untouched."""
+        """--jobs/--no-cache/--no-jit are explicit args; os.environ untouched."""
         import os
 
         import repro.experiments.figure2 as figure2
@@ -149,14 +149,20 @@ class TestExperimentCommand:
         monkeypatch.setattr(
             figure2,
             "main",
-            lambda jobs=None, no_cache=None: calls.append((jobs, no_cache)),
+            lambda jobs=None, no_cache=None, no_jit=None: calls.append(
+                (jobs, no_cache, no_jit)
+            ),
         )
         monkeypatch.delenv("REPRO_JOBS", raising=False)
         monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
-        assert main(["experiment", "figure2", "--jobs", "3", "--no-cache"]) == 0
-        assert calls == [(3, True)]
+        monkeypatch.delenv("REPRO_JIT", raising=False)
+        assert main(
+            ["experiment", "figure2", "--jobs", "3", "--no-cache", "--no-jit"]
+        ) == 0
+        assert calls == [(3, True, True)]
         assert "REPRO_JOBS" not in os.environ
         assert "REPRO_NO_CACHE" not in os.environ
+        assert "REPRO_JIT" not in os.environ
 
 
 class TestCacheCommand:
