@@ -46,6 +46,16 @@ BASELINE_PRE_JIT = {
     "ooo": {"inst_per_s": 616_141},
 }
 
+#: ``measured.blockjit.<core>.jit`` throughput before the trace tier
+#: landed (same host class, ``cnt`` @ tiny, recorded at the PR 5
+#: commit).  The trace tier's gain is reported relative to this *and*
+#: to the block tier re-measured on the current host, since host speed
+#: drifts between recordings.
+BASELINE_BLOCK_TIER = {
+    "inorder": {"inst_per_s": 2_716_703},
+    "ooo": {"inst_per_s": 1_243_234},
+}
+
 
 def _host_section(jit: bool | None = None) -> dict:
     """Per-section host facts: CPUs, effective workers, and the JIT flag.
@@ -64,9 +74,21 @@ def _host_section(jit: bool | None = None) -> dict:
 
 
 def _measure_core(
-    core_kind: str, method: str, min_seconds: float, jit: bool | None = None
+    core_kind: str,
+    method: str,
+    min_seconds: float,
+    jit: bool | None = None,
+    tier: str | None = None,
+    warmup_runs: int = 0,
 ) -> dict:
-    """Simulated inst/s and cyc/s for repeated warm task instances."""
+    """Simulated inst/s and cyc/s for repeated warm task instances.
+
+    ``warmup_runs`` instances run before the clock starts; the trace
+    tier compiles its superblocks during the first few dozen instances
+    (hot-count profiling plus stitch/peephole/``compile()``), and the
+    steady state — what a long experiment actually sees — is only
+    reached once that one-time codegen has quiesced.
+    """
     from repro.isa import blockjit
     from repro.pipelines.inorder import InOrderCore
     from repro.pipelines.ooo.core import ComplexCore
@@ -80,30 +102,61 @@ def _measure_core(
     core = core_cls(machine, freq_hz=1e9)
     run = getattr(core, method)
 
+    def one_instance(seed: int) -> tuple[int, int]:
+        inputs = workload.generate_inputs(seed)
+        workload.apply_inputs(machine, inputs)
+        core.state.pc = program.entry
+        core.state.halted = False
+        if hasattr(core, "drain"):
+            core.drain()
+        c0, i0 = core.state.now, core.state.instret
+        result = run()
+        assert result.reason == "halt"
+        return core.state.instret - i0, result.end_cycle - c0
+
+    def trace_count() -> int:
+        return sum(
+            len(t.traces_meta) for t in program._blockjit_tables.values()
+        )
+
     instructions = cycles = 0
     seed = 0
-    with blockjit.jit_override(jit):
+    override = (
+        blockjit.tier_override(tier)
+        if tier is not None
+        else blockjit.jit_override(jit)
+    )
+    with override:
+        for _ in range(warmup_runs):
+            one_instance(seed)
+            seed += 1
+        if warmup_runs:
+            # Run on until trace formation quiesces: a compile landing
+            # inside the timed window would charge one-time codegen to
+            # steady-state throughput.
+            stable, prev = 0, trace_count()
+            while stable < 20 and seed < warmup_runs + 400:
+                one_instance(seed)
+                seed += 1
+                current = trace_count()
+                stable = stable + 1 if current == prev else 0
+                prev = current
+        measured = 0
         start = time.perf_counter()
         while True:
-            inputs = workload.generate_inputs(seed)
-            workload.apply_inputs(machine, inputs)
-            core.state.pc = program.entry
-            core.state.halted = False
-            if hasattr(core, "drain"):
-                core.drain()
-            c0, i0 = core.state.now, core.state.instret
-            result = run()
-            assert result.reason == "halt"
-            cycles += result.end_cycle - c0
-            instructions += core.state.instret - i0
+            di, dc = one_instance(seed)
+            instructions += di
+            cycles += dc
             seed += 1
+            measured += 1
             elapsed = time.perf_counter() - start
             if elapsed >= min_seconds:
                 break
     return {
         "inst_per_s": round(instructions / elapsed),
         "cyc_per_s": round(cycles / elapsed),
-        "instances": seed,
+        "instances": measured,
+        "warmup_runs": warmup_runs,
         "wall_seconds": round(elapsed, 3),
     }
 
@@ -148,7 +201,9 @@ def _measure_blockjit(min_seconds: float) -> dict:
         section["codegen_cache"] = codegen
 
         for core_kind in ("inorder", "ooo"):
-            jit_on = _measure_core(core_kind, "run", min_seconds, jit=True)
+            jit_on = _measure_core(
+                core_kind, "run", min_seconds, tier="block", warmup_runs=5
+            )
             jit_off = _measure_core(core_kind, "run", min_seconds, jit=False)
             base = BASELINE_PRE_JIT[core_kind]["inst_per_s"]
             section[core_kind] = {
@@ -159,6 +214,89 @@ def _measure_blockjit(min_seconds: float) -> dict:
                 ),
                 "speedup_vs_pre_jit_baseline": round(
                     jit_on["inst_per_s"] / base, 2
+                ),
+            }
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+        if saved is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = saved
+    return section
+
+
+def _measure_tracejit(min_seconds: float) -> dict:
+    """Trace-tier throughput vs the block tier, trace-formation stats,
+    and cold/warm trace-codegen wall time, in a throwaway cache dir.
+
+    "Cold" times one full run against an empty cache (profile, stitch,
+    peephole, compile, persist); "warm" re-runs after dropping only the
+    in-process memo, so the traces reload from disk the way a fresh
+    worker process would see them.
+    """
+    import shutil
+    import tempfile
+
+    from repro.isa import blockjit
+    from repro.pipelines.inorder import InOrderCore
+    from repro.pipelines.ooo.core import ComplexCore
+    from repro.visa.spec import VISASpec
+    from repro.workloads import get_workload
+
+    saved = os.environ.get("REPRO_CACHE_DIR")
+    tmpdir = tempfile.mkdtemp(prefix="repro-bench-tracejit-")
+    os.environ["REPRO_CACHE_DIR"] = tmpdir
+    try:
+        workload = get_workload("cnt", "tiny")
+        program = workload.program
+        section: dict = {"host": _host_section(True)}
+
+        codegen = {}
+        for core_kind, core_cls in (
+            ("inorder", InOrderCore), ("ooo", ComplexCore),
+        ):
+            times = []
+            for _pass in ("cold", "warm"):
+                program._blockjit_tables.clear()
+                machine = VISASpec().machine(program)
+                core = core_cls(machine, freq_hz=1e9)
+                with blockjit.tier_override("trace"):
+                    start = time.perf_counter()
+                    core.run()
+                    times.append(time.perf_counter() - start)
+            codegen[core_kind] = {
+                "cold_seconds": round(times[0], 4),
+                "warm_seconds": round(times[1], 4),
+                "warm_speedup": round(times[0] / times[1], 1),
+            }
+        section["codegen_cache"] = codegen
+
+        for core_kind in ("inorder", "ooo"):
+            program._blockjit_tables.clear()
+            block = _measure_core(
+                core_kind, "run", min_seconds, tier="block", warmup_runs=5
+            )
+            program._blockjit_tables.clear()
+            trace = _measure_core(
+                core_kind, "run", min_seconds, tier="trace", warmup_runs=60
+            )
+            summary = {
+                "traces": 0, "mean_blocks": 0.0, "mean_insts": 0.0,
+                "calls": 0, "side_exits": 0, "side_exit_rate": 0.0,
+            }
+            for table in program._blockjit_tables.values():
+                if table.tier == "trace" and table.engine == core_kind:
+                    summary = table.trace_summary()
+            base = BASELINE_BLOCK_TIER[core_kind]["inst_per_s"]
+            section[core_kind] = {
+                "trace": trace,
+                "block": block,
+                "trace_stats": summary,
+                "speedup_vs_block_tier": round(
+                    trace["inst_per_s"] / block["inst_per_s"], 2
+                ),
+                "speedup_vs_recorded_block_tier": round(
+                    trace["inst_per_s"] / base, 2
                 ),
             }
     finally:
@@ -300,6 +438,7 @@ def main(argv: list[str] | None = None) -> int:
         "smoke": args.smoke,
         "baseline_pre_pr": BASELINE,
         "baseline_pre_jit": BASELINE_PRE_JIT,
+        "baseline_block_tier": BASELINE_BLOCK_TIER,
         "measured": {},
         "note": (
             "Process-parallel fan-out (REPRO_JOBS) is bit-identical to the "
@@ -310,7 +449,7 @@ def main(argv: list[str] | None = None) -> int:
     }
     for core_kind in ("inorder", "ooo"):
         phase_start = time.perf_counter()
-        fast = _measure_core(core_kind, "run", min_seconds)
+        fast = _measure_core(core_kind, "run", min_seconds, warmup_runs=60)
         ref = _measure_core(core_kind, "run_reference", min_seconds)
         phase_seconds[core_kind] = round(time.perf_counter() - phase_start, 3)
         base = BASELINE[core_kind]["inst_per_s"]
@@ -347,6 +486,26 @@ def main(argv: list[str] | None = None) -> int:
     for engine, times in jit_section["codegen_cache"].items():
         print(
             f"blockjit codegen {engine:7s}  cold {times['cold_seconds']:.3f}s  "
+            f"warm {times['warm_seconds']:.3f}s ({times['warm_speedup']}x)"
+        )
+
+    phase_start = time.perf_counter()
+    trace_section = _measure_tracejit(min_seconds)
+    phase_seconds["tracejit"] = round(time.perf_counter() - phase_start, 3)
+    report["measured"]["tracejit"] = trace_section
+    for core_kind in ("inorder", "ooo"):
+        sec = trace_section[core_kind]
+        stats = sec["trace_stats"]
+        print(
+            f"tracejit {core_kind:7s}  trace {sec['trace']['inst_per_s']:>9,} "
+            f"inst/s  block {sec['block']['inst_per_s']:>9,} inst/s  "
+            f"({sec['speedup_vs_block_tier']}x; {stats['traces']} traces, "
+            f"mean {stats['mean_blocks']:.1f} blocks, "
+            f"side-exit rate {stats['side_exit_rate']:.3f})"
+        )
+    for engine, times in trace_section["codegen_cache"].items():
+        print(
+            f"tracejit codegen {engine:7s}  cold {times['cold_seconds']:.3f}s  "
             f"warm {times['warm_seconds']:.3f}s ({times['warm_speedup']}x)"
         )
 
@@ -394,6 +553,15 @@ def main(argv: list[str] | None = None) -> int:
         )
     if jit_section["ooo"]["speedup_vs_nojit"] < 1.0:
         failures.append("blockjit slows the OOO core down")
+    trace_speedup = trace_section["inorder"]["speedup_vs_block_tier"]
+    if not args.smoke and trace_speedup < 1.1:
+        failures.append(
+            f"trace tier in-order {trace_speedup}x < 1.1x block-tier bar"
+        )
+    if not args.smoke and trace_section["ooo"]["speedup_vs_block_tier"] < 0.95:
+        failures.append("trace tier slows the OOO core down")
+    if not args.smoke and trace_section["inorder"]["trace_stats"]["traces"] < 1:
+        failures.append("trace tier formed no traces on the in-order core")
     if not args.smoke and run_cache["cached_speedup"] < 10.0:
         failures.append(
             f"cached cell only {run_cache['cached_speedup']}x faster "

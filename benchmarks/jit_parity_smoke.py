@@ -1,24 +1,36 @@
-"""CI smoke: block-JIT on vs off must produce bit-identical run digests.
+"""CI smoke: every JIT tier must produce bit-identical run digests.
 
-Runs every workload (all 8, tiny scale) on both pipelines twice — once
-with the block compiler enabled, once forced to the per-instruction
-interpreter — and digests the complete observable outcome: run result,
-final registers, memory image, console output (with cycle stamps),
-event counters, and cache statistics.  Any digest mismatch is a
+Runs every workload (all 8, tiny scale) on both pipelines under each
+execution tier — per-instruction interpreter (``off``), basic-block
+compiler (``block``), and superblock/trace compiler (``trace``) — and
+digests the complete observable outcome: run result, final registers,
+memory image, console output (with cycle stamps), event counters, and
+cache statistics.  Each workload runs three seeded instances per tier
+so the trace tier's hot-count profiling actually crosses its threshold
+and installs superblocks mid-matrix.  Any digest mismatch is a
 miscompilation and exits nonzero.
 
-Usage::
+``REPRO_JIT_TIER`` narrows the matrix to one candidate tier (compared
+against the interpreter baseline computed in-process) so CI can shard
+the tiers across jobs::
 
-    PYTHONPATH=src python benchmarks/jit_parity_smoke.py
+    PYTHONPATH=src python benchmarks/jit_parity_smoke.py          # all tiers
+    REPRO_JIT_TIER=trace PYTHONPATH=src python benchmarks/jit_parity_smoke.py
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 import pathlib
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Seeded instances digested per workload/pipeline/tier.  Three runs on
+#: one shared block table push loop heads past the trace-tier hotness
+#: threshold, so the later runs execute through installed superblocks.
+RUNS = 3
 
 
 def _digest(core, machine, result) -> str:
@@ -53,31 +65,45 @@ def main() -> int:
         get_workload,
     )
 
+    env_tier = os.environ.get("REPRO_JIT_TIER", "").strip().lower()
+    if env_tier:
+        if env_tier not in blockjit.TIERS:
+            print(f"unknown REPRO_JIT_TIER {env_tier!r}", file=sys.stderr)
+            return 2
+        candidates = [env_tier]
+    else:
+        candidates = [t for t in blockjit.TIERS if t != "off"]
+
     failures = 0
     for name in WORKLOAD_NAMES + EXTRA_WORKLOAD_NAMES:
         workload = get_workload(name, "tiny")
-        inputs = workload.generate_inputs(seed=0) if workload.inputs else None
+        seeds = list(range(RUNS)) if workload.inputs else [None]
         for label, core_cls in (("inorder", InOrderCore), ("ooo", ComplexCore)):
-            digests = {}
-            for jit in (True, False):
-                machine = Machine(workload.program)
-                if inputs is not None:
-                    workload.apply_inputs(machine, inputs)
-                core = core_cls(machine)
-                with blockjit.jit_override(jit):
-                    result = core.run()
-                digests[jit] = _digest(core, machine, result)
-            ok = digests[True] == digests[False]
+            digests: dict[str, tuple[str, ...]] = {}
+            for tier in ["off", *candidates]:
+                per_run = []
+                with blockjit.tier_override(tier):
+                    for seed in seeds:
+                        machine = Machine(workload.program)
+                        if seed is not None:
+                            inputs = workload.generate_inputs(seed=seed)
+                            workload.apply_inputs(machine, inputs)
+                        core = core_cls(machine)
+                        result = core.run()
+                        per_run.append(_digest(core, machine, result))
+                digests[tier] = tuple(per_run)
+            ok = all(digests[t] == digests["off"] for t in candidates)
             status = "ok" if ok else "MISMATCH"
-            print(
-                f"{name:6s} {label:7s}  jit {digests[True]}  "
-                f"nojit {digests[False]}  {status}"
+            shown = " ".join(
+                f"{t} {digests[t][-1]}" for t in ["off", *candidates]
             )
+            print(f"{name:6s} {label:7s}  {shown}  {status}")
             failures += 0 if ok else 1
     if failures:
-        print(f"FAIL: {failures} jit/no-jit digest mismatch(es)", file=sys.stderr)
+        print(f"FAIL: {failures} tier digest mismatch(es)", file=sys.stderr)
         return 1
-    print("all workloads bit-identical with the block JIT on and off")
+    tiers = "/".join(["off", *candidates])
+    print(f"all workloads bit-identical across tiers: {tiers}")
     return 0
 
 

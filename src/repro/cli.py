@@ -57,6 +57,24 @@ def _load_program(path: str):
     return compile_source(text)
 
 
+def _cli_tier(args) -> str | None:
+    """Resolve ``--jit-tier``/``--no-jit`` into a tier-override argument.
+
+    ``None`` defers to ``REPRO_JIT_TIER``/``REPRO_JIT``; ``--no-jit``
+    stays the back-compatible spelling of ``--jit-tier off``.
+    """
+    from repro.errors import ProtocolError
+
+    tier = getattr(args, "jit_tier", None)
+    if args.no_jit:
+        if tier not in (None, "off"):
+            raise ProtocolError(
+                f"--no-jit conflicts with --jit-tier {tier}"
+            )
+        return "off"
+    return tier
+
+
 def cmd_compile(args) -> int:
     """``compile``: MiniC -> assembly on stdout."""
     print(compile_to_asm(pathlib.Path(args.file).read_text()), end="")
@@ -91,7 +109,7 @@ def cmd_run(args) -> int:
     machine = Machine(program)
     core_cls = ComplexCore if args.core == "complex" else InOrderCore
     core = core_cls(machine, freq_hz=args.freq * 1e6)
-    with blockjit.jit_override(False if args.no_jit else None):
+    with blockjit.tier_override(_cli_tier(args)):
         result = core.run()
     for cycle, value in machine.mmio.console:
         print(f"[cycle {cycle}] {value}")
@@ -232,27 +250,43 @@ def cmd_cache(args) -> int:
 
     directory = runcache.cache_dir()
     if args.action == "clear":
+        tiers = runcache.cache_stats()["blockjit"]["tiers"]
         removed, freed = runcache.clear_cache()
         print(f"removed {removed} entries ({freed} bytes) from {directory}")
+        print(
+            f"# codegen reclaimed: "
+            f"{tiers['block']['entries']} block entries "
+            f"({tiers['block']['bytes']} bytes), "
+            f"{tiers['trace']['entries']} trace entries "
+            f"({tiers['trace']['bytes']} bytes)"
+        )
         return 0
     if args.action == "stats":
         stats = runcache.cache_stats()
         jit = stats["blockjit"]
+        tiers = jit["tiers"]
         rows = [
             ["entries", str(stats["entries"])],
             ["bytes", str(stats["bytes"])],
             ["hits (this process)", str(stats["hits"])],
             ["misses (this process)", str(stats["misses"])],
             ["stores (this process)", str(stats["stores"])],
-            ["blockjit entries", str(jit["entries"])],
-            ["blockjit bytes", str(jit["bytes"])],
-            ["blockjit hits (this process)", str(jit["hits"])],
-            ["blockjit misses (this process)", str(jit["misses"])],
-            ["blockjit stores (this process)", str(jit["stores"])],
+            ["codegen entries", str(jit["entries"])],
+            ["codegen bytes", str(jit["bytes"])],
+            ["codegen block entries", str(tiers["block"]["entries"])],
+            ["codegen block bytes", str(tiers["block"]["bytes"])],
+            ["codegen trace entries", str(tiers["trace"]["entries"])],
+            ["codegen trace bytes", str(tiers["trace"]["bytes"])],
+            ["block hits (this process)", str(jit["hits"])],
+            ["block misses (this process)", str(jit["misses"])],
+            ["block stores (this process)", str(jit["stores"])],
+            ["trace hits (this process)", str(jit["trace_hits"])],
+            ["trace misses (this process)", str(jit["trace_misses"])],
+            ["trace stores (this process)", str(jit["trace_stores"])],
         ]
         print(format_table(["cache statistic", "value"], rows))
         print(f"# directory: {stats['directory']}")
-        print(f"# blockjit directory: {jit['directory']}")
+        print(f"# codegen directory: {jit['directory']}")
         return 0
     entries = runcache.cache_entries()
     if not entries:
@@ -300,6 +334,8 @@ def _submit_payload(args) -> dict:
             payload["flush_rate"] = args.flush_rate
         if args.no_jit:
             payload["no_jit"] = True
+        if args.jit_tier:
+            payload["jit_tier"] = args.jit_tier
         return payload
     if args.kind == "wcet":
         return {
@@ -316,6 +352,8 @@ def _submit_payload(args) -> dict:
     }
     if args.no_jit:
         payload["no_jit"] = True
+    if args.jit_tier:
+        payload["jit_tier"] = args.jit_tier
     return payload
 
 
@@ -411,6 +449,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-jit",
         action="store_true",
         help="disable block compilation (same as REPRO_JIT=0)",
+    )
+    p.add_argument(
+        "--jit-tier",
+        choices=["off", "block", "trace"],
+        default=None,
+        help="execution tier (same as REPRO_JIT_TIER; default: environment)",
     )
     p.set_defaults(func=cmd_run)
 
@@ -558,6 +602,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-jit",
         action="store_true",
         help="run/experiment jobs: disable block compilation in the worker",
+    )
+    p.add_argument(
+        "--jit-tier",
+        choices=["off", "block", "trace"],
+        default=None,
+        help="run/experiment jobs: pin the worker's JIT tier",
     )
     p.add_argument(
         "--priority", type=int, default=0, help="queue priority (higher first)"

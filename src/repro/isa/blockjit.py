@@ -44,6 +44,7 @@ import hashlib
 import json
 import marshal
 import os
+import re
 import sys
 from collections import deque
 from collections.abc import Iterator
@@ -74,7 +75,7 @@ if TYPE_CHECKING:
     from repro.isa.program import Program
 
 #: Bump when the emitted code changes shape; stale disk entries miss.
-CODEGEN_VERSION = 1
+CODEGEN_VERSION = 2
 
 _M = 0xFFFFFFFF
 _S = 0x80000000
@@ -87,29 +88,86 @@ _CONTROL_KINDS = (K_BRANCH, K_JUMP, K_INDIRECT, K_HALT)
 BlockFn = Callable[..., Any]
 BlockEntry = tuple[BlockFn, int]
 
-# --- opt-out (REPRO_JIT=0 / --no-jit), mirroring runcache.no_cache_override --
+# --- tier selection (REPRO_JIT_TIER / REPRO_JIT / --no-jit) ------------------
 
-_JIT_OVERRIDE: ContextVar[bool | None] = ContextVar("repro_jit", default=None)
+#: Recognized execution tiers, slowest to fastest.
+TIERS = ("off", "block", "trace")
+
+#: Tier used when nothing (env, override) says otherwise.  The block
+#: tier: trace formation pays seconds of cold codegen per program and
+#: engine, which only amortizes on long or cache-warm runs, so the
+#: trace tier is opt-in (``REPRO_JIT_TIER=trace`` / ``--jit-tier``).
+DEFAULT_TIER = "block"
+
+# Holds either a tier name, a legacy boolean (from jit_override), or None.
+_JIT_OVERRIDE: ContextVar[str | bool | None] = ContextVar(
+    "repro_jit", default=None
+)
+
+
+def _env_tier() -> str:
+    """Tier selected by the environment alone.
+
+    ``REPRO_JIT_TIER`` (off/block/trace) supersedes the boolean
+    ``REPRO_JIT``; an unrecognized value falls through to the legacy
+    flag, and ``REPRO_JIT=0`` still disables compilation entirely.
+    """
+    tier = os.environ.get("REPRO_JIT_TIER", "").strip().lower()
+    if tier in TIERS:
+        return tier
+    if os.environ.get("REPRO_JIT", "") == "0":
+        return "off"
+    return DEFAULT_TIER
+
+
+def jit_tier() -> str:
+    """The active JIT tier: ``"off"``, ``"block"``, or ``"trace"``.
+
+    An active :func:`tier_override`/:func:`jit_override` wins; otherwise
+    the environment decides (see :func:`_env_tier`).  A legacy boolean
+    override maps ``False`` to ``"off"`` and ``True`` to the environment
+    tier, promoted to the default when the environment says off.
+    """
+    override = _JIT_OVERRIDE.get()
+    if override is None:
+        return _env_tier()
+    if override is False:
+        return "off"
+    if override is True:
+        tier = _env_tier()
+        return tier if tier != "off" else DEFAULT_TIER
+    return override
 
 
 def jit_enabled() -> bool:
-    """True when block compilation should be used for full-run segments.
+    """True when block/trace compilation should be used for full runs."""
+    return jit_tier() != "off"
 
-    An active :func:`jit_override` wins; otherwise ``REPRO_JIT=0``
-    disables the JIT and any other value (including unset) enables it.
+
+@contextmanager
+def tier_override(value: str | None) -> Iterator[None]:
+    """Scoped tier override (``None`` defers to the environment).
+
+    ContextVar-based like ``runcache.no_cache_override`` so concurrent
+    in-process callers never observe each other's setting.
     """
-    override = _JIT_OVERRIDE.get()
-    if override is not None:
-        return override
-    return os.environ.get("REPRO_JIT", "") != "0"
+    if value is not None and value not in TIERS:
+        raise ValueError(f"unknown JIT tier {value!r}")
+    token = _JIT_OVERRIDE.set(value)
+    try:
+        yield
+    finally:
+        _JIT_OVERRIDE.reset(token)
 
 
 @contextmanager
 def jit_override(value: bool | None) -> Iterator[None]:
-    """Scoped JIT on/off override (``None`` defers to ``REPRO_JIT``).
+    """Scoped JIT on/off override (``None`` defers to the environment).
 
-    ContextVar-based like ``runcache.no_cache_override`` so concurrent
-    in-process callers never observe each other's setting.
+    The boolean PR 5 interface, kept for ``--no-jit`` and existing
+    callers: ``False`` forces the interpreter, ``True`` forces the
+    environment-selected tier (default tier when the environment says
+    off), ``None`` defers entirely.
     """
     token = _JIT_OVERRIDE.set(value)
     try:
@@ -200,13 +258,23 @@ class _Regs:
             self._lines.append(f"{ind}{name} = {value}")
             self._val[key] = ("name", name)
 
-    def spill_lines(self, ind: str) -> list[str]:
-        """Home-array writebacks for every dirty register."""
+    def spill_lines(self, ind: str, commit: bool = False) -> list[str]:
+        """Home-array writebacks for every dirty register.
+
+        ``commit`` may only be True for an *unconditional* spill site
+        (function-body base indent): every later line is then reached
+        only after these writebacks ran, so the dirty set can be
+        cleared and later syncs skip registers written before this
+        point.  Conditional spill sites (inside an arm) must keep the
+        dirty set — the not-taken path never stored the values.
+        """
         out = []
         for key in sorted(self.dirty):
             state = self._val[key]
             text = str(state[1]) if state[0] == "const" else state[1]
             out.append(f"{ind}{self._home(key)} = {text}")
+        if commit:
+            self.dirty.clear()
         return out
 
 
@@ -391,6 +459,47 @@ def _ctr(name: str, add: int) -> str:
     return f"{name} + {add}" if add else name
 
 
+_TMAX_RE = re.compile(
+    r"^(\s+)t = ([A-Za-z_][A-Za-z0-9_]*(?:\[\d+\])?)( \+ 1)?$"
+)
+_TMAX_IF_RE = re.compile(r"^(\s+)if t > ([A-Za-z_][A-Za-z0-9_]*):$")
+
+
+def _tighten_max(lines: list[str]) -> list[str]:
+    """Strength-reduce the scratch-``t`` max pattern in emitted code.
+
+    ``t = E; if t > x: x = t`` (with ``E`` a name, a literal subscript,
+    or either plus one) becomes a direct compare that skips the scratch
+    store/load — and computes ``E + 1`` only on the taken path.  ``t``
+    is write-before-read scratch at every emission site, so dropping an
+    assignment never leaks into a later read.
+    """
+    out: list[str] = []
+    i = 0
+    n = len(lines)
+    while i < n:
+        m = _TMAX_RE.match(lines[i])
+        if m and i + 2 < n:
+            mi = _TMAX_IF_RE.match(lines[i + 1])
+            if (
+                mi
+                and mi.group(1) == m.group(1)
+                and lines[i + 2] == f"{m.group(1)}    {mi.group(2)} = t"
+            ):
+                ind, e, x = m.group(1), m.group(2), mi.group(2)
+                if m.group(3):  # E + 1 > x  <=>  E >= x (ints)
+                    out.append(f"{ind}if {e} >= {x}:")
+                    out.append(f"{ind}    {x} = {e} + 1")
+                else:
+                    out.append(f"{ind}if {e} > {x}:")
+                    out.append(f"{ind}    {x} = {e}")
+                i += 3
+                continue
+        out.append(lines[i])
+        i += 1
+    return out
+
+
 class _InOrderEmitter:
     """Emit one in-order basic-block function (see layout comment above)."""
 
@@ -410,6 +519,11 @@ class _InOrderEmitter:
         self.ip_count = 0
         self.ip_ways: dict[tuple[int, int], int] = {}
         self._last_line: dict[int, int] = {}
+        # Trace tier: elide per-inst watchdog checks behind an entry guard
+        # (wd must be falsy on entry); ``_wd_reload`` marks the insts that
+        # may flip wd (MMIO stores) and need a guarded side exit instead.
+        self._wd_elide = False
+        self._wd_reload = False
 
     # -- helpers --
 
@@ -433,15 +547,23 @@ class _InOrderEmitter:
         self.ip_count = 0
         self.ip_ways.clear()
 
-    def _sync(self, ind: str, pc_expr: str) -> None:
+    def _sync(self, ind: str, pc_expr: str, commit: bool | None = None) -> None:
         """Write full architectural+batched state to st (fault parity).
 
-        Never clears codegen-side pending/dirty state: on raising paths
+        Never clears codegen-side pending icache state: on raising paths
         nothing follows, and on continuing paths the pending way-writes
-        are idempotent re-writes and spills simply repeat later.
+        are idempotent re-writes.  Register spills at base indent are
+        unconditional, so by default they *do* commit (clear the dirty
+        set) and later syncs skip them; spills inside an arm repeat at
+        the next sync.  ``commit=False`` is required at the one site
+        where a destination register is already marked dirty but its
+        runtime assignment only happens *after* the sync (statically
+        known MMIO loads): committing there would lose the writeback.
         """
         self.lines.extend(self._pending_way_lines(ind))
-        self.lines.extend(self.regs.spill_lines(ind))
+        if commit is None:
+            commit = ind == "    "
+        self.lines.extend(self.regs.spill_lines(ind, commit=commit))
         n = self.nm
         self.emit(ind, "st[:] = (" + ", ".join((
             n["lf"], n["rd"], n["xf"], n["mf"], n["pm"],
@@ -527,7 +649,7 @@ class _InOrderEmitter:
             head.append(f"    iw{setk} = isets[{setk}]")
         for idx, (ipc, fi) in enumerate(insts):
             self._inst(idx, ipc, fi, is_last=idx == len(insts) - 1)
-        return "\n".join(head + self.lines) + "\n"
+        return "\n".join(head + _tighten_max(self.lines)) + "\n"
 
     def _inst(self, i: int, pc: int, fi: Any, is_last: bool) -> None:
         (kind, _ex, src_keys, dkey, wbank, dnum, nsrc, lat,
@@ -536,6 +658,7 @@ class _InOrderEmitter:
         regs = self.regs
         g = self.g
         ind = "    "
+        self._wd_reload = False
 
         # -- fetch timing + I-cache (reference lines: fetch clamps then
         # `fetch += icache_extra`, emitted as `f += stall` on the miss arm).
@@ -678,7 +801,7 @@ class _InOrderEmitter:
             mem_read = f"data_read({a}, base + {u} + 1)"
             mem_val = f"{dest} = words_get({a}, 0)"
             if mmio_static is True:
-                self._sync(ind, str(pc))
+                self._sync(ind, str(pc), commit=False)
                 self.emit(ind, mm)
             elif mmio_static is False:
                 self.emit(ind, mem_guard)
@@ -705,6 +828,7 @@ class _InOrderEmitter:
             mem_guard = f"if {a} & 3 or {g.tbase} <= {a} < {g.text_end}:"
             mem_write = f"data_write({a}, {vt}, base + {u} + 1)"
             if mmio_static is True:
+                self._wd_reload = True
                 self._sync(ind, str(pc))
                 for line in mm:
                     self.emit(ind, line)
@@ -715,6 +839,7 @@ class _InOrderEmitter:
                 for line in wr:
                     self.emit(ind, line)
             else:
+                self._wd_reload = True
                 self.emit(ind, f"if {a} >= {_MMIO}:")
                 self._sync(ind + "    ", str(pc))
                 for line in mm:
@@ -749,8 +874,18 @@ class _InOrderEmitter:
             self._exit(ind, pc_next, '"h"')
             return
 
-        self.emit(ind, f"if wd and base + {u} + 1 >= wdx:")
-        self._exit(ind + "    ", pc_next, '"w"')
+        if not self._wd_elide:
+            self.emit(ind, f"if wd and base + {u} + 1 >= wdx:")
+            self._exit(ind + "    ", pc_next, '"w"')
+        elif self._wd_reload:
+            # Trace tier: wd was falsy at trace entry, and only an MMIO
+            # store can flip it.  Reproduce the block tier's expiry check
+            # here, then side-exit — the block functions resume with
+            # their per-instruction checks.
+            self.emit(ind, "if wd:")
+            self.emit(ind + "    ", f"if base + {u} + 1 >= wdx:")
+            self._exit(ind + "        ", pc_next, '"w"')
+            self._exit(ind + "    ", pc_next, pc_next)
 
         if is_last:
             self._exit(ind, pc_next, pc_next)
@@ -821,13 +956,29 @@ class _OOOEmitter:
         self.nex = 0
         self.nmem = 0
         self._prev_blk: int | None = None
+        # Set by the trace emitter after a stitched-in branch: the
+        # mid-block specializations below assume no preceding control
+        # instruction (redirect can't have moved), which stops holding
+        # across a stitch point, so the next group formation must use
+        # the fully dynamic block-entry form.
+        self._dyn_group = False
+        # Trace tier: see the in-order emitter.
+        self._wd_elide = False
+        self._wd_reload = False
 
     def emit(self, ind: str, text: str) -> None:
         self.lines.append(ind + text)
 
-    def _sync(self, ind: str, pc_expr: str) -> None:
-        """Write full architectural state to st before a may-raise op."""
-        self.lines.extend(self.regs.spill_lines(ind))
+    def _sync(self, ind: str, pc_expr: str, commit: bool | None = None) -> None:
+        """Write full architectural state to st before a may-raise op.
+
+        Spill-commit semantics mirror the in-order emitter: base-indent
+        syncs clear the dirty set, except when a dirty destination's
+        runtime assignment follows the sync (``commit=False``).
+        """
+        if commit is None:
+            commit = ind == "    "
+        self.lines.extend(self.regs.spill_lines(ind, commit=commit))
         self.emit(ind, "st[:] = (" + ", ".join((
             "bf", "fc", "gd", "gc", "gb", "rd", self.lc_sync,
             "itick", "dtick", "ihits", "imiss", "dhits", "dmiss", "cg",
@@ -887,7 +1038,7 @@ class _OOOEmitter:
         ]
         for idx, (ipc, fi) in enumerate(insts):
             self._inst(idx, ipc, fi, is_last=idx == len(insts) - 1)
-        return "\n".join(head + self.lines) + "\n"
+        return "\n".join(head + _tighten_max(self.lines)) + "\n"
 
     def _fetch_group(self, i: int, pc: int) -> None:
         """Fetch-group formation (reference 'fetch group' section)."""
@@ -896,8 +1047,10 @@ class _OOOEmitter:
         blk = pc >> g.ishift
         setk = blk % g.insets
         ind = "    "
-        if i == 0:
-            # Block entry: fully dynamic condition.
+        if i == 0 or self._dyn_group:
+            # Block entry (or first fetch after a stitched branch):
+            # fully dynamic condition.
+            self._dyn_group = False
             self.emit(ind, f"if gc >= {fw} or gb != {blk} or fc < rd:")
             self._group_body(ind + "    ", blk, setk, clamp=True)
         elif self._prev_blk != blk:
@@ -956,6 +1109,7 @@ class _OOOEmitter:
         g = self.g
         p = self.p
         ind = "    "
+        self._wd_reload = False
 
         self._fetch_group(i, pc)
 
@@ -1020,9 +1174,9 @@ class _OOOEmitter:
             self.emit(ind + "    ", "t = lsq_commits[0] + 1")
             self.emit(ind + "    ", f"if t > {d}:")
             self.emit(ind + "        ", f"{d} = t")
-        self.emit(ind, f"while dis_get({d}, 0) >= {p.dispatch_width}:")
+        self.emit(ind, f"while (vd := dis_get({d}, 0)) >= {p.dispatch_width}:")
         self.emit(ind + "    ", f"{d} += 1")
-        self.emit(ind, f"dis_used[{d}] = dis_get({d}, 0) + 1")
+        self.emit(ind, f"dis_used[{d}] = vd + 1")
 
         # -- issue (wakeup/select) --
         s = f"s{i}"
@@ -1033,19 +1187,21 @@ class _OOOEmitter:
             self.emit(ind + "    ", f"{s} = t")
         if is_mem:
             self.emit(ind, "while True:")
-            self.emit(ind + "    ", f"while iss_get({s}, 0) >= {p.issue_width}:")
+            self.emit(ind + "    ",
+                      f"while (vi := iss_get({s}, 0)) >= {p.issue_width}:")
             self.emit(ind + "        ", f"{s} += 1")
             self.emit(ind + "    ", f"t = {s}")
-            self.emit(ind + "    ", f"while port_get(t, 0) >= {p.cache_ports}:")
+            self.emit(ind + "    ",
+                      f"while (vp := port_get(t, 0)) >= {p.cache_ports}:")
             self.emit(ind + "        ", "t += 1")
             self.emit(ind + "    ", f"if t == {s}:")
             self.emit(ind + "        ", "break")
             self.emit(ind + "    ", f"{s} = t")
-            self.emit(ind, f"port_used[{s}] = port_get({s}, 0) + 1")
+            self.emit(ind, f"port_used[{s}] = vp + 1")
         else:
-            self.emit(ind, f"while iss_get({s}, 0) >= {p.issue_width}:")
+            self.emit(ind, f"while (vi := iss_get({s}, 0)) >= {p.issue_width}:")
             self.emit(ind + "    ", f"{s} += 1")
-        self.emit(ind, f"iss_used[{s}] = iss_get({s}, 0) + 1")
+        self.emit(ind, f"iss_used[{s}] = vi + 1")
         self.crr += nsrc
 
         x = f"x{i}"
@@ -1091,9 +1247,9 @@ class _OOOEmitter:
         self.emit(ind, f"{y} = {c} + 1")
         self.emit(ind, f"if {self.lc} > {y}:")
         self.emit(ind + "    ", f"{y} = {self.lc}")
-        self.emit(ind, f"while com_get({y}, 0) >= {p.commit_width}:")
+        self.emit(ind, f"while (vc := com_get({y}, 0)) >= {p.commit_width}:")
         self.emit(ind + "    ", f"{y} += 1")
-        self.emit(ind, f"com_used[{y}] = com_get({y}, 0) + 1")
+        self.emit(ind, f"com_used[{y}] = vc + 1")
         self.emit(ind, f"rob_append({y})")
         if is_mem:
             self.emit(ind, f"lsq_append({y})")
@@ -1114,7 +1270,7 @@ class _OOOEmitter:
             mem_read = f"data_read({a}, base + {y})"
             mem_val = f"{dest} = words_get({a}, 0)"
             if mmio_static is True:
-                self._sync(ind, str(pc))
+                self._sync(ind, str(pc), commit=False)
                 self.emit(ind, mm)
             elif mmio_static is False:
                 self.emit(ind, mem_guard)
@@ -1140,6 +1296,7 @@ class _OOOEmitter:
             mem_guard = f"if {a} & 3 or {g.tbase} <= {a} < {g.text_end}:"
             mem_write = f"data_write({a}, {vt}, base + {y})"
             if mmio_static is True:
+                self._wd_reload = True
                 self._sync(ind, str(pc))
                 for line in mm:
                     self.emit(ind, line)
@@ -1149,6 +1306,7 @@ class _OOOEmitter:
                 self.emit(ind + "    ", mem_write)
                 self._store_commit(ind, i, a, vt, c, y)
             else:
+                self._wd_reload = True
                 self.emit(ind, f"if {a} >= {_MMIO}:")
                 self._sync(ind + "    ", str(pc))
                 for line in mm:
@@ -1182,8 +1340,15 @@ class _OOOEmitter:
             self._exit(ind, pc_next, '"h"')
             return
 
-        self.emit(ind, f"if wd and base + {y} >= wdx:")
-        self._exit(ind + "    ", pc_next, '"w"')
+        if not self._wd_elide:
+            self.emit(ind, f"if wd and base + {y} >= wdx:")
+            self._exit(ind + "    ", pc_next, '"w"')
+        elif self._wd_reload:
+            # Trace tier: see the in-order emitter's tail.
+            self.emit(ind, "if wd:")
+            self.emit(ind + "    ", f"if base + {y} >= wdx:")
+            self._exit(ind + "        ", pc_next, '"w"')
+            self._exit(ind + "    ", pc_next, pc_next)
 
         if is_last:
             self._exit(ind, pc_next, pc_next)
@@ -1318,12 +1483,19 @@ def _emit_block(
 
 
 class BlockTable:
-    """Compiled blocks of one (program, engine, geometry, params) tuple.
+    """Compiled blocks of one (program, engine, geometry, params, tier).
 
     ``blocks`` maps block-start pc to ``(function, length)``.
     ``safe_breaks`` is the set of addresses guaranteed never to be
     block-interior (sub-task marks + entry), i.e. the breakpoint sets the
-    block dispatcher can honor exactly.
+    block dispatcher can honor exactly.  Superblock traces never contain
+    a safe-break address at an interior position, so that guarantee
+    survives trace promotion unchanged.
+
+    On the trace tier, ``hot_counts`` profiles block dispatch counts;
+    once a block crosses the hotness threshold, :meth:`promote` stitches
+    the chain starting there into one trace function and installs it
+    over the block entry, so the dispatchers need no second lookup.
     """
 
     def __init__(
@@ -1334,16 +1506,64 @@ class BlockTable:
         params: Any,
         namespace: dict[str, Any],
         blocks: dict[int, BlockEntry],
+        tier: str = "block",
+        disk_key: str | None = None,
     ) -> None:
         self.program = program
         self.engine = engine
         self.geom = geom
         self.params = params
         self.blocks = blocks
+        self.tier = tier
+        self.disk_key = disk_key
         self._ns = namespace
         self.safe_breaks: frozenset[int] = (
             frozenset(program.subtask_marks) | {program.entry}
         )
+        # Trace-tier state (inert on the block tier).
+        self.hot_counts: dict[int, int] | None = None
+        self.hot_threshold = 0
+        #: head pc -> (fname, n_blocks, n_insts) for installed traces.
+        self.traces_meta: dict[int, tuple[str, int, int]] = {}
+        #: head pc -> generated source, for disk persistence.
+        self.trace_sources: dict[int, str] = {}
+        #: head pc -> compiled code object (marshalled on store).
+        self.trace_codes: dict[int, Any] = {}
+        self._no_trace: set[int] = set()
+        # [calls, side exits]: bumped by the generated trace code itself.
+        namespace.setdefault("_tr", [0, 0])
+
+    def promote(self, pc: int, entry: BlockEntry) -> BlockEntry:
+        """Try to replace the hot block at ``pc`` with a stitched trace.
+
+        Returns the installed trace entry, or ``entry`` unchanged when
+        no profitable chain exists (single block, safe-break barrier).
+        """
+        if pc in self.traces_meta or pc in self._no_trace:
+            return self.blocks.get(pc, entry)
+        from repro.isa import tracejit
+
+        traced = tracejit.compile_trace(self, pc)
+        if traced is None:
+            self._no_trace.add(pc)
+            return entry
+        return traced
+
+    def trace_summary(self) -> dict[str, Any]:
+        """Formation and runtime stats for the installed traces."""
+        tr = self._ns.get("_tr", [0, 0])
+        metas = list(self.traces_meta.values())
+        n = len(metas)
+        calls = int(tr[0])
+        exits = int(tr[1])
+        return {
+            "traces": n,
+            "mean_blocks": (sum(m[1] for m in metas) / n) if n else 0.0,
+            "mean_insts": (sum(m[2] for m in metas) / n) if n else 0.0,
+            "calls": calls,
+            "side_exits": exits,
+            "side_exit_rate": (exits / calls) if calls else 0.0,
+        }
 
     def block_at(self, pc: int) -> BlockEntry:
         """The block starting at ``pc``, compiling on demand.
@@ -1429,7 +1649,7 @@ def _store_disk(engine: str, key: str, payload: dict) -> None:
 
 def _build_table(
     program: "Program", engine: str, geom: _Geometry, params: Any,
-    params_tuple: tuple | None,
+    params_tuple: tuple | None, tier: str = "block",
 ) -> BlockTable:
     from repro.snapshot.state import FORMAT_VERSION
 
@@ -1455,7 +1675,10 @@ def _build_table(
         exec(code, ns)  # noqa: S102 - executing our own (cached) codegen
         for spc, (fname, blen) in payload["blocks"].items():
             blocks[int(spc)] = (ns[fname], int(blen))
-        return BlockTable(program, engine, geom, params, ns, blocks)
+        return _finish_table(
+            BlockTable(program, engine, geom, params, ns, blocks,
+                       tier=tier, disk_key=key)
+        )
 
     leaders = _leaders(program)
     stops = frozenset(leaders)
@@ -1492,17 +1715,39 @@ def _build_table(
         "code": base64.b64encode(marshal.dumps(code)).decode("ascii"),
         "blocks": meta,
     })
-    return BlockTable(program, engine, geom, params, ns, blocks)
+    return _finish_table(
+        BlockTable(program, engine, geom, params, ns, blocks,
+                   tier=tier, disk_key=key)
+    )
 
 
-def block_table(machine: Any, engine: str, params: Any = None) -> BlockTable:
+def _finish_table(table: BlockTable) -> BlockTable:
+    """Activate trace-tier state (profiling + warm traces) when selected."""
+    if table.tier == "trace":
+        from repro.isa import tracejit
+
+        table.hot_counts = {}
+        table.hot_threshold = tracejit.HOT_THRESHOLD
+        tracejit.load_traces(table)
+    return table
+
+
+def block_table(
+    machine: Any, engine: str, params: Any = None, tier: str | None = None,
+) -> BlockTable:
     """The (memoized) compiled block table for ``machine``'s program.
 
-    Memoized on the Program keyed by engine, cache geometry, and pipeline
-    parameters, so cores sharing a program (and VISA instances sharing a
-    workload) compile once per process; the generated source additionally
-    persists under ``.repro_cache/blockjit/``.
+    Memoized on the Program keyed by engine, cache geometry, pipeline
+    parameters, and tier, so cores sharing a program (and VISA instances
+    sharing a workload) compile once per process; the generated source
+    additionally persists under ``.repro_cache/blockjit/``.  ``tier``
+    defaults to the active :func:`jit_tier` (an explicit ``"off"`` is
+    clamped to ``"block"`` — callers gate on :func:`jit_enabled`).
     """
+    if tier is None:
+        tier = jit_tier()
+    if tier == "off":
+        tier = "block"
     program = machine.program
     ic = machine.icache.config
     dc = machine.dcache.config
@@ -1512,11 +1757,13 @@ def block_table(machine: Any, engine: str, params: Any = None) -> BlockTable:
         program.text_base, program.text_end,
     )
     params_tuple = tuple(astuple(params)) if params is not None else None
-    memo_key = (engine, geom, params_tuple)
+    memo_key = (engine, geom, params_tuple, tier)
     tables = program._blockjit_tables  # noqa: SLF001 - cooperative memo
     table = tables.get(memo_key)
     if table is None:
-        table = _build_table(program, engine, geom, params, params_tuple)
+        table = _build_table(
+            program, engine, geom, params, params_tuple, tier
+        )
         tables[memo_key] = table
     return table
 
@@ -1579,12 +1826,19 @@ def run_inorder(
     ready = core._fast_ready  # noqa: SLF001
     blocks = table.blocks
     block_at = table.block_at
+    counts = table.hot_counts
+    hot = table.hot_threshold
     pc = state.pc
     try:
         while True:
             entry = blocks.get(pc)
             if entry is None:
                 entry = block_at(pc)
+            if counts is not None:
+                c = counts.get(pc, 0) + 1
+                counts[pc] = c
+                if c == hot:
+                    entry = table.promote(pc, entry)
             r = entry[0](ir, fr, ready, st, env)
             if r.__class__ is int:
                 pc = r
@@ -1698,12 +1952,19 @@ def run_ooo(core: Any, table: BlockTable, honor_watchdog: bool = True) -> Any:
     fr = state.fp_regs
     blocks = table.blocks
     block_at = table.block_at
+    counts = table.hot_counts
+    hot = table.hot_threshold
     pc = state.pc
     try:
         while True:
             entry = blocks.get(pc)
             if entry is None:
                 entry = block_at(pc)
+            if counts is not None:
+                c = counts.get(pc, 0) + 1
+                counts[pc] = c
+                if c == hot:
+                    entry = table.promote(pc, entry)
             r = entry[0](ir, fr, ready, st, env)
             if r.__class__ is int:
                 pc = r
@@ -1759,27 +2020,45 @@ def run_ooo(core: Any, table: BlockTable, honor_watchdog: bool = True) -> Any:
 
 
 def disk_cache_stats() -> dict:
-    """On-disk blockjit cache stats plus in-process hit/miss/store counters."""
+    """On-disk blockjit cache stats plus in-process hit/miss/store counters.
+
+    ``tiers`` breaks the totals down by codegen tier: block-table
+    entries (``{engine}-{key}.json``) vs stitched-trace entries
+    (``{engine}-{key}.traces.json``).
+    """
     from repro.snapshot import runcache
 
     directory = runcache.cache_dir() / "blockjit"
     entries = 0
     total = 0
+    tiers = {
+        "block": {"entries": 0, "bytes": 0},
+        "trace": {"entries": 0, "bytes": 0},
+    }
     if directory.is_dir():
         for path in directory.iterdir():
             if path.is_file() and path.suffix == ".json":
                 try:
-                    total += path.stat().st_size
+                    size = path.stat().st_size
                 except OSError:
                     continue
+                total += size
                 entries += 1
+                tier = ("trace" if path.name.endswith(".traces.json")
+                        else "block")
+                tiers[tier]["entries"] += 1
+                tiers[tier]["bytes"] += size
     return {
         "directory": str(directory),
         "entries": entries,
         "bytes": total,
+        "tiers": tiers,
         "hits": int(runcache.STATS["blockjit_hits"]),
         "misses": int(runcache.STATS["blockjit_misses"]),
         "stores": int(runcache.STATS["blockjit_stores"]),
+        "trace_hits": int(runcache.STATS["tracejit_hits"]),
+        "trace_misses": int(runcache.STATS["tracejit_misses"]),
+        "trace_stores": int(runcache.STATS["tracejit_stores"]),
     }
 
 
@@ -1810,11 +2089,15 @@ def clear_disk_cache() -> tuple[int, int]:
 __all__ = [
     "BlockTable",
     "CODEGEN_VERSION",
+    "DEFAULT_TIER",
+    "TIERS",
     "block_table",
     "clear_disk_cache",
     "disk_cache_stats",
     "jit_enabled",
     "jit_override",
+    "jit_tier",
     "run_inorder",
     "run_ooo",
+    "tier_override",
 ]

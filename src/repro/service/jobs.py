@@ -93,6 +93,32 @@ def _bool_field(payload: JSONDict, name: str, default: bool) -> bool:
     return bool(value)
 
 
+def _tier_field(payload: JSONDict) -> str:
+    """Resolve the effective JIT tier for a run/experiment payload.
+
+    ``jit_tier`` (off/block/trace) supersedes the legacy boolean
+    ``no_jit``; when absent, ``no_jit=true`` means ``"off"`` and
+    otherwise the server's environment-selected tier is pinned into the
+    normalized payload, so the coalesce key distinguishes submissions
+    that would execute under different tiers.
+    """
+    from repro.isa import blockjit
+
+    no_jit = _bool_field(payload, "no_jit", False)
+    tier = payload.get("jit_tier")
+    if tier is None:
+        return "off" if no_jit else blockjit.jit_tier()
+    _require(
+        isinstance(tier, str) and tier in blockjit.TIERS,
+        f"jit_tier must be one of {list(blockjit.TIERS)}",
+    )
+    _require(
+        not (no_jit and tier != "off"),
+        f"no_jit=true conflicts with jit_tier={tier!r}",
+    )
+    return str(tier)
+
+
 # -- normalization (server side) -------------------------------------------------
 
 
@@ -101,7 +127,7 @@ def _normalize_run(payload: JSONDict) -> JSONDict:
         payload,
         frozenset(
             {"workload", "scale", "deadline", "instances", "flush_rate",
-             "no_cache", "no_jit"}
+             "no_cache", "no_jit", "jit_tier"}
         ),
     )
     deadline = payload.get("deadline", "tight")
@@ -121,6 +147,7 @@ def _normalize_run(payload: JSONDict) -> JSONDict:
         isinstance(flush_rate, (int, float)) and 0.0 <= float(flush_rate) <= 1.0,
         "flush_rate must be in [0, 1]",
     )
+    tier = _tier_field(payload)
     return {
         "workload": _workload_field(payload),
         "scale": _scale_field(payload),
@@ -128,7 +155,8 @@ def _normalize_run(payload: JSONDict) -> JSONDict:
         "instances": _int_field(payload, "instances", 12, 1, 1000),
         "flush_rate": float(flush_rate),
         "no_cache": _bool_field(payload, "no_cache", False),
-        "no_jit": _bool_field(payload, "no_jit", False),
+        "no_jit": tier == "off",
+        "jit_tier": tier,
     }
 
 
@@ -180,20 +208,25 @@ def _normalize_lint(payload: JSONDict) -> JSONDict:
 def _normalize_experiment(payload: JSONDict) -> JSONDict:
     _check_no_extras(
         payload,
-        frozenset({"name", "scale", "instances", "jobs", "no_cache", "no_jit"}),
+        frozenset(
+            {"name", "scale", "instances", "jobs", "no_cache", "no_jit",
+             "jit_tier"}
+        ),
     )
     name = payload.get("name")
     _require(
         name in EXPERIMENT_NAMES,
         f"experiment name must be one of {list(EXPERIMENT_NAMES)}",
     )
+    tier = _tier_field(payload)
     return {
         "name": str(name),
         "scale": _scale_field(payload),
         "instances": _int_field(payload, "instances", 12, 2, 1000),
         "jobs": _int_field(payload, "jobs", 1, 1, 64),
         "no_cache": _bool_field(payload, "no_cache", False),
-        "no_jit": _bool_field(payload, "no_jit", False),
+        "no_jit": tier == "off",
+        "jit_tier": tier,
     }
 
 
@@ -241,9 +274,9 @@ def _execute_run(payload: JSONDict) -> JSONDict:
     from repro.isa import blockjit
     from repro.snapshot import runcache
 
-    jit = False if payload["no_jit"] else None
+    tier = payload.get("jit_tier") or ("off" if payload["no_jit"] else None)
     with runcache.no_cache_override(payload["no_cache"] or None), \
-            blockjit.jit_override(jit):
+            blockjit.tier_override(tier):
         prep = setup(payload["workload"], payload["scale"])
         deadline = payload["deadline"]
         if deadline == "tight":
@@ -327,9 +360,9 @@ def _execute_experiment(payload: JSONDict) -> JSONDict:
     scale = payload["scale"]
     instances = int(payload["instances"])
     jobs = int(payload["jobs"])
-    jit = False if payload["no_jit"] else None
+    tier = payload.get("jit_tier") or ("off" if payload["no_jit"] else None)
     with runcache.no_cache_override(payload["no_cache"] or None), \
-            blockjit.jit_override(jit):
+            blockjit.tier_override(tier):
         rows: list[Any]
         if name == "table3":
             rows = table3.run(scale=scale, jobs=jobs)

@@ -232,6 +232,11 @@ class ServiceMetrics:
             "repro_jobs_coalesced_total",
             "Submissions served by attaching to an identical in-flight job.",
         )
+        self.jobs_by_jit_tier = reg.counter(
+            "repro_jobs_by_jit_tier_total",
+            "run/experiment submissions accepted, by effective JIT tier "
+            "(off/block/trace).",
+        )
         self.jobs_rejected = reg.counter(
             "repro_jobs_rejected_total",
             "Submissions rejected, by reason (queue_full/draining/bad_request).",
@@ -326,6 +331,9 @@ class ServiceMetrics:
             "run_cache_hits": self.run_cache_ops.value(op="hits"),
             "run_cache_misses": self.run_cache_ops.value(op="misses"),
             "run_cache_stores": self.run_cache_ops.value(op="stores"),
+            "jit_tier_off": self.jobs_by_jit_tier.value(tier="off"),
+            "jit_tier_block": self.jobs_by_jit_tier.value(tier="block"),
+            "jit_tier_trace": self.jobs_by_jit_tier.value(tier="trace"),
         }
 
 

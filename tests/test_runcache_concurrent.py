@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 
@@ -44,14 +45,25 @@ def _hammer_writes(path_str: str, worker: int) -> int:
     return WRITES_PER_WORKER
 
 
-def _hammer_reads(path_str: str) -> tuple[int, int]:
-    """Read the shared path in a tight loop; return (reads, torn)."""
-    path = Path(path_str)
+def _hammer_reads(path_str: str, stop_str: str) -> tuple[int, int]:
+    """Read the shared path until the writers signal done; (reads, torn).
+
+    The stop file (written by the parent once every writer returned)
+    bounds the loop without racing it: the ``done`` flag is sampled
+    *before* the read, so the final iteration always reads a published,
+    complete entry — a fixed iteration count could spin through
+    ``FileNotFoundError`` and exit before any writer got scheduled.
+    """
+    path, stop = Path(path_str), Path(stop_str)
     reads = torn = 0
-    for _ in range(WRITES_PER_WORKER * 4):
+    while True:
+        done = stop.exists()
         try:
             payload = json.loads(path.read_text())
         except FileNotFoundError:
+            if done:
+                break  # writers finished without publishing: reads stay 0
+            time.sleep(0.001)
             continue  # not yet published: fine, just not a read
         except ValueError:
             torn += 1  # partial/torn JSON: the bug this test exists for
@@ -59,6 +71,8 @@ def _hammer_reads(path_str: str) -> tuple[int, int]:
         reads += 1
         if payload["sum"] != sum(payload["data"]):
             torn += 1
+        if done or reads >= WRITES_PER_WORKER * 8:
+            break
     return reads, torn
 
 
@@ -83,13 +97,18 @@ def _simulate(directory: str) -> tuple[float, float, int, int, int]:
 def test_atomic_write_json_never_torn_under_process_race(tmp_path):
     """Racing writers + readers on one path: every read is a whole entry."""
     target = tmp_path / "cache" / "run-shared-key.json"
+    stop = tmp_path / "writers-done"
     with ProcessPoolExecutor(max_workers=4) as pool:
         writers = [
             pool.submit(_hammer_writes, str(target), worker)
             for worker in range(2)
         ]
-        readers = [pool.submit(_hammer_reads, str(target)) for _ in range(2)]
+        readers = [
+            pool.submit(_hammer_reads, str(target), str(stop))
+            for _ in range(2)
+        ]
         assert sum(f.result(timeout=120) for f in writers) == 120
+        stop.touch()
         total_reads = 0
         for future in readers:
             reads, torn = future.result(timeout=120)
