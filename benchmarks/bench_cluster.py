@@ -1,0 +1,244 @@
+"""Cluster benchmark: serving-layer scaling, shared-store warm rate,
+and a fleet-coalescing demonstration.
+
+Boots real ``repro serve --cluster N`` process trees (front tier + N
+backend daemons, each with one worker) and measures:
+
+* **scaling** — throughput of a latency-bound batch (``noop`` jobs, a
+  fixed worker-side sleep each) at 1, 2, and 4 backends.  Each backend
+  contributes one worker slot, so the batch's wall clock is governed by
+  how many slots the front can keep busy: near-linear scaling here is a
+  direct measurement of the routing/queueing layer, and it is honest on
+  a single-CPU host because the sleeping workers leave the core idle.
+  (CPU-bound jobs cannot scale past the host's core count, whatever the
+  serving layer does — see the recorded note.)
+* **warm_run** — real ``run`` jobs, cold then resubmitted: the repeat
+  batch is answered from the shared result store at the front without
+  touching a backend, which is the cluster's fleet-wide cache in action.
+* **fleet_coalescing** — the same digest submitted over two client
+  connections simultaneously executes once (front coalesce counter).
+
+Merges a ``cluster`` section into ``BENCH_speed.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+DRAIN_DEADLINE = 60.0
+
+
+def _start_cluster(
+    backends: int, cache_dir: str, store_dir: str
+) -> tuple[subprocess.Popen, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--cluster", str(backends), "--jobs", "1",
+            "--cache-dir", cache_dir, "--store-dir", store_dir,
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    line = proc.stdout.readline()
+    if "listening on" not in line:
+        proc.kill()
+        raise RuntimeError(f"cluster failed to start: {line!r}")
+    return proc, int(line.split(":")[-1].split()[0])
+
+
+def _stop(proc: subprocess.Popen) -> None:
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.communicate(timeout=DRAIN_DEADLINE)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.communicate()
+            raise RuntimeError("cluster did not drain cleanly")
+
+
+def _drive(port: int, jobs: list[tuple[str, dict]], threads: int) -> float:
+    """Submit jobs from a thread pool; wall seconds until every result."""
+    from repro.service.client import ServiceClient
+
+    failures: list[BaseException] = []
+    lock = threading.Lock()
+    queue = list(enumerate(jobs))
+
+    def worker() -> None:
+        try:
+            with ServiceClient("127.0.0.1", port, timeout=600.0) as client:
+                while True:
+                    with lock:
+                        if not queue:
+                            return
+                        _, (kind, payload) = queue.pop()
+                    result = client.submit_retry(kind, payload)
+                    assert result.ok, result.error
+        except BaseException as exc:
+            failures.append(exc)
+
+    pool = [threading.Thread(target=worker) for _ in range(threads)]
+    start = time.perf_counter()
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join(timeout=600)
+    wall = time.perf_counter() - start
+    if failures:
+        raise RuntimeError(f"batch failed: {failures[:3]}")
+    return wall
+
+
+def _bench_scaling(smoke: bool) -> dict:
+    """noop throughput at 1/2/4 backends (latency-bound, 1 worker each)."""
+    sleep_ms = 30 if smoke else 40
+    count = 24 if smoke else 48
+    fleet_sizes = (1, 2) if smoke else (1, 2, 4)
+    results: dict[str, dict] = {}
+    for backends in fleet_sizes:
+        jobs = [
+            ("noop", {"tag": f"scale-{backends}-{i}", "sleep_ms": sleep_ms})
+            for i in range(count)
+        ]
+        with tempfile.TemporaryDirectory(prefix="repro-bench-cluster-") as tmp:
+            proc, port = _start_cluster(
+                backends, f"{tmp}/cache", f"{tmp}/store"
+            )
+            try:
+                _drive(port, jobs[:4], threads=4)  # connection warm-up
+                wall = _drive(port, jobs[4:], threads=12)
+            finally:
+                _stop(proc)
+        done = count - 4
+        results[f"backends_{backends}"] = {
+            "jobs": done,
+            "wall_seconds": round(wall, 4),
+            "jobs_per_second": round(done / wall, 2),
+        }
+    base = results[f"backends_{fleet_sizes[0]}"]["jobs_per_second"]
+    top = results[f"backends_{fleet_sizes[-1]}"]["jobs_per_second"]
+    results["speedup_max_vs_1"] = round(top / base, 2)
+    results["sleep_ms"] = sleep_ms
+    return results
+
+
+def _bench_warm_run(smoke: bool) -> dict:
+    """Real run jobs: cold execution, then shared-store-served repeats."""
+    workloads = ("adpcm", "cnt", "fft", "lms") if smoke else (
+        "adpcm", "cnt", "crc", "fft", "fir", "lms", "mm", "srt"
+    )
+    jobs = [
+        ("run", {"workload": w, "instances": 6}) for w in workloads
+    ]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cluster-") as tmp:
+        proc, port = _start_cluster(2, f"{tmp}/cache", f"{tmp}/store")
+        try:
+            cold_wall = _drive(port, jobs, threads=4)
+            warm_wall = _drive(port, jobs, threads=4)
+        finally:
+            _stop(proc)
+    count = len(jobs)
+    return {
+        "backends": 2,
+        "batch_jobs": count,
+        "cold_wall_seconds": round(cold_wall, 4),
+        "cold_jobs_per_second": round(count / cold_wall, 2),
+        "warm_wall_seconds": round(warm_wall, 4),
+        "warm_jobs_per_second": round(count / warm_wall, 2),
+        "warm_speedup": round(cold_wall / warm_wall, 1),
+    }
+
+
+def _bench_fleet_coalescing() -> dict:
+    """Same digest, two connections, at once -> exactly one execution."""
+    from repro.service.client import ServiceClient
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cluster-") as tmp:
+        proc, port = _start_cluster(2, f"{tmp}/cache", f"{tmp}/store")
+        try:
+            payload = {"tag": "demo", "sleep_ms": 400}
+            job_ids: list[str] = []
+
+            def submit() -> None:
+                with ServiceClient("127.0.0.1", port, timeout=60.0) as c:
+                    result = c.submit("noop", payload)
+                    assert result.ok
+                    job_ids.append(result.job_id)
+
+            pool = [threading.Thread(target=submit) for _ in range(2)]
+            start = time.perf_counter()
+            for t in pool:
+                t.start()
+            for t in pool:
+                t.join(timeout=60)
+            wall = time.perf_counter() - start
+            with ServiceClient("127.0.0.1", port, timeout=60.0) as c:
+                coalesced = c.metric_value("repro_front_jobs_coalesced_total")
+        finally:
+            _stop(proc)
+    return {
+        "submissions": 2,
+        "distinct_front_jobs": len(set(job_ids)),
+        "coalesced_counter": coalesced,
+        "wall_seconds": round(wall, 4),
+        "one_execution": len(set(job_ids)) == 1 and coalesced == 1.0,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small batches and 1/2 backends only (for CI)",
+    )
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_speed.json"),
+        help="JSON file to merge the cluster section into",
+    )
+    args = parser.parse_args(argv)
+
+    section = {
+        "smoke": args.smoke,
+        "scaling": _bench_scaling(args.smoke),
+        "warm_run": _bench_warm_run(args.smoke),
+        "fleet_coalescing": _bench_fleet_coalescing(),
+        "note": (
+            "scaling uses latency-bound noop jobs (worker-side sleep) so "
+            "the serving layer is what is measured; CPU-bound run jobs "
+            "cannot scale past the host's core count "
+            f"(this host: {os.cpu_count()} CPU)"
+        ),
+    }
+    print(f"bench_cluster: {json.dumps(section, indent=2)}")
+
+    out = pathlib.Path(args.out)
+    report = json.loads(out.read_text()) if out.exists() else {}
+    report["cluster"] = section
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"bench_cluster: wrote cluster section to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    raise SystemExit(main())

@@ -1,0 +1,203 @@
+"""Cluster smoke: 1 front / 2 backends, coalescing, store, failover.
+
+CI gate for the sharded cluster (``repro serve --cluster``).  Boots one
+real front tier over two backend daemons and asserts, end to end:
+
+1. duplicate digests submitted over two client connections coalesce
+   fleet-wide (one execution, same front job id);
+2. distinct digests all complete and spread across the ring;
+3. a repeated ``run`` digest is served from the shared result store
+   without re-simulation;
+4. SIGKILL-ing the owning backend mid-job requeues the in-flight job on
+   its ring successor exactly once and the client still gets the result;
+5. SIGTERM drains the whole fleet cleanly.
+
+Budgeted well under 90 seconds.  Exits non-zero on any violation.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/cluster_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service import jobs as job_registry  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+from repro.service.ring import HashRing  # noqa: E402
+
+
+def check(condition: bool, what: str) -> None:
+    if not condition:
+        print(f"cluster_smoke: FAIL: {what}")
+        raise SystemExit(1)
+    print(f"cluster_smoke: ok: {what}")
+
+
+def start_cluster(tmp: str) -> tuple[subprocess.Popen, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--cluster", "2", "--jobs", "1",
+            "--cache-dir", f"{tmp}/cache", "--store-dir", f"{tmp}/store",
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    line = proc.stdout.readline()
+    if "listening on" not in line:
+        proc.kill()
+        raise SystemExit(f"cluster failed to start: {line!r}")
+    return proc, int(line.split(":")[-1].split()[0])
+
+
+def client(port: int) -> ServiceClient:
+    return ServiceClient("127.0.0.1", port, timeout=60.0)
+
+
+def noop_owner(tag: str, sleep_ms: int) -> str:
+    payload = job_registry.normalize(
+        "noop", {"tag": tag, "sleep_ms": sleep_ms}
+    )
+    return HashRing(["b0", "b1"]).owner(
+        job_registry.coalesce_key("noop", payload)
+    )
+
+
+def smoke_duplicate_digests(port: int) -> None:
+    payload = {"tag": "dup", "sleep_ms": 500}
+    results = []
+
+    def submit() -> None:
+        with client(port) as c:
+            results.append(c.submit("noop", payload))
+
+    pool = [threading.Thread(target=submit) for _ in range(2)]
+    start = time.perf_counter()
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join(timeout=60)
+    wall = time.perf_counter() - start
+    check(len(results) == 2 and all(r.ok for r in results), "duplicates ok")
+    check(
+        results[0].job_id == results[1].job_id,
+        "duplicate digests coalesced to one front job",
+    )
+    check(wall < 1.0, f"one execution, not two ({wall:.2f}s for 0.5s sleep)")
+    with client(port) as c:
+        check(
+            c.metric_value("repro_front_jobs_coalesced_total") == 1.0,
+            "front coalesce counter is 1",
+        )
+
+
+def smoke_distinct_digests(port: int) -> None:
+    jobs = [{"tag": f"distinct-{i}", "sleep_ms": 10} for i in range(8)]
+    owners = {noop_owner(p["tag"], p["sleep_ms"]) for p in jobs}
+    with client(port) as c:
+        for payload in jobs:
+            result = c.submit("noop", payload)
+            check(result.ok, f"distinct digest {payload['tag']} completed")
+    check(owners == {"b0", "b1"}, "distinct digests spread across the ring")
+
+
+def smoke_shared_store(port: int) -> None:
+    payload = {"workload": "crc", "scale": "tiny", "instances": 2}
+    with client(port) as c:
+        first = c.submit("run", payload)
+        check(first.ok, "cold run job completed")
+        start = time.perf_counter()
+        second = c.submit("run", payload)
+        wall = time.perf_counter() - start
+        check(second.ok and second.value == first.value, "repeat run matches")
+        check(wall < 0.5, f"repeat served from the store ({wall:.3f}s)")
+        check(
+            c.metric_value('repro_front_store_ops_total{op="hits"}') >= 1.0,
+            "front store hit counter advanced",
+        )
+
+
+def smoke_sigkill_failover(port: int) -> None:
+    with client(port) as c:
+        backends = {b["name"]: b for b in c.status().value["backends"]}
+    tag = next(
+        f"pin-{i}" for i in range(1000)
+        if noop_owner(f"pin-{i}", 3000) == "b0"
+    )
+    holder: dict[str, object] = {}
+
+    def submit() -> None:
+        with client(port) as c:
+            holder["result"] = c.submit("noop", {"tag": tag, "sleep_ms": 3000})
+
+    thread = threading.Thread(target=submit)
+    thread.start()
+    with client(port) as c:
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if c.status().value["jobs_by_state"].get("running"):
+                break
+            time.sleep(0.05)
+        else:
+            check(False, "pinned job started running")
+    time.sleep(0.2)
+    os.kill(int(backends["b0"]["pid"]), signal.SIGKILL)
+    thread.join(timeout=60)
+    result = holder.get("result")
+    check(result is not None and result.ok, "job survived the backend kill")
+    check(
+        result.attempts == 2,
+        f"requeued to the ring successor exactly once ({result.attempts})",
+    )
+    with client(port) as c:
+        check(
+            c.metric_value("repro_front_failovers_total") == 1.0,
+            "front failover counter is 1",
+        )
+        check(
+            c.submit("noop", {"tag": "after-kill", "sleep_ms": 1}).ok,
+            "fleet keeps serving on the survivor",
+        )
+
+
+def main() -> int:
+    started = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="repro-cluster-smoke-") as tmp:
+        proc, port = start_cluster(tmp)
+        try:
+            smoke_duplicate_digests(port)
+            smoke_distinct_digests(port)
+            smoke_shared_store(port)
+            smoke_sigkill_failover(port)
+        finally:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+                try:
+                    out, _ = proc.communicate(timeout=45)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.communicate()
+                    print("cluster_smoke: FAIL: fleet did not drain")
+                    return 1
+                check("drained" in out, "SIGTERM drained the fleet cleanly")
+    print(f"cluster_smoke: PASS in {time.perf_counter() - started:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

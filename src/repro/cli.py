@@ -23,8 +23,10 @@ Commands:
   entries).
 * ``serve``          — run the toolchain as a long-lived asyncio daemon
   (job queue, process worker pool, request coalescing, live metrics —
-  see docs/service.md).
-* ``submit``         — send one job (run/wcet/lint/experiment) to a
+  see docs/service.md).  ``--cluster N`` instead starts a digest-routed
+  front tier over N locally spawned backend daemons sharing one result
+  store (see docs/cluster.md).
+* ``submit``         — send one job (run/wcet/lint/experiment/noop) to a
   running service and print the result.
 * ``status``         — query a running service (``--metrics`` for the
   Prometheus-style text exposition).
@@ -249,6 +251,24 @@ def cmd_cache(args) -> int:
     from repro.snapshot import runcache
 
     directory = runcache.cache_dir()
+    if args.action == "stats" and args.store:
+        from repro.service.store import store_stats
+
+        stats = store_stats(
+            None if args.store_dir is None else pathlib.Path(args.store_dir)
+        )
+        rows = [
+            ["entries", str(stats["entries"])],
+            ["bytes", str(stats["bytes"])],
+            ["hits (fleet)", str(stats["hits"])],
+            ["misses (fleet)", str(stats["misses"])],
+            ["stores (fleet)", str(stats["stores"])],
+            ["hit rate", f"{stats['hit_rate']:.3f}"],
+            ["reporters", ", ".join(stats["reporters"]) or "-"],
+        ]
+        print(format_table(["shared-store statistic", "value"], rows))
+        print(f"# directory: {stats['directory']}")
+        return 0
     if args.action == "clear":
         tiers = runcache.cache_stats()["blockjit"]["tiers"]
         removed, freed = runcache.clear_cache()
@@ -300,8 +320,34 @@ def cmd_cache(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    """``serve``: run the async simulation service until SIGTERM."""
+    """``serve``: run the async simulation service until SIGTERM.
+
+    With ``--cluster N`` this process becomes the digest-routed front
+    tier instead: it spawns N backend daemons on free ports, routes jobs
+    to them over a consistent-hash ring, and serves the same protocol on
+    ``--host``/``--port`` (see docs/cluster.md).
+    """
     import asyncio
+
+    if args.cluster > 0:
+        from repro.service.cluster import run_cluster
+
+        run_cluster(
+            host=args.host,
+            port=args.port,
+            backends=args.cluster,
+            workers=args.jobs,
+            queue_depth=args.queue_depth,
+            timeout=args.timeout,
+            drain_grace=args.drain_grace,
+            cache_dir=args.cache_dir,
+            store_dir=args.store_dir,
+            quota_rate=args.quota_rate,
+            quota_burst=args.quota_burst,
+            age_seconds=args.age_seconds,
+            vnodes=args.vnodes,
+        )
+        return 0
 
     from repro.service.server import ServiceConfig, serve
 
@@ -313,6 +359,8 @@ def cmd_serve(args) -> int:
         default_timeout=args.timeout,
         drain_grace=args.drain_grace,
         cache_dir=args.cache_dir,
+        age_seconds=args.age_seconds,
+        store_dir=args.store_dir,
     )
     asyncio.run(serve(config))
     return 0
@@ -345,6 +393,8 @@ def _submit_payload(args) -> dict:
         }
     if args.kind == "lint":
         return {"workload": args.target, "scale": args.scale}
+    if args.kind == "noop":
+        return {"tag": args.target, "sleep_ms": args.sleep_ms}
     payload = {  # experiment
         "name": args.target,
         "scale": args.scale,
@@ -529,6 +579,19 @@ def build_parser() -> argparse.ArgumentParser:
             "'clear' deletes all entries"
         ),
     )
+    p.add_argument(
+        "--store",
+        action="store_true",
+        help=(
+            "with 'stats': report the fleet's shared result store "
+            "(entries, bytes, summed per-node hit/miss/store sidecars)"
+        ),
+    )
+    p.add_argument(
+        "--store-dir",
+        default=None,
+        help="shared-store directory for --store (default: REPRO_STORE_DIR)",
+    )
     p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser("serve", help="run the async simulation service")
@@ -565,15 +628,68 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="cache directory for workers (default: REPRO_CACHE_DIR)",
     )
+    p.add_argument(
+        "--cluster",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "run as a front tier over N locally spawned backend daemons "
+            "(0 = single node, the degenerate 1-ring case)"
+        ),
+    )
+    p.add_argument(
+        "--store-dir",
+        default=None,
+        help=(
+            "shared result-store directory (default: REPRO_STORE_DIR or "
+            "store/ inside the cache directory; single node: off unless set)"
+        ),
+    )
+    p.add_argument(
+        "--age-seconds",
+        type=float,
+        default=None,
+        help=(
+            "promote queue entries one priority level after waiting this "
+            "long (default: aging off)"
+        ),
+    )
+    p.add_argument(
+        "--quota-rate",
+        type=float,
+        default=0.0,
+        help=(
+            "cluster front: per-client submissions per second "
+            "(token bucket; 0 = unlimited)"
+        ),
+    )
+    p.add_argument(
+        "--quota-burst",
+        type=int,
+        default=8,
+        help="cluster front: per-client token-bucket burst (default 8)",
+    )
+    p.add_argument(
+        "--vnodes",
+        type=int,
+        default=64,
+        help="cluster front: virtual nodes per backend on the ring",
+    )
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("submit", help="submit one job to a running service")
     p.add_argument(
-        "kind", choices=["run", "wcet", "lint", "experiment"], help="job kind"
+        "kind",
+        choices=["run", "wcet", "lint", "experiment", "noop"],
+        help="job kind ('noop' is a synthetic sleep+echo job for probing)",
     )
     p.add_argument(
         "target",
-        help="workload name (run/wcet/lint) or experiment name (experiment)",
+        help=(
+            "workload name (run/wcet/lint), experiment name (experiment), "
+            "or tag (noop)"
+        ),
     )
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=7341)
@@ -598,6 +714,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run jobs: induced pipeline-flush rate in [0, 1]",
     )
     p.add_argument("--freq", type=float, default=1000.0, help="wcet jobs: MHz")
+    p.add_argument(
+        "--sleep-ms",
+        type=int,
+        default=0,
+        help="noop jobs: milliseconds the worker sleeps (default 0)",
+    )
     p.add_argument(
         "--no-jit",
         action="store_true",

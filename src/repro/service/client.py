@@ -4,19 +4,22 @@ One TCP connection, synchronous request/response over the line protocol.
 ``submit(..., wait=True)`` streams progress events (``queued`` /
 ``started`` / ``requeued``) to an optional callback and returns the
 final result; ``submit_retry`` additionally honors the server's
-``queue_full`` backpressure by sleeping for the advertised
-``retry_after`` and resubmitting, which is the polite way to drive the
-service at saturation.
+``queue_full`` (and the cluster front's ``quota``) backpressure by
+sleeping out a *jittered* multiple of the advertised ``retry_after``
+and resubmitting, which is the polite way to drive the service at
+saturation without synchronized clients thundering-herd-ing a
+recovering daemon.
 
 Transport or server-side failures surface as
 :class:`repro.errors.ServiceError` with the machine-readable ``code``
-(``queue_full``, ``draining``, ``timeout``, ``worker_crash``,
-``job_error``, ``bad_request``) so callers can branch without string
-matching.
+(``queue_full``, ``quota``, ``draining``, ``timeout``, ``worker_crash``,
+``job_error``, ``bad_request``, ``backend_unavailable``) so callers can
+branch without string matching.
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 from types import TracebackType
@@ -41,6 +44,7 @@ class ServiceClient:
         host: str = "127.0.0.1",
         port: int = 7341,
         timeout: float = 600.0,
+        jitter: random.Random | None = None,
     ):
         self.host = host
         self.port = port
@@ -48,6 +52,7 @@ class ServiceClient:
         self._sock: socket.socket | None = None
         self._file: Any = None
         self._seq = 0
+        self._jitter = jitter if jitter is not None else random.Random()
 
     # -- connection management --------------------------------------------------
 
@@ -173,8 +178,23 @@ class ServiceClient:
             if response.ok:
                 return response
             raise ServiceError(
-                response.error or "job failed", code=response.code
+                response.error or "job failed",
+                code=response.code,
+                retry_after=response.retry_after,
             )
+
+    def _retry_sleep_seconds(self, retry_after: float | None) -> float:
+        """Jittered backoff for one ``queue_full``/``quota`` rejection.
+
+        The server hands every rejected client the same EWMA-derived
+        ``retry_after``, so un-jittered clients resubmit in lockstep and
+        thundering-herd a recovering daemon — each wave refills the queue
+        at once and most of the herd bounces again.  Drawing uniformly
+        from ``[0.5, 1.5) * retry_after`` decorrelates the waves while
+        keeping the mean at the server's hint.
+        """
+        base = retry_after if retry_after else 0.25
+        return base * (0.5 + self._jitter.random())
 
     def submit_retry(
         self,
@@ -186,7 +206,8 @@ class ServiceClient:
         max_attempts: int = 5,
         on_event: Callable[[Response], None] | None = None,
     ) -> Response:
-        """:meth:`submit`, sleeping out ``queue_full`` backpressure."""
+        """:meth:`submit`, sleeping out ``queue_full``/``quota``
+        backpressure with jittered backoff."""
         last: ServiceError | None = None
         for _ in range(max_attempts):
             try:
@@ -198,10 +219,10 @@ class ServiceClient:
                     on_event=on_event,
                 )
             except ServiceError as exc:
-                if exc.code != "queue_full":
+                if exc.code not in ("queue_full", "quota"):
                     raise
                 last = exc
-                time.sleep(exc.retry_after or 0.25)
+                time.sleep(self._retry_sleep_seconds(exc.retry_after))
         assert last is not None
         raise last
 

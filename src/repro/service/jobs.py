@@ -44,6 +44,11 @@ SCALES = ("tiny", "default", "paper")
 #: Experiment drivers reachable through the ``experiment`` job kind.
 EXPERIMENT_NAMES = ("table3", "figure2", "figure3", "figure4", "ablations")
 
+#: Kinds whose results are pure functions of the normalized payload —
+#: eligible for the shared result store (see repro.service.store).
+#: ``noop`` is deliberately absent: it measures the serving path itself.
+CACHEABLE_KINDS = frozenset({"run", "wcet", "lint", "experiment"})
+
 
 def _known_workloads() -> tuple[str, ...]:
     from repro.workloads.suite import EXTRA_WORKLOAD_NAMES, WORKLOAD_NAMES
@@ -230,11 +235,31 @@ def _normalize_experiment(payload: JSONDict) -> JSONDict:
     }
 
 
+def _normalize_noop(payload: JSONDict) -> JSONDict:
+    """Synthetic job: optional sleep plus payload echo.
+
+    ``tag`` keys the coalesce digest, so two noops coalesce exactly when
+    their tags (and sleeps) match — which is what cluster tests and the
+    serving-layer benchmarks rely on.
+    """
+    _check_no_extras(payload, frozenset({"tag", "sleep_ms", "echo"}))
+    tag = payload.get("tag", "")
+    _require(isinstance(tag, str), "tag must be a string")
+    echo = payload.get("echo", {})
+    _require(isinstance(echo, dict), "echo must be a JSON object")
+    return {
+        "tag": str(tag),
+        "sleep_ms": _int_field(payload, "sleep_ms", 0, 0, 60_000),
+        "echo": dict(echo),
+    }
+
+
 _NORMALIZERS: dict[str, Callable[[JSONDict], JSONDict]] = {
     "run": _normalize_run,
     "wcet": _normalize_wcet,
     "lint": _normalize_lint,
     "experiment": _normalize_experiment,
+    "noop": _normalize_noop,
 }
 
 
@@ -389,11 +414,25 @@ def _execute_experiment(payload: JSONDict) -> JSONDict:
     }
 
 
+def _execute_noop(payload: JSONDict) -> JSONDict:
+    import time
+
+    sleep_ms = int(payload["sleep_ms"])
+    if sleep_ms:
+        time.sleep(sleep_ms / 1000.0)
+    return {
+        "tag": payload["tag"],
+        "slept_ms": sleep_ms,
+        "echo": payload["echo"],
+    }
+
+
 _EXECUTORS: dict[str, Callable[[JSONDict], JSONDict]] = {
     "run": _execute_run,
     "wcet": _execute_wcet,
     "lint": _execute_lint,
     "experiment": _execute_experiment,
+    "noop": _execute_noop,
 }
 
 
@@ -406,6 +445,7 @@ def execute(kind: str, payload: JSONDict) -> JSONDict:
 
 
 __all__ = [
+    "CACHEABLE_KINDS",
     "EXPERIMENT_NAMES",
     "SCALES",
     "coalesce_key",

@@ -180,6 +180,36 @@ def _format(value: float) -> str:
     return repr(value)
 
 
+def relabel_exposition(text: str, **labels: str) -> str:
+    """Inject labels into every sample line of a text exposition.
+
+    The cluster front tier aggregates backend ``/metrics`` expositions by
+    stamping each backend's samples with a ``backend="bN"`` label, so one
+    scrape of the front shows per-backend queue depths, per-kind latency
+    histograms, and cache counters side by side.  ``# HELP``/``# TYPE``
+    comments are dropped (the front documents its own collectors; the
+    relabeled series would otherwise redeclare the same names).
+    """
+    if not labels:
+        return text
+    suffix = ",".join(
+        f'{k}="{v}"' for k, v in sorted(labels.items())
+    )
+    out: list[str] = []
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            continue
+        if name_part.endswith("}"):
+            merged = name_part[:-1] + "," + suffix + "}"
+        else:
+            merged = name_part + "{" + suffix + "}"
+        out.append(f"{merged} {value_part}")
+    return "\n".join(out) + ("\n" if out else "")
+
+
 class Registry:
     """Named collectors plus the text exposition over all of them."""
 
@@ -248,6 +278,14 @@ class ServiceMetrics:
         self.jobs_requeued = reg.counter(
             "repro_jobs_requeued_total",
             "Jobs requeued after their worker crashed mid-run.",
+        )
+        self.jobs_aged = reg.counter(
+            "repro_jobs_aged_total",
+            "Queue entries promoted one priority level by aging.",
+        )
+        self.store_ops = reg.counter(
+            "repro_store_ops_total",
+            "Shared result-store hits/misses/stores for this node.",
         )
         self.queue_depth = reg.gauge(
             "repro_queue_depth", "Jobs currently waiting in the queue."
@@ -344,4 +382,5 @@ __all__ = [
     "LATENCY_BUCKETS",
     "Registry",
     "ServiceMetrics",
+    "relabel_exposition",
 ]

@@ -42,8 +42,11 @@ PROTOCOL_VERSION = 1
 #: Request types the service understands.
 REQUEST_TYPES = frozenset({"submit", "status", "metrics", "ping"})
 
-#: Job kinds accepted at launch.
-JOB_KINDS = frozenset({"run", "wcet", "lint", "experiment"})
+#: Job kinds accepted at launch.  ``noop`` is a synthetic job (optional
+#: sleep + payload echo) used for health probes, failover tests, and
+#: serving-layer benchmarks — it exercises routing, queueing, and
+#: coalescing without simulating anything.
+JOB_KINDS = frozenset({"run", "wcet", "lint", "experiment", "noop"})
 
 #: Response/event types the client understands.
 RESPONSE_TYPES = frozenset(
@@ -102,13 +105,22 @@ class JobSpec:
 
 @dataclass(frozen=True)
 class Request:
-    """A client request (one line on the wire)."""
+    """A client request (one line on the wire).
+
+    ``client`` is an optional submit extension used inside the fleet:
+    the cluster front tier multiplexes many downstream connections over
+    one TCP connection per backend, and forwards each submitter's
+    identity so the backend's fair queue keeps round-robining across
+    *real* clients instead of seeing the front as one client.  Ordinary
+    clients never set it.
+    """
 
     type: str
     id: str
     job: JobSpec | None = None
     wait: bool = True
     job_id: str | None = None
+    client: str | None = None
 
     def to_wire(self) -> JSONDict:
         msg: JSONDict = {"v": PROTOCOL_VERSION, "type": self.type, "id": self.id}
@@ -118,6 +130,8 @@ class Request:
             msg["wait"] = self.wait
         if self.job_id is not None:
             msg["job_id"] = self.job_id
+        if self.client is not None:
+            msg["client"] = self.client
         return msg
 
 
@@ -144,6 +158,7 @@ class Response:
     coalesced: bool | None = None
     stage: str | None = None
     text: str | None = None
+    backend: str | None = None
 
     def to_wire(self) -> JSONDict:
         msg: JSONDict = {"v": PROTOCOL_VERSION}
@@ -199,7 +214,13 @@ def decode_request(line: bytes | str) -> Request:
     job_id = raw.get("job_id")
     if job_id is not None and not isinstance(job_id, str):
         raise ProtocolError("job_id must be a string")
-    return Request(type=str(rtype), id=rid, job=job, wait=wait, job_id=job_id)
+    client = raw.get("client")
+    if client is not None and not isinstance(client, str):
+        raise ProtocolError("client must be a string")
+    return Request(
+        type=str(rtype), id=rid, job=job, wait=wait, job_id=job_id,
+        client=client,
+    )
 
 
 def decode_response(line: bytes | str) -> Response:

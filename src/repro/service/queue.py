@@ -1,4 +1,4 @@
-"""Bounded priority job queue with per-client round-robin fairness.
+"""Bounded priority job queue with per-client fairness and priority aging.
 
 Ordering is two-level: strict priority between levels (higher ``priority``
 values pop first), round-robin across clients *within* a level (so one
@@ -12,13 +12,25 @@ server translates that into a ``queue_full`` response with a
 ``retry_after`` hint derived from recent job latency.  Requeues after a
 worker crash use ``force=True`` so recovery is never blocked by
 backpressure (the job already held a queue slot once).
+
+**Priority aging** (``age_seconds``) bounds starvation under sustained
+high-priority load: an entry that has waited ``age_seconds`` is promoted
+one priority level (up to ``age_boost_limit`` boosts, each after another
+``age_seconds`` of waiting), so a steady stream of priority-5 work can
+delay priority-0 work but never park it forever.  Aging is applied
+lazily on :meth:`pop`, uses an injectable ``clock`` for deterministic
+tests, and never changes the queue's size — promotions move entries, they
+do not admit or drop them.  Promoted entries join the back of their
+client's FIFO at the higher level, so aging is approximate within a
+level but strict across the starvation bound.
 """
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Generic, TypeVar
+from typing import Callable, Generic, TypeVar
 
 from repro.errors import ReproError
 
@@ -35,22 +47,44 @@ class QueueFullError(ReproError):
 
 
 @dataclass
+class _Entry(Generic[T]):
+    """One queued item plus the bookkeeping aging needs."""
+
+    item: T
+    enqueued_at: float
+    boosts: int = 0
+
+
+@dataclass
 class _Level(Generic[T]):
     """One priority level: per-client FIFOs plus the round-robin rotation."""
 
-    fifos: dict[str, deque[T]] = field(default_factory=dict)
+    fifos: dict[str, deque[_Entry[T]]] = field(default_factory=dict)
     rotation: deque[str] = field(default_factory=deque)
 
 
 class FairPriorityQueue(Generic[T]):
     """Priority + per-client-fairness queue with a hard depth bound."""
 
-    def __init__(self, maxsize: int = 64):
+    def __init__(
+        self,
+        maxsize: int = 64,
+        *,
+        age_seconds: float | None = None,
+        age_boost_limit: int = 3,
+        clock: Callable[[], float] = time.monotonic,
+    ):
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1")
+        if age_seconds is not None and age_seconds <= 0:
+            raise ValueError("age_seconds must be positive")
         self.maxsize = maxsize
+        self.age_seconds = age_seconds
+        self.age_boost_limit = age_boost_limit
+        self._clock = clock
         self._levels: dict[int, _Level[T]] = {}
         self._size = 0
+        self._aged_pending = 0
 
     def __len__(self) -> int:
         return self._size
@@ -66,30 +100,73 @@ class FairPriorityQueue(Generic[T]):
         """
         if self._size >= self.maxsize and not force:
             raise QueueFullError(self._size, self.maxsize)
+        self._insert(
+            _Entry(item, self._clock()), client=client, priority=priority
+        )
+        self._size += 1
+
+    def _insert(self, entry: _Entry[T], *, client: str, priority: int) -> None:
+        """Place an entry without touching the size bound (push + aging)."""
         level = self._levels.setdefault(priority, _Level())
         fifo = level.fifos.get(client)
         if fifo is None:
             fifo = level.fifos[client] = deque()
             level.rotation.append(client)
-        fifo.append(item)
-        self._size += 1
+        fifo.append(entry)
+
+    def _age(self) -> None:
+        """Promote every entry that has out-waited its current level."""
+        if self.age_seconds is None or self._size == 0:
+            return
+        now = self._clock()
+        moves: list[tuple[int, str, _Entry[T]]] = []
+        for priority, level in list(self._levels.items()):
+            for client, fifo in list(level.fifos.items()):
+                keep: deque[_Entry[T]] = deque()
+                for entry in fifo:
+                    waited = now - entry.enqueued_at
+                    due = self.age_seconds * (entry.boosts + 1)
+                    if entry.boosts < self.age_boost_limit and waited >= due:
+                        moves.append((priority + 1, client, entry))
+                    else:
+                        keep.append(entry)
+                if len(keep) != len(fifo):
+                    if keep:
+                        level.fifos[client] = keep
+                    else:
+                        del level.fifos[client]
+                        level.rotation.remove(client)
+            if not level.rotation:
+                del self._levels[priority]
+        for priority, client, entry in moves:
+            entry.boosts += 1
+            self._insert(entry, client=client, priority=priority)
+        self._aged_pending += len(moves)
+
+    def consume_aged(self) -> int:
+        """Promotions since the last call (for the metrics counter)."""
+        count = self._aged_pending
+        self._aged_pending = 0
+        return count
 
     def pop(self) -> T | None:
         """Dequeue the next item, or ``None`` when empty.
 
-        Highest priority level first; within it, the client at the front
-        of the rotation yields one job and moves to the back (round
-        robin).  Clients with no remaining jobs leave the rotation.
+        Applies pending priority aging, then: highest priority level
+        first; within it, the client at the front of the rotation yields
+        one job and moves to the back (round robin).  Clients with no
+        remaining jobs leave the rotation.
         """
         if self._size == 0:
             return None
+        self._age()
         priority = max(
             p for p, level in self._levels.items() if level.rotation
         )
         level = self._levels[priority]
         client = level.rotation[0]
         fifo = level.fifos[client]
-        item = fifo.popleft()
+        entry = fifo.popleft()
         self._size -= 1
         level.rotation.popleft()
         if fifo:
@@ -98,7 +175,7 @@ class FairPriorityQueue(Generic[T]):
             del level.fifos[client]
         if not level.rotation:
             del self._levels[priority]
-        return item
+        return entry.item
 
     def clients(self) -> list[str]:
         """Distinct clients currently holding queued jobs (sorted)."""

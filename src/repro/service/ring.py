@@ -1,0 +1,146 @@
+"""Consistent-hash ring: deterministic digest -> backend placement.
+
+The cluster front tier routes every job by its coalesce digest (see
+:func:`repro.service.jobs.coalesce_key`), so equal payloads always land
+on the same backend and coalesce *fleet-wide* — the sharding itself is
+what makes cluster-level single-flight sound.  The ring gives that
+routing the two properties the fleet needs:
+
+* **Deterministic placement** — node positions are SHA-256 points of
+  ``"node|vnode"`` strings, so every front tier (and every restart)
+  derives the identical ring from the same member list.  No coordination
+  service, no persisted assignment table.
+* **Minimal remap on membership change** — with ``V`` virtual nodes per
+  member, adding or removing one member moves only the keys in the arcs
+  it owns (≈ ``K/N`` of ``K`` keys at ``N`` nodes); every other key keeps
+  its owner, which preserves both backend run-cache locality and any
+  in-flight coalescing.
+
+:meth:`HashRing.preference` is the failover order: the owner first, then
+each distinct successor clockwise.  When a backend dies or its circuit
+breaker opens, the front retries on the next node of the key's
+preference list — deterministic, and the same for every key the dead
+node owned.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from collections.abc import Iterable
+
+#: Virtual nodes per member.  64 keeps ownership within roughly +-25% of
+#: fair share (tested) while the ring stays small enough to rebuild on
+#: every membership change.
+DEFAULT_VNODES = 64
+
+#: The ring is the 64-bit space of truncated SHA-256 digests.
+_SPACE = 1 << 64
+
+
+def _point(label: str) -> int:
+    """Deterministic position on the ring for a label."""
+    digest = hashlib.sha256(label.encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def key_point(key: str) -> int:
+    """Ring position of a job key (re-hashed for uniformity)."""
+    return _point("key|" + key)
+
+
+class HashRing:
+    """Consistent-hash ring over named nodes with virtual nodes."""
+
+    def __init__(self, nodes: Iterable[str] = (), vnodes: int = DEFAULT_VNODES):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._nodes: set[str] = set()
+        self._points: list[int] = []
+        self._owners: list[str] = []
+        for node in nodes:
+            self.add_node(node)
+
+    # -- membership -------------------------------------------------------------
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        """Current members, sorted (stable for display and tests)."""
+        return tuple(sorted(self._nodes))
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def add_node(self, node: str) -> None:
+        """Join ``node``; only keys in its new arcs change owner."""
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        self._rebuild()
+
+    def remove_node(self, node: str) -> None:
+        """Leave ``node``; only keys it owned change owner (to their
+        clockwise successors)."""
+        if node not in self._nodes:
+            return
+        self._nodes.remove(node)
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        pairs = sorted(
+            (_point(f"{node}|{i}"), node)
+            for node in self._nodes
+            for i in range(self.vnodes)
+        )
+        self._points = [p for p, _ in pairs]
+        self._owners = [n for _, n in pairs]
+
+    # -- lookup -----------------------------------------------------------------
+
+    def owner(self, key: str) -> str:
+        """The node owning ``key`` (first vnode clockwise of its point)."""
+        if not self._nodes:
+            raise ValueError("ring has no nodes")
+        index = bisect.bisect_right(self._points, key_point(key))
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+    def preference(self, key: str, count: int | None = None) -> list[str]:
+        """Failover order for ``key``: owner, then distinct successors.
+
+        Walking clockwise from the key's point yields each member exactly
+        once; ``count`` truncates the list (default: every member).
+        """
+        if not self._nodes:
+            raise ValueError("ring has no nodes")
+        want = len(self._nodes) if count is None else min(count, len(self._nodes))
+        start = bisect.bisect_right(self._points, key_point(key))
+        order: list[str] = []
+        seen: set[str] = set()
+        for offset in range(len(self._owners)):
+            node = self._owners[(start + offset) % len(self._owners)]
+            if node not in seen:
+                seen.add(node)
+                order.append(node)
+                if len(order) == want:
+                    break
+        return order
+
+    def ownership(self) -> dict[str, float]:
+        """Fraction of the key space each node owns (sums to 1.0)."""
+        if not self._nodes:
+            return {}
+        arcs: dict[str, int] = {node: 0 for node in self._nodes}
+        points = self._points
+        for i, point in enumerate(points):
+            previous = points[i - 1] if i else points[-1] - _SPACE
+            arcs[self._owners[i]] += point - previous
+        return {node: arc / _SPACE for node, arc in sorted(arcs.items())}
+
+
+__all__ = ["DEFAULT_VNODES", "HashRing", "key_point"]

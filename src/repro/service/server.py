@@ -28,14 +28,17 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import os
 import signal
 import time
 from collections.abc import Iterator
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.errors import ProtocolError
 from repro.service import jobs as job_registry
 from repro.service.metrics import ServiceMetrics
+from repro.service.store import ResultStore
 from repro.service.protocol import (
     JobSpec,
     JSONDict,
@@ -55,7 +58,13 @@ from repro.service.workers import (
 
 @dataclass(frozen=True)
 class ServiceConfig:
-    """Daemon knobs (all exposed as ``repro serve`` flags)."""
+    """Daemon knobs (all exposed as ``repro serve`` flags).
+
+    ``age_seconds`` enables priority aging in the fair queue (None =
+    off); ``store_dir`` attaches the node to a shared result store so
+    completed results are served before forking a worker — in cluster
+    mode every backend shares the front tier's store.
+    """
 
     host: str = "127.0.0.1"
     port: int = 7341
@@ -65,6 +74,8 @@ class ServiceConfig:
     drain_grace: float = 30.0
     history_limit: int = 512
     cache_dir: str | None = None
+    age_seconds: float | None = None
+    store_dir: str | None = None
 
 
 @dataclass
@@ -110,8 +121,13 @@ class ReproService:
         self.config = config
         self.metrics = ServiceMetrics()
         self.queue: FairPriorityQueue[JobRecord] = FairPriorityQueue(
-            config.queue_depth
+            config.queue_depth, age_seconds=config.age_seconds
         )
+        self.store: ResultStore | None = None
+        if config.store_dir is not None:
+            self.store = ResultStore(
+                Path(config.store_dir), owner=f"backend-{os.getpid()}"
+            )
         self.pool = WorkerPool(config.workers)
         self.host = config.host
         self.port = config.port
@@ -221,6 +237,25 @@ class ReproService:
             existing.coalesced_count += 1
             self.metrics.jobs_coalesced.inc()
             return existing, True
+        stored = self._store_lookup(spec.kind, payload, key)
+        if stored is not None:
+            now = time.monotonic()
+            record = JobRecord(
+                job_id=self._next_job_id(),
+                spec=spec,
+                payload=payload,
+                key=key,
+                client=client,
+                state="done",
+                result=stored,
+                submitted_at=now,
+                finished_at=now,
+            )
+            self._jobs[record.job_id] = record
+            self._trim_history()
+            self.metrics.jobs_submitted.inc(kind=spec.kind)
+            self.metrics.jobs_completed.inc(kind=spec.kind, outcome="store")
+            return record, False
         record = JobRecord(
             job_id=self._next_job_id(),
             spec=spec,
@@ -253,6 +288,20 @@ class ReproService:
         self._queue_event.set()
         return record, False
 
+    def _store_lookup(
+        self, kind: str, payload: JSONDict, key: str
+    ) -> JSONDict | None:
+        """Shared-store result for an eligible submission, else None."""
+        if (
+            self.store is None
+            or kind not in job_registry.CACHEABLE_KINDS
+            or payload.get("no_cache")
+        ):
+            return None
+        value = self.store.get(kind, key)
+        self.metrics.store_ops.inc(op="hits" if value is not None else "misses")
+        return value
+
     def _trim_history(self) -> None:
         """Drop the oldest *finished* jobs beyond ``history_limit``."""
         excess = len(self._jobs) - self.config.history_limit
@@ -277,6 +326,9 @@ class ReproService:
                     self._queue_event.clear()
                     await self._queue_event.wait()
             self.metrics.queue_depth.set(len(self.queue))
+            aged = self.queue.consume_aged()
+            if aged:
+                self.metrics.jobs_aged.inc(aged)
             task = asyncio.create_task(self._execute(record))
             self._exec_tasks.add(task)
             task.add_done_callback(self._execution_finished)
@@ -353,6 +405,16 @@ class ReproService:
         self.metrics.jobs_completed.inc(kind=record.spec.kind, outcome=outcome)
         if self._inflight_keys.get(record.key) is record:
             del self._inflight_keys[record.key]
+        if (
+            error is None
+            and record.result is not None
+            and self.store is not None
+            and record.spec.kind in job_registry.CACHEABLE_KINDS
+            and not record.payload.get("no_cache")
+        ):
+            self.store.put(record.spec.kind, record.key, record.result)
+            self.metrics.store_ops.inc(op="stores")
+            self.store.flush_stats()
         for request_id, queue in record.subscribers:
             queue.put_nowait(
                 Response(
@@ -437,15 +499,16 @@ class ReproService:
             writer.write(encode(self._status_response(request)))
             await writer.drain()
             return
-        # submit
-        outcome = self._submit(request, client)
+        # submit (the front tier forwards the real submitter's identity)
+        outcome = self._submit(request, request.client or client)
         if isinstance(outcome, Response):
             writer.write(encode(outcome))
             await writer.drain()
             return
         record, coalesced = outcome
+        terminal = record.state in ("done", "failed")
         inbox: asyncio.Queue[Response] | None = None
-        if request.wait:
+        if request.wait and not terminal:
             inbox = asyncio.Queue()
             record.subscribers.append((request.id, inbox))
         writer.write(
@@ -460,6 +523,24 @@ class ReproService:
             )
         )
         await writer.drain()
+        if terminal:  # store hit: the result already exists
+            if request.wait:
+                writer.write(
+                    encode(
+                        Response(
+                            type="result",
+                            id=request.id,
+                            job_id=record.job_id,
+                            ok=record.error is None,
+                            value=record.result,
+                            error=record.error,
+                            code=record.error_code,
+                            attempts=record.attempts,
+                        )
+                    )
+                )
+                await writer.drain()
+            return
         if inbox is None:
             return
         while True:
@@ -492,6 +573,7 @@ class ReproService:
             "workers": self.pool.info(),
             "worker_restarts": self.pool.restarts,
             "metrics": self.metrics.snapshot(),
+            "store": None if self.store is None else self.store.snapshot(),
         }
         return Response(type="status", id=request.id, value=summary)
 

@@ -24,6 +24,14 @@ Failure handling:
 Blocking pipe reads are pushed onto the default thread-pool executor so
 the asyncio server stays responsive; killing the child closes its pipe
 end, which unblocks any reader thread with ``EOFError``.
+
+Orphan hygiene: with the fork start method every worker inherits copies
+of the parent-side pipe fds that already exist (its own and its elder
+siblings'), which would keep the socketpairs from ever reaching EOF if
+the *server* process is SIGKILLed — the orphaned workers would block in
+``recv`` forever.  Workers therefore close those inherited fds on entry
+and run a parent-death watchdog thread that exits the process the
+moment ``getppid`` stops answering with the server's pid.
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ from __future__ import annotations
 import asyncio
 import multiprocessing
 import os
+import threading
 import time
 from multiprocessing.connection import Connection
 from multiprocessing.context import BaseContext
@@ -69,10 +78,43 @@ def _pick_context() -> BaseContext:
     )
 
 
-def _worker_main(conn: Connection) -> None:
-    """Child-process loop: execute jobs until shutdown or EOF."""
+def _is_fork(ctx: BaseContext) -> bool:
+    return str(getattr(ctx, "_name", "spawn")) == "fork"
+
+
+#: How often the worker checks that its parent is still alive.
+_WATCHDOG_INTERVAL = 1.0
+
+
+def _parent_watchdog(parent_pid: int) -> None:
+    """Exit hard once the parent dies (SIGKILL leaves no other signal)."""
+    while True:
+        if os.getppid() != parent_pid:
+            os._exit(1)
+        time.sleep(_WATCHDOG_INTERVAL)
+
+
+def _worker_main(
+    conn: Connection,
+    stale_fds: tuple[int, ...] = (),
+    parent_pid: int | None = None,
+) -> None:
+    """Child-process loop: execute jobs until shutdown, EOF, or orphaning."""
     from repro.service import jobs as job_registry
     from repro.snapshot import runcache
+
+    for fd in stale_fds:  # inherited parent-side pipe ends (fork only)
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+    if parent_pid is not None:
+        threading.Thread(
+            target=_parent_watchdog,
+            args=(parent_pid,),
+            daemon=True,
+            name="parent-watchdog",
+        ).start()
 
     while True:
         try:
@@ -111,12 +153,23 @@ def _worker_main(conn: Connection) -> None:
 class WorkerHandle:
     """One worker process plus the server's end of its pipe."""
 
-    def __init__(self, index: int, ctx: BaseContext):
+    def __init__(
+        self,
+        index: int,
+        ctx: BaseContext,
+        stale_fds: tuple[int, ...] = (),
+    ):
         self.index = index
         parent_conn, child_conn = ctx.Pipe(duplex=True)
         self.conn: Connection = parent_conn
+        if _is_fork(ctx):
+            # The child also inherits a copy of *this* pipe's parent end;
+            # it must close it or its own recv can never see EOF.
+            stale_fds = stale_fds + (parent_conn.fileno(),)
         self.process: BaseProcess = ctx.Process(
-            target=_worker_main, args=(child_conn,), daemon=True,
+            target=_worker_main,
+            args=(child_conn, stale_fds, os.getpid()),
+            daemon=True,
             name=f"repro-worker-{index}",
         )
         self.process.start()
@@ -188,7 +241,16 @@ class WorkerPool:
             self._idle.put_nowait(handle)
 
     def _spawn(self) -> WorkerHandle:
-        handle = WorkerHandle(self._next_index, self._ctx)
+        stale: list[int] = []
+        if _is_fork(self._ctx):
+            # Elder siblings' parent-side pipe ends, inherited at fork:
+            # closed in the child so a sibling's EOF semantics survive.
+            for other in self._handles:
+                try:
+                    stale.append(other.conn.fileno())
+                except (OSError, ValueError):
+                    pass
+        handle = WorkerHandle(self._next_index, self._ctx, tuple(stale))
         self._next_index += 1
         self._handles.append(handle)
         return handle

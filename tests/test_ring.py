@@ -1,0 +1,101 @@
+"""Unit tests for the consistent-hash ring (cluster digest routing).
+
+The ring is what makes fleet-wide coalescing sound: identical digests
+must land on identical backends, from any front tier, after any restart.
+These tests pin the three properties the cluster depends on:
+
+* placement determinism — two independently built rings agree;
+* balance — at 64 vnodes, each of 3 nodes owns its fair share ±25%;
+* minimal remap — a single join/leave moves only the keys the changed
+  node gains/loses (≈ K/N), and every moved key moves for that reason.
+"""
+
+from __future__ import annotations
+
+from repro.service.ring import DEFAULT_VNODES, HashRing, key_point
+
+KEYS = [f"digest-{i:05d}" for i in range(10_000)]
+
+
+def test_placement_is_deterministic():
+    a = HashRing(["b0", "b1", "b2"])
+    b = HashRing(["b2", "b0", "b1"])  # insertion order must not matter
+    assert a.nodes == b.nodes == ("b0", "b1", "b2")
+    for key in KEYS[:1000]:
+        assert a.owner(key) == b.owner(key)
+        assert a.preference(key) == b.preference(key)
+
+
+def test_preference_starts_at_owner_and_covers_all_nodes():
+    ring = HashRing(["b0", "b1", "b2", "b3"])
+    for key in KEYS[:200]:
+        order = ring.preference(key)
+        assert order[0] == ring.owner(key)
+        assert sorted(order) == ["b0", "b1", "b2", "b3"]
+    assert ring.preference(KEYS[0], count=2) == ring.preference(KEYS[0])[:2]
+
+
+def test_balance_within_25_percent_at_default_vnodes():
+    nodes = ["b0", "b1", "b2"]
+    ring = HashRing(nodes, vnodes=DEFAULT_VNODES)
+    counts = {node: 0 for node in nodes}
+    for key in KEYS:
+        counts[ring.owner(key)] += 1
+    fair = len(KEYS) / len(nodes)
+    for node, count in counts.items():
+        assert abs(count - fair) / fair < 0.25, (node, count, fair)
+    # Arc-based ownership fractions agree with the empirical counts.
+    ownership = ring.ownership()
+    assert abs(sum(ownership.values()) - 1.0) < 1e-9
+    for node in nodes:
+        assert abs(ownership[node] - counts[node] / len(KEYS)) < 0.05
+
+
+def test_single_join_moves_only_keys_the_new_node_gains():
+    before = HashRing(["b0", "b1", "b2"])
+    owners_before = {key: before.owner(key) for key in KEYS}
+    after = HashRing(["b0", "b1", "b2"])
+    after.add_node("b3")
+    moved = 0
+    for key in KEYS:
+        owner = after.owner(key)
+        if owner != owners_before[key]:
+            moved += 1
+            # A key only changes owner by moving TO the new node.
+            assert owner == "b3"
+    # ~K/N keys move (b3's fair share of 4 nodes), never wildly more.
+    assert 0 < moved <= len(KEYS) / 4 * 1.35
+
+
+def test_single_leave_moves_only_the_dead_nodes_keys():
+    before = HashRing(["b0", "b1", "b2", "b3"])
+    owners_before = {key: before.owner(key) for key in KEYS}
+    after = HashRing(["b0", "b1", "b2", "b3"])
+    after.remove_node("b1")
+    for key in KEYS:
+        if owners_before[key] == "b1":
+            # Orphaned keys land on their old first successor: exactly
+            # the node the front's failover already retried on.
+            assert after.owner(key) == before.preference(key)[1]
+        else:
+            assert after.owner(key) == owners_before[key]
+
+
+def test_membership_bookkeeping():
+    ring = HashRing()
+    assert len(ring) == 0
+    ring.add_node("b0")
+    ring.add_node("b0")  # idempotent
+    assert len(ring) == 1 and "b0" in ring
+    assert ring.owner("anything") == "b0"
+    assert ring.ownership() == {"b0": 1.0}
+    ring.remove_node("missing")  # no-op
+    ring.remove_node("b0")
+    assert len(ring) == 0
+
+
+def test_key_points_spread_over_the_space():
+    points = [key_point(key) for key in KEYS[:1000]]
+    assert len(set(points)) == len(points)
+    span = max(points) - min(points)
+    assert span > (1 << 63)  # not clustered in one corner

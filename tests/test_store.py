@@ -1,0 +1,74 @@
+"""Unit tests for the shared content-addressed result store."""
+
+from __future__ import annotations
+
+import json
+
+from repro.service.store import (
+    CACHEABLE_KINDS,
+    ResultStore,
+    store_stats,
+)
+
+
+def test_roundtrip_and_counters(tmp_path):
+    store = ResultStore(tmp_path, owner="n1")
+    assert store.get("run", "k1") is None  # cold miss
+    store.put("run", "k1", {"cycles": 42})
+    assert store.get("run", "k1") == {"cycles": 42}
+    assert store.snapshot() == {"hits": 1, "misses": 1, "stores": 1}
+
+
+def test_kind_mismatch_reads_as_miss(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put("run", "k1", {"cycles": 42})
+    assert store.get("wcet", "k1") is None
+
+
+def test_corrupt_entry_reads_as_miss(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put("run", "k1", {"cycles": 42})
+    path = tmp_path / "result-k1.json"
+    path.write_text("{ not json")
+    assert store.get("run", "k1") is None
+    path.write_text(json.dumps({"format": -1, "kind": "run", "value": {}}))
+    assert store.get("run", "k1") is None  # stale format version
+    path.write_text(json.dumps([1, 2, 3]))
+    assert store.get("run", "k1") is None  # wrong shape entirely
+
+
+def test_put_is_idempotent_for_equal_values(tmp_path):
+    a = ResultStore(tmp_path, owner="a")
+    b = ResultStore(tmp_path, owner="b")
+    a.put("run", "k1", {"cycles": 1})
+    b.put("run", "k1", {"cycles": 1})  # concurrent publisher, same digest
+    assert a.get("run", "k1") == {"cycles": 1}
+    assert len(list(tmp_path.glob("result-*.json"))) == 1
+
+
+def test_store_stats_folds_sidecars_and_scans_entries(tmp_path):
+    a = ResultStore(tmp_path, owner="front-1")
+    b = ResultStore(tmp_path, owner="backend-2")
+    a.put("run", "k1", {"x": 1})
+    a.get("run", "k1")
+    a.get("run", "missing")
+    b.put("wcet", "k2", {"y": 2})
+    b.get("wcet", "k2")
+    a.flush_stats()
+    b.flush_stats()
+    stats = store_stats(tmp_path)
+    assert stats["entries"] == 2
+    assert stats["bytes"] > 0
+    assert stats["hits"] == 2 and stats["misses"] == 1 and stats["stores"] == 2
+    assert stats["hit_rate"] == round(2 / 3, 4)
+    assert stats["reporters"] == ["backend-2", "front-1"]
+
+
+def test_store_stats_on_missing_directory(tmp_path):
+    stats = store_stats(tmp_path / "nope")
+    assert stats["entries"] == 0 and stats["hit_rate"] == 0.0
+
+
+def test_noop_is_not_cacheable():
+    assert "noop" not in CACHEABLE_KINDS
+    assert {"run", "wcet", "lint", "experiment"} <= CACHEABLE_KINDS
