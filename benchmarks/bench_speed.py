@@ -539,7 +539,11 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     out = pathlib.Path(args.out)
-    out.write_text(json.dumps(report, indent=2) + "\n")
+    # Merge over the existing report: sections owned by other benches
+    # (service, cluster, wcet, ...) must survive a bench_speed run.
+    merged = json.loads(out.read_text()) if out.exists() else {}
+    merged.update(report)
+    out.write_text(json.dumps(merged, indent=2) + "\n")
     print(f"wrote {out}")
 
     failures = []

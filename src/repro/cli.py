@@ -7,7 +7,12 @@ Commands:
 * ``disasm FILE``    — compile/assemble, then disassemble with addresses.
 * ``run FILE``       — execute on a core (``--core simple|complex``),
   print console output and cycle statistics.
-* ``wcet FILE``      — per-sub-task WCETs (``--freq`` selectable).
+* ``wcet FILE``      — per-sub-task WCETs (``--freq`` selectable;
+  ``--engine static|mc`` picks the paper's timing-tree analyzer or the
+  bounded model-checking oracle; ``--format json`` for machine output).
+* ``wcet diff``      — run both WCET engines plus both simulated cores
+  and report per-sub-task ``static − mc`` precision gaps; exits non-zero
+  if ``static >= mc >= observed`` is violated anywhere (soundness bug).
 * ``pack FILE OUT``  — write a timed binary (program + parameterized WCET).
 * ``lint FILE...``   — static analysis / ABI / WCET-soundness lint
   (``--workloads`` lints every built-in C-lab workload instead of files;
@@ -132,12 +137,43 @@ def cmd_run(args) -> int:
 
 
 def cmd_wcet(args) -> int:
-    """``wcet``: per-sub-task static WCET report."""
+    """``wcet``: per-sub-task WCET report (static or model-checking)."""
+    import json
+
+    from repro.wcet.mc import ModelCheckEngine, default_engine
+
     program = _load_program(args.file)
+    engine = args.engine or default_engine()
     analyzer = WCETAnalyzer(program)
     analyzer.dcache_bounds = measure_dcache_misses(program)
-    task = analyzer.analyze(args.freq * 1e6)
-    print(f"WCET @ {args.freq:.0f} MHz (memory stall {task.stall} cycles):")
+    if engine == "mc":
+        task = ModelCheckEngine(analyzer).analyze(args.freq * 1e6)
+    else:
+        task = analyzer.analyze(args.freq * 1e6)
+    if args.format == "json":
+        for sub in task.subtasks:
+            print(json.dumps({
+                "type": "subtask",
+                "engine": engine,
+                "subtask": sub.index,
+                "cycles": sub.cycles,
+                "dmiss_bound": sub.dmiss_bound,
+                "stall": sub.stall,
+                "total_cycles": sub.total_cycles,
+            }, sort_keys=True))
+        print(json.dumps({
+            "type": "total",
+            "engine": engine,
+            "freq_mhz": args.freq,
+            "stall": task.stall,
+            "total_cycles": task.total_cycles,
+            "total_us": round(task.total_seconds * 1e6, 4),
+        }, sort_keys=True))
+        return 0
+    print(
+        f"WCET @ {args.freq:.0f} MHz ({engine} engine, "
+        f"memory stall {task.stall} cycles):"
+    )
     for sub in task.subtasks:
         print(
             f"  sub-task {sub.index}: {sub.total_cycles} cycles "
@@ -148,6 +184,92 @@ def cmd_wcet(args) -> int:
         f"{task.total_seconds * 1e6:.2f} us"
     )
     return 0
+
+
+def _diff_targets(args) -> list[tuple[str, object, object]]:
+    """Resolve ``wcet diff`` targets to (name, program, prepare) triples."""
+    targets: list[tuple[str, object, object]] = []
+    if args.workloads:
+        from repro.workloads.suite import (
+            EXTRA_WORKLOAD_NAMES,
+            WORKLOAD_NAMES,
+            get_workload,
+        )
+
+        for name in WORKLOAD_NAMES + EXTRA_WORKLOAD_NAMES:
+            w = get_workload(name, args.scale)
+
+            def prepare(machine, w=w):
+                w.apply_inputs(machine, w.generate_inputs(0))
+
+            targets.append((name, w.program, prepare))
+    for path in args.files:
+        targets.append((path, _load_program(path), None))
+    return targets
+
+
+def cmd_wcet_diff(args) -> int:
+    """``wcet diff``: differential soundness oracle (static vs mc).
+
+    Runs both WCET engines (and both simulated pipelines) per target and
+    reports per-sub-task ``static - mc`` gaps.  Exits 1 when any rung of
+    ``static >= mc >= observed`` is violated — i.e. when the static
+    analyzer under-bounds an exactly explored or actually executed path.
+    """
+    import json
+
+    from repro.wcet.mc.diff import diff_program
+
+    targets = _diff_targets(args)
+    if not targets:
+        print(
+            "repro: error: no files given (or use --workloads)",
+            file=sys.stderr,
+        )
+        return 2
+
+    failures = 0
+    for name, program, prepare in targets:
+        report = diff_program(
+            program, freq_mhz=args.freq, prepare=prepare,
+            state_cap=args.state_cap,
+        )
+        if not report.ok:
+            failures += 1
+        if args.format == "json":
+            for sub in report.subtasks:
+                print(json.dumps(
+                    {"type": "subtask", "program": name, **sub.to_dict()},
+                    sort_keys=True,
+                ))
+            print(json.dumps(
+                {"type": "program", "program": name, **report.to_dict(),
+                 "subtasks": len(report.subtasks)},
+                sort_keys=True,
+            ))
+            continue
+        verdict = "ok" if report.ok else "UNSOUND"
+        print(
+            f"{name}: {verdict} @ {report.freq_mhz:.0f} MHz — "
+            f"static {report.total_static} vs mc {report.total_mc} cycles "
+            f"(gap {report.gap_pct:.2f}%)"
+        )
+        for sub in report.subtasks:
+            line = (
+                f"  sub-task {sub.index}: static {sub.static_cycles} "
+                f"mc {sub.mc_cycles} gap {sub.gap} ({sub.gap_pct:.2f}%) "
+                f"observed simple/complex "
+                f"{sub.observed_simple}/{sub.observed_complex}"
+            )
+            for violation in sub.violations:
+                line += f"  ** {violation}"
+            print(line)
+    reported = f"{failures} unsound" if failures else "all sound"
+    print(
+        f"# wcet diff: {len(targets)} program(s), {reported}",
+        file=sys.stderr,
+    )
+    return 1 if failures else 0
 
 
 def cmd_pack(args) -> int:
@@ -167,6 +289,8 @@ def cmd_pack(args) -> int:
 
 def cmd_lint(args) -> int:
     """``lint``: run the static-analysis checks; exit 1 on any finding."""
+    import json
+
     from repro.analysis import ALL_CHECKS, lint_program
 
     disable = frozenset(
@@ -201,7 +325,26 @@ def cmd_lint(args) -> int:
         diagnostics = lint_program(program, disable=disable)
         total += len(diagnostics)
         for diag in diagnostics:
-            print(f"{name}: {diag.render()}")
+            if args.format == "json":
+                print(json.dumps({
+                    "type": "finding",
+                    "program": name,
+                    "check": diag.check,
+                    "severity": str(diag.severity),
+                    "message": diag.message,
+                    "addr": diag.addr,
+                    "instruction": diag.instruction,
+                    "context": diag.context,
+                    "reg": diag.reg,
+                    "span": diag.span,
+                }, sort_keys=True))
+            else:
+                print(f"{name}: {diag.render()}")
+    if args.format == "json":
+        print(json.dumps(
+            {"type": "summary", "programs": len(targets), "findings": total},
+            sort_keys=True,
+        ))
     reported = f"{total} diagnostic(s)" if total else "clean"
     print(f"# lint: {len(targets)} program(s), {reported}", file=sys.stderr)
     return 1 if total else 0
@@ -386,11 +529,14 @@ def _submit_payload(args) -> dict:
             payload["jit_tier"] = args.jit_tier
         return payload
     if args.kind == "wcet":
-        return {
+        payload = {
             "workload": args.target,
             "scale": args.scale,
             "freq_mhz": args.freq,
         }
+        if args.engine:
+            payload["engine"] = args.engine
+        return payload
     if args.kind == "lint":
         return {"workload": args.target, "scale": args.scale}
     if args.kind == "noop":
@@ -508,10 +654,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=cmd_run)
 
-    p = sub.add_parser("wcet", help="static WCET analysis")
+    p = sub.add_parser("wcet", help="WCET analysis (static or model-checking)")
     p.add_argument("file")
     p.add_argument("--freq", type=float, default=1000.0, help="MHz")
+    p.add_argument(
+        "--engine",
+        choices=["static", "mc"],
+        default=None,
+        help=(
+            "WCET engine: 'static' (paper §3.3 timing tree) or 'mc' "
+            "(bounded model checking; exact on small programs). "
+            "Default: REPRO_WCET_ENGINE or 'static'."
+        ),
+    )
+    p.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (json = one result object per line)",
+    )
     p.set_defaults(func=cmd_wcet)
+
+    p = sub.add_parser(
+        "wcet-diff",
+        help="differential WCET oracle: static vs mc vs observed "
+             "(also spelled 'repro wcet diff')",
+    )
+    p.add_argument("files", nargs="*", help="MiniC or assembly files")
+    p.add_argument(
+        "--workloads",
+        action="store_true",
+        help="diff every built-in C-lab workload",
+    )
+    p.add_argument(
+        "--scale",
+        choices=["tiny", "default", "paper"],
+        default="tiny",
+        help="workload scale for --workloads (default: tiny)",
+    )
+    p.add_argument("--freq", type=float, default=1000.0, help="MHz")
+    p.add_argument(
+        "--state-cap",
+        type=int,
+        default=64,
+        help="MC states kept per program point before collapsing (default 64)",
+    )
+    p.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (json = one result object per line)",
+    )
+    p.set_defaults(func=cmd_wcet_diff)
 
     p = sub.add_parser("pack", help="write a timed binary (WCET attached)")
     p.add_argument("file")
@@ -535,6 +729,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--disable",
         default="",
         help="comma-separated check ids to skip (see docs/static_analysis.md)",
+    )
+    p.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (json = one finding object per line)",
     )
     p.set_defaults(func=cmd_lint)
 
@@ -715,6 +915,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--freq", type=float, default=1000.0, help="wcet jobs: MHz")
     p.add_argument(
+        "--engine",
+        choices=["static", "mc"],
+        default=None,
+        help="wcet jobs: WCET engine (default: server's REPRO_WCET_ENGINE)",
+    )
+    p.add_argument(
         "--sleep-ms",
         type=int,
         default=0,
@@ -763,6 +969,11 @@ def main(argv: list[str] | None = None) -> int:
     """
     from repro.errors import ReproError
 
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv[:2] == ["wcet", "diff"]:
+        # `repro wcet diff` is the documented spelling of `wcet-diff`.
+        argv = ["wcet-diff"] + argv[2:]
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)

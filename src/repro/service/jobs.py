@@ -5,8 +5,11 @@ The service accepts four job kinds at launch, mirroring the CLI:
 * ``run`` — simulate a workload under the VISA runtime pair
   (:func:`repro.experiments.common.run_pair`) for a given deadline kind,
   instance count, and induced-flush rate.
-* ``wcet`` — static per-sub-task WCET analysis of a workload or MiniC
-  source at a given frequency.
+* ``wcet`` — per-sub-task WCET analysis of a workload or MiniC source at
+  a given frequency; ``engine`` picks the static analyzer or the bounded
+  model-checking oracle (default: the server's ``REPRO_WCET_ENGINE``),
+  and the resolved engine is pinned into the normalized payload so
+  results cache per-engine.
 * ``lint`` — the visalint static-analysis catalog over a workload or
   MiniC source.
 * ``experiment`` — one of the paper's experiment drivers (``table3``,
@@ -165,23 +168,51 @@ def _normalize_run(payload: JSONDict) -> JSONDict:
     }
 
 
+def _engine_field(payload: JSONDict) -> str:
+    """Resolve the effective WCET engine for a ``wcet`` payload.
+
+    Same pattern as :func:`_tier_field`: when the submission names no
+    engine, the server's environment default (``REPRO_WCET_ENGINE``) is
+    pinned into the normalized payload, so the coalesce digest — and the
+    shared result store keyed from it — never aliases a static bound
+    with a model-checked one.
+    """
+    from repro.wcet.mc import ENGINES, default_engine
+
+    engine = payload.get("engine")
+    if engine is None:
+        return default_engine()
+    _require(
+        isinstance(engine, str) and engine in ENGINES,
+        f"engine must be one of {list(ENGINES)}",
+    )
+    return str(engine)
+
+
 def _normalize_wcet(payload: JSONDict) -> JSONDict:
     _check_no_extras(
-        payload, frozenset({"workload", "source", "scale", "freq_mhz"})
+        payload,
+        frozenset({"workload", "source", "scale", "freq_mhz", "engine"}),
     )
     freq = payload.get("freq_mhz", 1000.0)
     _require(
         isinstance(freq, (int, float)) and float(freq) > 0,
         "freq_mhz must be a positive number",
     )
+    engine = _engine_field(payload)
     source = payload.get("source")
     if source is not None:
         _require(isinstance(source, str), "source must be MiniC text")
-        return {"source": str(source), "freq_mhz": float(freq)}
+        return {
+            "source": str(source),
+            "freq_mhz": float(freq),
+            "engine": engine,
+        }
     return {
         "workload": _workload_field(payload),
         "scale": _scale_field(payload),
         "freq_mhz": float(freq),
+        "engine": engine,
     }
 
 
@@ -342,10 +373,17 @@ def _execute_wcet(payload: JSONDict) -> JSONDict:
     from repro.wcet.dcache_pad import measure_dcache_misses
 
     program = _job_program(payload)
+    engine = payload.get("engine", "static")
     analyzer = WCETAnalyzer(program)
     analyzer.dcache_bounds = measure_dcache_misses(program)
-    task = analyzer.analyze(payload["freq_mhz"] * 1e6)
+    if engine == "mc":
+        from repro.wcet.mc import ModelCheckEngine
+
+        task = ModelCheckEngine(analyzer).analyze(payload["freq_mhz"] * 1e6)
+    else:
+        task = analyzer.analyze(payload["freq_mhz"] * 1e6)
     return {
+        "engine": engine,
         "freq_mhz": payload["freq_mhz"],
         "stall_cycles": task.stall,
         "subtasks": [

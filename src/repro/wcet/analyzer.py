@@ -87,6 +87,12 @@ class TaskWCET:
 class WCETAnalyzer:
     """Static worst-case timing analyzer for one program."""
 
+    #: Analysis-pass class instantiated per memory-stall count.  The
+    #: seeded-defect corpus (tests/test_wcet_oracle_defects.py) swaps in
+    #: deliberately broken subclasses of ``_Run``; production code never
+    #: overrides this.
+    run_cls: "type[_Run]"
+
     def __init__(
         self,
         program: Program,
@@ -121,7 +127,7 @@ class WCETAnalyzer:
         """
         stall = math.ceil(freq_hz * self.mem_stall_ns * 1e-9)
         if stall not in self._result_cache:
-            self._result_cache[stall] = _Run(self, stall).region_cycles()
+            self._result_cache[stall] = self.run_cls(self, stall).region_cycles()
         cycles = self._result_cache[stall]
         task = TaskWCET(freq_hz=freq_hz, stall=stall)
         for index, c in enumerate(cycles):
@@ -136,6 +142,15 @@ class WCETAnalyzer:
     @property
     def num_subtasks(self) -> int:
         return len(self._regions)
+
+    @property
+    def regions(self) -> list[dict]:
+        """Sub-task regions of ``main()`` (index/entry/blocks/loops/next).
+
+        Public so alternative engines — the model-checking oracle in
+        :mod:`repro.wcet.mc` — analyze exactly the same partitioning.
+        """
+        return self._regions
 
     # -- region (sub-task) structure ----------------------------------------------
 
@@ -222,13 +237,95 @@ class WCETAnalyzer:
         return self._scope_info_cache[key]
 
 
+def scope_topo_order(
+    fcfg: FunctionCFG,
+    node_of: dict[int, object],
+    entry: int,
+    backedge_header: int | None,
+) -> list[object]:
+    """Topological order of scope nodes (back/exit edges ignored).
+
+    Nodes are ``("block", addr)`` or ``("loop", header)`` as mapped by
+    ``node_of``.  Shared by the static analyzer's scope walk and the
+    model-checking engine, so both process exactly the same DAG.
+    """
+
+    def successors(node) -> set[object]:
+        kind, addr = node
+        if kind == "loop":
+            # exits of the loop: edges from its blocks leaving the loop
+            loop_blocks = {
+                a for a, n in node_of.items() if n == node
+            }
+            out: set[object] = set()
+            for a in loop_blocks:
+                for _k, succ in fcfg.blocks[a].successors:
+                    if (
+                        succ is not None
+                        and succ not in loop_blocks
+                        and succ != backedge_header
+                        and succ in node_of
+                    ):
+                        out.add(node_of[succ])
+            return out
+        out = set()
+        for _k, succ in fcfg.blocks[addr].successors:
+            if (
+                succ is not None
+                and succ != backedge_header
+                and succ in node_of
+            ):
+                target = node_of[succ]
+                if target != node:
+                    out.add(target)
+        return out
+
+    start = node_of[entry]
+    seen: set[object] = set()
+    post: list[object] = []
+
+    def dfs(node) -> None:
+        stack = [(node, iter(sorted(successors(node))))]
+        seen.add(node)
+        while stack:
+            current, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, iter(sorted(successors(nxt)))))
+                    advanced = True
+                    break
+            if not advanced:
+                post.append(current)
+                stack.pop()
+
+    dfs(start)
+    return list(reversed(post))
+
+
 class _Run:
-    """One analysis pass at a fixed memory-stall cycle count."""
+    """One analysis pass at a fixed memory-stall cycle count.
+
+    The ``_fm_charge`` / ``_finish`` hooks isolate the two numeric
+    decisions the pass makes beyond the shared recurrence — the
+    first-miss charge at scope entry and the drained-pipeline frontier at
+    region exit.  The seeded-unsoundness corpus subclasses them to build
+    deliberately broken analyzers the differential oracle must catch.
+    """
 
     def __init__(self, analyzer: WCETAnalyzer, stall: int):
         self.a = analyzer
         self.stall = stall
         self.shift = analyzer.cache_config.block_shift
+
+    def _fm_charge(self, count: int) -> int:
+        """Cycles charged for ``count`` first-miss blocks at scope entry."""
+        return self.stall * count
+
+    def _finish(self, state: PathState) -> int:
+        """Region WCET from its merged exit state (full pipeline drain)."""
+        return state.frontier
 
     def region_cycles(self) -> list[int]:
         main = self.a.cfg.entry_function
@@ -237,7 +334,7 @@ class _Run:
             info = self.a.scope_cache_info(
                 ("region", region["index"]), main, region["blocks"]
             )
-            state = PathState.fresh().shift(self.stall * len(info.persistent))
+            state = PathState.fresh().shift(self._fm_charge(len(info.persistent)))
             covered = set(info.persistent)
             back, externals = self._walk(
                 main,
@@ -259,7 +356,7 @@ class _Run:
                 final = merge(final, st)
             if final is None:
                 raise AnalysisError(f"region {region['index']} has no exit")
-            cycles.append(final.frontier)
+            cycles.append(self._finish(final))
         return cycles
 
     # -- scope walking -----------------------------------------------------------
@@ -287,7 +384,7 @@ class _Run:
             node_of.setdefault(addr, ("block", addr))
         loops_by_header = {loop.header: loop for loop in level_loops}
 
-        order = self._topo_order(fcfg, members, node_of, entry, backedge_header)
+        order = scope_topo_order(fcfg, node_of, entry, backedge_header)
         in_states: dict[object, PathState] = {node_of[entry]: state}
         back_state: PathState | None = None
         externals: dict[int | None, PathState] = {}
@@ -316,69 +413,6 @@ class _Run:
                 for target, out in self._block(fcfg, fcfg.blocks[addr], st, covered):
                     deliver(target, out)
         return back_state, externals
-
-    def _topo_order(
-        self,
-        fcfg: FunctionCFG,
-        members: set[int],
-        node_of: dict[int, object],
-        entry: int,
-        backedge_header: int | None,
-    ) -> list[object]:
-        """Topological order of scope nodes (back/exit edges ignored)."""
-
-        def successors(node) -> set[object]:
-            kind, addr = node
-            if kind == "loop":
-                # exits of the loop: edges from its blocks leaving the loop
-                loop_blocks = {
-                    a for a, n in node_of.items() if n == node
-                }
-                out: set[object] = set()
-                for a in loop_blocks:
-                    for _k, succ in fcfg.blocks[a].successors:
-                        if (
-                            succ is not None
-                            and succ not in loop_blocks
-                            and succ != backedge_header
-                            and succ in node_of
-                        ):
-                            out.add(node_of[succ])
-                return out
-            out = set()
-            for _k, succ in fcfg.blocks[addr].successors:
-                if (
-                    succ is not None
-                    and succ != backedge_header
-                    and succ in node_of
-                ):
-                    target = node_of[succ]
-                    if target != node:
-                        out.add(target)
-            return out
-
-        start = node_of[entry]
-        seen: set[object] = set()
-        post: list[object] = []
-
-        def dfs(node) -> None:
-            stack = [(node, iter(sorted(successors(node))))]
-            seen.add(node)
-            while stack:
-                current, it = stack[-1]
-                advanced = False
-                for nxt in it:
-                    if nxt not in seen:
-                        seen.add(nxt)
-                        stack.append((nxt, iter(sorted(successors(nxt)))))
-                        advanced = True
-                        break
-                if not advanced:
-                    post.append(current)
-                    stack.pop()
-
-        dfs(start)
-        return list(reversed(post))
 
     def _block(
         self,
@@ -455,7 +489,7 @@ class _Run:
         """
         info = self.a.scope_cache_info(("loop", loop.header), fcfg, loop.blocks)
         fresh = info.persistent - covered
-        state = state.shift(self.stall * len(fresh))
+        state = state.shift(self._fm_charge(len(fresh)))
         inner_covered = covered | fresh
 
         current = state
@@ -497,3 +531,6 @@ class _Run:
         if not externals:
             raise AnalysisError(f"loop at {loop.header:#x} has no exit")
         return externals
+
+
+WCETAnalyzer.run_cls = _Run

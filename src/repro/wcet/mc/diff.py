@@ -1,0 +1,239 @@
+"""Differential soundness oracle: static WCET vs model-checked WCET.
+
+Runs both engines over the same program, D-miss padding, and frequency,
+and reports the per-sub-task precision gap ``static − mc``.  The sign of
+each gap is a one-bit soundness verdict:
+
+* ``static >= mc`` everywhere — the static analyzer's over-approximation
+  holds against an exact (bounded, exhaustive) exploration of the same
+  pipeline model; the magnitude is the precision left on the table;
+* ``static < mc`` anywhere — the static analyzer under-bounds a real
+  path, i.e. a soundness bug.  ``repro wcet diff`` exits non-zero.
+
+Optionally both dynamic pipelines are run as a third rung: observed
+cycles must sit at or below the MC bound per sub-task (simple core via
+breakpointed segments, complex core via the task's own ``__visa_aet``
+self-measurement), giving the three-way invariant
+``static >= mc >= observed`` the fuzz suite checks at scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.isa import layout
+from repro.isa.program import Program
+from repro.memory.machine import Machine
+from repro.pipelines.inorder import InOrderCore
+from repro.pipelines.ooo.core import ComplexCore
+from repro.wcet.analyzer import WCETAnalyzer
+from repro.wcet.dcache_pad import measure_dcache_misses
+from repro.wcet.mc.engine import ModelCheckEngine
+
+#: Optional machine-preparation callback (loads workload inputs).
+Prepare = Callable[[Machine], None]
+
+
+@dataclass
+class SubtaskGap:
+    """One sub-task's bounds across the engine ladder (padded cycles)."""
+
+    index: int
+    static_cycles: int
+    mc_cycles: int
+    observed_simple: int | None = None
+    observed_complex: int | None = None
+
+    @property
+    def gap(self) -> int:
+        """Static precision loss vs the exact bound (negative = unsound)."""
+        return self.static_cycles - self.mc_cycles
+
+    @property
+    def gap_pct(self) -> float:
+        """Gap as a percentage of the exact bound."""
+        if self.mc_cycles <= 0:
+            return 0.0
+        return 100.0 * self.gap / self.mc_cycles
+
+    @property
+    def violations(self) -> list[str]:
+        """Broken rungs of ``static >= mc >= observed`` (empty = sound)."""
+        out: list[str] = []
+        if self.static_cycles < self.mc_cycles:
+            out.append(
+                f"static {self.static_cycles} < mc {self.mc_cycles}"
+            )
+        for name, observed in (
+            ("simple", self.observed_simple),
+            ("complex", self.observed_complex),
+        ):
+            if observed is None:
+                continue
+            if self.mc_cycles < observed:
+                out.append(
+                    f"mc {self.mc_cycles} < observed[{name}] {observed}"
+                )
+            if self.static_cycles < observed:
+                out.append(
+                    f"static {self.static_cycles} < observed[{name}] "
+                    f"{observed}"
+                )
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "subtask": self.index,
+            "static_cycles": self.static_cycles,
+            "mc_cycles": self.mc_cycles,
+            "observed_simple": self.observed_simple,
+            "observed_complex": self.observed_complex,
+            "gap": self.gap,
+            "gap_pct": round(self.gap_pct, 4),
+            "violations": self.violations,
+        }
+
+
+@dataclass
+class DiffReport:
+    """Per-sub-task engine comparison for one program at one frequency."""
+
+    freq_mhz: float
+    stall: int
+    subtasks: list[SubtaskGap] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not any(s.violations for s in self.subtasks)
+
+    @property
+    def total_static(self) -> int:
+        return sum(s.static_cycles for s in self.subtasks)
+
+    @property
+    def total_mc(self) -> int:
+        return sum(s.mc_cycles for s in self.subtasks)
+
+    @property
+    def gap_pct(self) -> float:
+        """Whole-task precision gap (static over mc), in percent."""
+        if self.total_mc <= 0:
+            return 0.0
+        return 100.0 * (self.total_static - self.total_mc) / self.total_mc
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "freq_mhz": self.freq_mhz,
+            "stall": self.stall,
+            "ok": self.ok,
+            "total_static": self.total_static,
+            "total_mc": self.total_mc,
+            "gap_pct": round(self.gap_pct, 4),
+            "subtasks": [s.to_dict() for s in self.subtasks],
+        }
+
+
+def observed_inorder(
+    program: Program, prepare: Prepare | None = None, freq_hz: float = 1e9
+) -> list[int]:
+    """Per-sub-task simple-core cycles for one cold execution.
+
+    Segments are delimited by breakpoints at the ``.subtask`` marks, the
+    same attribution :func:`repro.wcet.dcache_pad.measure_dcache_misses`
+    uses (one entry for unmarked programs).
+    """
+    marks = program.subtask_boundaries()
+    num = max(1, program.num_subtasks)
+    breakpoints = frozenset(marks[1:]) if len(marks) > 1 else frozenset()
+    machine = Machine(program)
+    if prepare is not None:
+        prepare(machine)
+    core = InOrderCore(machine, freq_hz=freq_hz)
+    cycles = [0] * num
+    for index in range(num):
+        result = core.run(break_addrs=breakpoints)
+        cycles[index] = result.cycles
+        if result.reason == "halt":
+            if index != num - 1:
+                raise RuntimeError(f"halted in sub-task {index} of {num}")
+            break
+    return cycles
+
+
+def observed_complex(
+    program: Program, prepare: Prepare | None = None, freq_hz: float = 1e9
+) -> list[int]:
+    """Per-sub-task complex-core cycles for one cold execution.
+
+    Sub-task attribution comes from the task's own self-measurement: the
+    ``.subtask`` prologues store each AET into ``__visa_aet`` (paper
+    §2.2), which is read back after the run.  Unmarked programs fall
+    back to the whole-run cycle count.
+    """
+    machine = Machine(program)
+    if prepare is not None:
+        prepare(machine)
+    core = ComplexCore(machine, freq_hz=freq_hz)
+    result = core.run()
+    if result.reason != "halt":
+        raise RuntimeError(f"complex core stopped early: {result.reason}")
+    if program.num_subtasks == 0:
+        return [result.cycles]
+    base = program.address_of(layout.VISA_AET_SYMBOL)
+    words = machine.read_data_words(base, program.num_subtasks)
+    return [int(w) for w in words]
+
+
+def diff_program(
+    program: Program,
+    freq_mhz: float = 1000.0,
+    prepare: Prepare | None = None,
+    observe: bool = True,
+    analyzer: WCETAnalyzer | None = None,
+    engine: ModelCheckEngine | None = None,
+    state_cap: int = 64,
+) -> DiffReport:
+    """Run both WCET engines (and optionally both cores) on one program.
+
+    Args:
+        program: The program under analysis.
+        freq_mhz: Clock frequency (sets the memory-stall cycle count).
+        prepare: Input loader for the dynamic runs and D-miss measurement.
+        observe: Also execute on both pipelines for the third rung of
+            ``static >= mc >= observed``.
+        analyzer: Pre-built static analyzer (the seeded-defect tests pass
+            deliberately broken ones); built fresh when omitted.  Its
+            ``dcache_bounds`` are measured if still unset and shared with
+            the MC engine, so the D-miss padding cancels out of the gap.
+        engine: Pre-built MC engine; built from ``analyzer`` when omitted.
+        state_cap: Per-point state cap for a freshly built MC engine.
+
+    Returns:
+        The per-sub-task report; ``report.ok`` is the soundness verdict.
+    """
+    if analyzer is None:
+        analyzer = WCETAnalyzer(program)
+    if analyzer.dcache_bounds is None:
+        analyzer.dcache_bounds = measure_dcache_misses(program, prepare)
+    if engine is None:
+        engine = ModelCheckEngine(analyzer, state_cap=state_cap)
+    freq_hz = freq_mhz * 1e6
+    static = analyzer.analyze(freq_hz)
+    exact = engine.analyze(freq_hz)
+    if len(static.subtasks) != len(exact.subtasks):
+        raise RuntimeError("engines disagree on the sub-task partitioning")
+    simple = observed_inorder(program, prepare, freq_hz) if observe else None
+    complex_ = observed_complex(program, prepare, freq_hz) if observe else None
+    report = DiffReport(freq_mhz=freq_mhz, stall=static.stall)
+    for k, (s, m) in enumerate(zip(static.subtasks, exact.subtasks)):
+        report.subtasks.append(
+            SubtaskGap(
+                index=k,
+                static_cycles=s.total_cycles,
+                mc_cycles=m.total_cycles,
+                observed_simple=None if simple is None else simple[k],
+                observed_complex=None if complex_ is None else complex_[k],
+            )
+        )
+    return report

@@ -1,0 +1,124 @@
+"""Exact per-path instruction-cache model for the MC engine.
+
+Where the static analyzer classifies blocks by *persistence* (first-miss
+charges at scope entry, :mod:`repro.wcet.icache_static`), the
+model-checking engine simply carries the true cache contents along every
+explored path: a set-associative, true-LRU tag store identical in
+behaviour to the dynamic :class:`repro.memory.cache.Cache` (per-set MRU
+recency order; the dynamic model's global stamp counter induces exactly
+the per-set order kept here).
+
+Digest canonicalization: for any cache set whose *program footprint*
+(distinct text blocks mapping to it) fits within the associativity, no
+program fetch can ever evict a line, so the LRU order within the set is
+behaviourally irrelevant — the digest uses an order-free ``frozenset``
+there, letting states that fetched the same blocks in different orders
+merge.  This is an exactness-preserving canonicalization, not an
+approximation; overflowing sets (footprint > associativity) keep their
+exact MRU order in the digest.  With Table 1 geometry (256 sets, 4-way)
+and the C-lab code footprints, essentially every set is order-free.
+
+``join`` (used only when the engine widens an over-full state set) keeps
+the per-set *intersection* of contents with worst-case recency, which can
+only add future misses — sound for an upper timing bound.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.memory.cache import CacheConfig
+
+#: Digest of one cache: per-set contents, order-free where provably
+#: eviction-free, exact MRU-first order elsewhere.
+ICacheDigest = tuple[tuple[int, frozenset[int] | tuple[int, ...]], ...]
+
+
+def orderfree_sets(
+    text_addrs: Iterable[int], config: CacheConfig
+) -> frozenset[int]:
+    """Cache-set indices where the program's footprint cannot overflow.
+
+    A set with at most ``assoc`` distinct program blocks never evicts
+    (instruction fetch is the only traffic into the I-cache), so LRU
+    order within it is irrelevant to all future hit/miss outcomes.
+    """
+    shift = config.block_shift
+    num_sets = config.num_sets
+    per_set: dict[int, set[int]] = {}
+    for addr in text_addrs:
+        block = addr >> shift
+        per_set.setdefault(block % num_sets, set()).add(block)
+    return frozenset(
+        index
+        for index, blocks in per_set.items()
+        if len(blocks) <= config.assoc
+    )
+
+
+class ExactICache:
+    """Exact LRU tag store for one explored path.
+
+    Sets are kept sparsely as MRU-first tuples (most programs touch a
+    handful of the 256 sets).  Tuples make :meth:`clone` an O(sets)
+    shallow dict copy.
+    """
+
+    __slots__ = ("sets", "num_sets", "assoc")
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        sets: dict[int, tuple[int, ...]] | None = None,
+    ) -> None:
+        self.num_sets = config.num_sets
+        self.assoc = config.assoc
+        self.sets: dict[int, tuple[int, ...]] = {} if sets is None else sets
+
+    def clone(self) -> "ExactICache":
+        other = ExactICache.__new__(ExactICache)
+        other.num_sets = self.num_sets
+        other.assoc = self.assoc
+        other.sets = dict(self.sets)
+        return other
+
+    def access(self, block: int) -> bool:
+        """Reference ``block``; fill/promote like the dynamic cache.
+
+        Returns:
+            True on a hit, False on a miss.
+        """
+        index = block % self.num_sets
+        way = self.sets.get(index, ())
+        if way and way[0] == block:
+            return True  # already MRU (the common straight-line case)
+        if block in way:
+            self.sets[index] = (block,) + tuple(b for b in way if b != block)
+            return True
+        self.sets[index] = ((block,) + way)[: self.assoc]
+        return False
+
+    def digest(self, orderfree: frozenset[int]) -> ICacheDigest:
+        """Canonical fingerprint (see module docstring)."""
+        return tuple(
+            (index, frozenset(way) if index in orderfree else way)
+            for index, way in sorted(self.sets.items())
+        )
+
+    def join(self, other: "ExactICache") -> None:
+        """Widen with ``other``: per-set intersection, worst recency.
+
+        Surviving blocks take the *older* (closer-to-eviction) of their
+        two positions, so the joined cache never promises more future
+        hits than either input — any extra misses only increase the
+        bound.
+        """
+        for index in list(self.sets):
+            mine = self.sets[index]
+            theirs = other.sets.get(index, ())
+            common = [b for b in mine if b in theirs]
+            if not common:
+                del self.sets[index]
+                continue
+            common.sort(key=lambda b: max(mine.index(b), theirs.index(b)))
+            self.sets[index] = tuple(common)

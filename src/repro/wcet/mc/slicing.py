@@ -1,0 +1,116 @@
+"""Branch-relevance program slicing for the MC engine's state merging.
+
+A backward dataflow problem — run on the *visalint* engine
+(:func:`repro.analysis.dataflow.solve`) — computes, at every basic-block
+entry, the set of registers that can still influence a control-flow
+decision downstream (a classic slicing criterion: the union of all
+branch conditions).  The model-checking engine digests explored states
+through this set, so two states that differ only in *dead* values (a
+clamped temporary, a result about to be overwritten) collapse into one
+and the exploration stays linear on data-dependent code.
+
+The slice is a pure precision device: the engine merges digest-equal
+states by **intersecting** their known facts, so even a too-small
+relevance set could never smuggle a wrong value across a merge — it
+would only make a later branch unknown and both edges explored.  An
+over-large set merely merges less.  Memory is treated as a single token
+(``MEM``): once any relevant value is loaded, all store sources become
+relevant, which soundly over-approximates aliasing without a points-to
+analysis.
+
+Interprocedurally, each function's entry relevance is summarized
+bottom-up over the (acyclic) call graph and injected at its call sites.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dataflow import DataflowProblem, solve
+from repro.isa.instruction import RegRef
+from repro.wcet.cfg import BasicBlock, FunctionCFG, ProgramCFG
+
+#: Pseudo-register marking "some branch-relevant value lives in memory".
+MEM: RegRef = ("m", 0)
+
+#: Relevance at block entry, keyed by (function entry, block address).
+RelevanceMap = dict[tuple[int, int], frozenset[RegRef]]
+
+
+class _RelevanceProblem(DataflowProblem[frozenset[RegRef]]):
+    """Backward may-analysis: registers live into a branch condition."""
+
+    forward = False
+
+    def __init__(self, callee_entry: dict[int, frozenset[RegRef]]) -> None:
+        self._callee_entry = callee_entry
+
+    def bottom(self) -> frozenset[RegRef]:
+        return frozenset()
+
+    def boundary(self) -> frozenset[RegRef]:
+        return frozenset()
+
+    def join(
+        self, a: frozenset[RegRef], b: frozenset[RegRef]
+    ) -> frozenset[RegRef]:
+        return a | b
+
+    def transfer(
+        self, block: BasicBlock, state: frozenset[RegRef]
+    ) -> frozenset[RegRef]:
+        rel = set(state)
+        last = block.instructions[-1]
+        for inst in reversed(block.instructions):
+            if inst is last and block.call_target is not None:
+                # The callee's branches see the argument registers as-is.
+                rel |= self._callee_entry.get(block.call_target, frozenset())
+            if inst.is_branch or inst.is_indirect_jump:
+                rel.update(inst.sources)
+            dest = inst.dest
+            if dest is not None and dest in rel:
+                rel.discard(dest)
+                rel.update(inst.sources)
+                if inst.is_load:
+                    rel.add(MEM)
+            if inst.is_store and MEM in rel:
+                rel.update(inst.sources)
+        return frozenset(rel)
+
+
+def _call_order(cfg: ProgramCFG) -> list[int]:
+    """Function entries in callees-before-callers order (graph is acyclic)."""
+    order: list[int] = []
+    seen: set[int] = set()
+
+    def visit(entry: int) -> None:
+        if entry in seen:
+            return
+        seen.add(entry)
+        for callee in sorted(cfg.call_graph.get(entry, ())):
+            visit(callee)
+        order.append(entry)
+
+    for entry in sorted(cfg.functions):
+        visit(entry)
+    return order
+
+
+def _function_relevance(
+    fcfg: FunctionCFG, callee_entry: dict[int, frozenset[RegRef]]
+) -> dict[int, frozenset[RegRef]]:
+    """Relevance at each block entry of one function (backward solve)."""
+    result = solve(_RelevanceProblem(callee_entry), fcfg)
+    # Backward problems report the block-start state in ``after``.
+    return dict(result.after)
+
+
+def program_relevance(cfg: ProgramCFG) -> RelevanceMap:
+    """Branch-relevant registers at every block entry of every function."""
+    callee_entry: dict[int, frozenset[RegRef]] = {}
+    relevance: RelevanceMap = {}
+    for entry in _call_order(cfg):
+        fcfg = cfg.functions[entry]
+        per_block = _function_relevance(fcfg, callee_entry)
+        callee_entry[entry] = per_block.get(fcfg.entry, frozenset())
+        for addr, rel in per_block.items():
+            relevance[(entry, addr)] = rel
+    return relevance

@@ -61,16 +61,18 @@ class PathState:
         return self.timing.mem_free + 1
 
 
-def merge(a: PathState | None, b: PathState) -> PathState:
-    """Sound join: component-wise maximum of two pipeline states."""
-    if a is None:
-        return b.clone()
-    ta, tb = a.timing, b.timing
+def merge_timing(ta: TimingState, tb: TimingState) -> TimingState:
+    """Component-wise maximum of two timing states (sound upper bound).
+
+    Shared by the static analyzer's path joins and the model-checking
+    engine's state subsumption — both rely on the recurrence being
+    monotone in every component.
+    """
     reg_ready = dict(ta.reg_ready)
     for key, value in tb.reg_ready.items():
         if reg_ready.get(key, -1) < value:
             reg_ready[key] = value
-    merged = TimingState(
+    return TimingState(
         last_fetch=max(ta.last_fetch, tb.last_fetch),
         redirect=max(ta.redirect, tb.redirect),
         ex_free=max(ta.ex_free, tb.ex_free),
@@ -81,6 +83,13 @@ def merge(a: PathState | None, b: PathState) -> PathState:
         ),
         reg_ready=reg_ready,
     )
+
+
+def merge(a: PathState | None, b: PathState) -> PathState:
+    """Sound join: component-wise maximum of two pipeline states."""
+    if a is None:
+        return b.clone()
+    merged = merge_timing(a.timing, b.timing)
     cache_block = a.cache_block if a.cache_block == b.cache_block else None
     return PathState(timing=merged, cache_block=cache_block)
 

@@ -130,3 +130,27 @@ def test_wcet_safe_across_frequencies(seed, freq):
     core = InOrderCore(Machine(program), freq_hz=freq)
     result = core.run()
     assert wcet >= result.end_cycle
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_wcet_engine_ladder_random_program(seed):
+    """Three-way invariant: static >= mc >= observed, both pipelines.
+
+    The bounded model-checking engine sits between the static analyzer
+    and the cycle-accurate cores: exactly as safe, strictly more
+    precise.  Any broken rung (per sub-task, either pipeline) is a
+    soundness bug in one of the three and fails here with the program
+    source attached.
+    """
+    from repro.wcet.mc.diff import diff_program
+
+    rng = random.Random(1000 + seed)
+    source = _Gen(rng).program()
+    program = compile_source(source)
+    report = diff_program(program)
+    broken = [
+        (s.index, s.violations) for s in report.subtasks if s.violations
+    ]
+    assert report.ok, f"seed {seed}: {broken}\n{source}"
+    # mc is a (weakly) tighter bound than static, never looser.
+    assert report.total_mc <= report.total_static

@@ -79,6 +79,27 @@ def test_wcet_covers_memory_program(seed):
     )
 
 
+@pytest.mark.parametrize("seed", range(25))
+def test_wcet_engine_ladder_memory_program(seed):
+    """static >= mc >= observed (both pipelines) on array-sweeping code.
+
+    Memory programs stress the MC engine's exact-value store (known
+    array cells, the clobber-all rule for unknown-address stores) and
+    the shared D-miss padding: the pad cancels out of the static − mc
+    gap, so a violation isolates a pipeline/I-cache modeling bug.
+    """
+    from repro.wcet.mc.diff import diff_program
+
+    source = _generate(4000 + seed)
+    program = compile_source(source)
+    report = diff_program(program)
+    broken = [
+        (s.index, s.violations) for s in report.subtasks if s.violations
+    ]
+    assert report.ok, f"seed {seed}: {broken}\n{source}"
+    assert report.total_mc <= report.total_static
+
+
 @pytest.mark.parametrize("seed", range(10))
 def test_cores_agree_on_memory_program(seed):
     source = _generate(9000 + seed)
