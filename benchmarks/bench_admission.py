@@ -1,0 +1,192 @@
+"""Admission-control benchmark: cold vs digest-cached decisions per second.
+
+Measures the `admit` job kind along the three paths a deployment uses:
+
+* **library cold** — :func:`repro.rt.admission.decide` against an empty
+  cache: full WCET analysis per distinct task, then the DVS search;
+* **library cached** — the same task sets answered from the on-disk
+  decision cache (``admit-<digest>.json`` load + validate only);
+* **service** — round-trips through a real daemon (single node and a
+  2-backend ``--cluster``), where repeats additionally exercise
+  coalescing and the shared result store.
+
+Merges an ``admission`` section into ``BENCH_speed.json`` next to the
+interpreter/service numbers (read-modify-write, never clobbering other
+sections).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_admission.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+DRAIN_DEADLINE = 60.0
+
+
+def _task_sets(smoke: bool) -> list[dict]:
+    """Distinct admit payloads (different periods, so distinct digests)."""
+    workloads = ("cnt", "crc") if smoke else ("cnt", "crc", "fir", "lms")
+    sets = []
+    count = 4 if smoke else 12
+    for index in range(count):
+        period = 0.01 + 0.002 * index
+        sets.append(
+            {
+                "tasks": [
+                    {"workload": w, "scale": "tiny",
+                     "period": period * (slot + 1)}
+                    for slot, w in enumerate(workloads)
+                ],
+                "policy": "rm" if index % 2 == 0 else "edf",
+            }
+        )
+    return sets
+
+
+def _bench_library(payloads: list[dict]) -> dict:
+    from repro.rt import admission
+
+    normalized = [admission.normalize_payload(p) for p in payloads]
+
+    start = time.perf_counter()
+    for norm in normalized:
+        admission.cached_decide(norm)
+    cold = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for norm in normalized:
+        admission.cached_decide(norm)
+    cached = time.perf_counter() - start
+
+    count = len(normalized)
+    return {
+        "cold_wall_seconds": round(cold, 4),
+        "cold_decisions_per_second": round(count / cold, 2),
+        "cached_wall_seconds": round(cached, 4),
+        "cached_decisions_per_second": round(count / cached, 2),
+        "cache_speedup": round(cold / cached, 1) if cached > 0 else None,
+    }
+
+
+def _start_daemon(cache_dir: str, extra: list[str]) -> tuple[subprocess.Popen, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--jobs", "2", "--cache-dir", cache_dir,
+        ] + extra,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    line = proc.stdout.readline()
+    if "listening on" not in line:
+        proc.kill()
+        raise RuntimeError(f"daemon failed to start: {line!r}")
+    return proc, int(line.split(":")[-1].split()[0])
+
+
+def _stop_daemon(proc: subprocess.Popen) -> None:
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.communicate(timeout=DRAIN_DEADLINE)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.communicate()
+            raise RuntimeError("daemon did not drain cleanly")
+
+
+def _bench_service(payloads: list[dict], cluster: int | None) -> dict:
+    from repro.service.client import ServiceClient
+
+    extra = ["--cluster", str(cluster)] if cluster else []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-admit-") as tmp:
+        if cluster:
+            extra += ["--store-dir", str(pathlib.Path(tmp) / "store")]
+        proc, port = _start_daemon(tmp, extra)
+        try:
+            if cluster and proc.stdout is not None:
+                proc.stdout.readline()  # ring-members line
+
+            def drive() -> float:
+                start = time.perf_counter()
+                with ServiceClient("127.0.0.1", port, timeout=600.0) as client:
+                    for payload in payloads:
+                        result = client.submit_retry("admit", payload)
+                        assert result.ok
+                return time.perf_counter() - start
+
+            cold = drive()
+            warm = drive()
+        finally:
+            _stop_daemon(proc)
+
+    count = len(payloads)
+    return {
+        "cold_wall_seconds": round(cold, 4),
+        "cold_decisions_per_second": round(count / cold, 2),
+        "warm_wall_seconds": round(warm, 4),
+        "warm_decisions_per_second": round(count / warm, 2),
+        "warm_speedup": round(cold / warm, 1) if warm > 0 else None,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small task sets for CI (still measures every path)",
+    )
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_speed.json"),
+        help="JSON file to merge the admission section into",
+    )
+    args = parser.parse_args(argv)
+
+    payloads = _task_sets(args.smoke)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-admitlib-") as tmp:
+        os.environ["REPRO_CACHE_DIR"] = tmp
+        try:
+            library = _bench_library(payloads)
+        finally:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+
+    single = _bench_service(payloads, cluster=None)
+    cluster = _bench_service(payloads, cluster=2)
+
+    section = {
+        "task_sets": len(payloads),
+        "smoke": args.smoke,
+        "library": library,
+        "single_node": single,
+        "cluster_2": cluster,
+    }
+    print(f"bench_admission: {json.dumps(section, indent=2)}")
+
+    out = pathlib.Path(args.out)
+    report = json.loads(out.read_text()) if out.exists() else {}
+    report["admission"] = section
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"bench_admission: wrote admission section to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    raise SystemExit(main())

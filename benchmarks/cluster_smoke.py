@@ -8,9 +8,15 @@ real front tier over two backend daemons and asserts, end to end:
 2. distinct digests all complete and spread across the ring;
 3. a repeated ``run`` digest is served from the shared result store
    without re-simulation;
-4. SIGKILL-ing the owning backend mid-job requeues the in-flight job on
+4. an ``admit`` round trip returns the library's digest-sealed decision
+   byte-for-byte (admissible and non-admissible task sets);
+5. ``GET /metrics`` on the front's HTTP port serves the aggregated
+   exposition: front/fleet families plus every backend's relabeled
+   series, with the Prometheus content type;
+6. ``repro top --once`` renders a live frame against the fleet;
+7. SIGKILL-ing the owning backend mid-job requeues the in-flight job on
    its ring successor exactly once and the client still gets the result;
-5. SIGTERM drains the whole fleet cleanly.
+8. SIGTERM drains the whole fleet cleanly.
 
 Budgeted well under 90 seconds.  Exits non-zero on any violation.
 
@@ -45,7 +51,7 @@ def check(condition: bool, what: str) -> None:
     print(f"cluster_smoke: ok: {what}")
 
 
-def start_cluster(tmp: str) -> tuple[subprocess.Popen, int]:
+def start_cluster(tmp: str) -> tuple[subprocess.Popen, int, int]:
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
@@ -54,6 +60,7 @@ def start_cluster(tmp: str) -> tuple[subprocess.Popen, int]:
         [
             sys.executable, "-m", "repro", "serve",
             "--port", "0", "--cluster", "2", "--jobs", "1",
+            "--metrics-port", "0",
             "--cache-dir", f"{tmp}/cache", "--store-dir", f"{tmp}/store",
         ],
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
@@ -62,7 +69,13 @@ def start_cluster(tmp: str) -> tuple[subprocess.Popen, int]:
     if "listening on" not in line:
         proc.kill()
         raise SystemExit(f"cluster failed to start: {line!r}")
-    return proc, int(line.split(":")[-1].split()[0])
+    port = int(line.split(":")[-1].split()[0])
+    proc.stdout.readline()  # ring members
+    metrics_line = proc.stdout.readline()
+    if "metrics on" not in metrics_line:
+        proc.kill()
+        raise SystemExit(f"no metrics endpoint: {metrics_line!r}")
+    return proc, port, int(metrics_line.rsplit(":", 1)[1])
 
 
 def client(port: int) -> ServiceClient:
@@ -132,6 +145,95 @@ def smoke_shared_store(port: int) -> None:
         )
 
 
+ADMIT_OK = {
+    "tasks": [
+        {"workload": "cnt", "scale": "tiny", "period": 0.01},
+        {"workload": "crc", "scale": "tiny", "period": 0.02,
+         "deadline": 0.015},
+    ],
+    "policy": "rm",
+}
+ADMIT_BAD = {
+    "tasks": [
+        {"workload": "cnt", "scale": "tiny", "period": 1e-5,
+         "deadline": 5e-6},
+    ],
+}
+
+
+def smoke_admit_roundtrip(port: int) -> None:
+    from repro.rt import admission
+
+    lib = admission.decide(admission.normalize_payload(ADMIT_OK))
+    with client(port) as c:
+        good = c.submit("admit", ADMIT_OK)
+        check(good.ok, "admissible task set round-tripped")
+        check(
+            good.value == lib and good.value["digest"] == lib["digest"],
+            "cluster admit decision is byte-identical to the library's",
+        )
+        bad = c.submit("admit", ADMIT_BAD)
+        check(
+            bad.ok and bad.value["admissible"] is False,
+            "non-admissible task set rejected with a reason",
+        )
+        check(
+            "deadline" in (bad.value["reason"] or ""),
+            "rejection names the violated deadline",
+        )
+
+
+def smoke_http_metrics(metrics_port: int) -> None:
+    import urllib.request
+
+    from repro.service.httpexpo import CONTENT_TYPE
+
+    url = f"http://127.0.0.1:{metrics_port}/metrics"
+    with urllib.request.urlopen(url, timeout=10) as response:
+        check(response.status == 200, "GET /metrics answered 200")
+        check(
+            response.headers.get("Content-Type", "") == CONTENT_TYPE,
+            "exposition content type is Prometheus 0.0.4",
+        )
+        body = response.read().decode()
+    for family in (
+        "repro_front_jobs_submitted_total",
+        "repro_fleet_backends_up",
+        "repro_job_seconds_bucket",
+        "repro_job_phase_seconds_bucket",
+        "repro_store_hit_ratio",
+        "repro_codegen_entries",
+    ):
+        check(family in body, f"exposition includes {family}")
+    for backend in ("b0", "b1"):
+        check(
+            f'backend="{backend}"' in body,
+            f"exposition includes relabeled series for {backend}",
+        )
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{metrics_port}/healthz", timeout=10
+    ) as response:
+        check(response.read() == b"ok\n", "healthz answers ok")
+
+
+def smoke_top_once(port: int) -> None:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    out = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "top",
+            "--port", str(port), "--once",
+        ],
+        capture_output=True, text=True, timeout=60, env=env,
+    )
+    check(out.returncode == 0, "repro top --once exits 0")
+    check("repro cluster" in out.stdout, "top frame identifies the cluster")
+    check("b0" in out.stdout and "b1" in out.stdout,
+          "top frame lists both backends")
+
+
 def smoke_sigkill_failover(port: int) -> None:
     with client(port) as c:
         backends = {b["name"]: b for b in c.status().value["backends"]}
@@ -178,11 +280,14 @@ def smoke_sigkill_failover(port: int) -> None:
 def main() -> int:
     started = time.perf_counter()
     with tempfile.TemporaryDirectory(prefix="repro-cluster-smoke-") as tmp:
-        proc, port = start_cluster(tmp)
+        proc, port, metrics_port = start_cluster(tmp)
         try:
             smoke_duplicate_digests(port)
             smoke_distinct_digests(port)
             smoke_shared_store(port)
+            smoke_admit_roundtrip(port)
+            smoke_http_metrics(metrics_port)
+            smoke_top_once(port)
             smoke_sigkill_failover(port)
         finally:
             if proc.poll() is None:

@@ -31,10 +31,18 @@ Commands:
   see docs/service.md).  ``--cluster N`` instead starts a digest-routed
   front tier over N locally spawned backend daemons sharing one result
   store (see docs/cluster.md).
-* ``submit``         — send one job (run/wcet/lint/experiment/noop) to a
-  running service and print the result.
+* ``submit``         — send one job (run/wcet/lint/experiment/noop/admit)
+  to a running service and print the result (``--stream`` prints
+  progress events as they arrive).
 * ``status``         — query a running service (``--metrics`` for the
   Prometheus-style text exposition).
+* ``admit``          — task-set admission control: derive WCETs, pick
+  the recovery DVS setting and EQ 1 checkpoint plans, run the RM/EDF
+  tests, and report admissible/not with per-task slack.  Exit status 1
+  when the set is not admissible.
+* ``top``            — live terminal view of a running service or
+  cluster (queue depth, per-kind throughput and p50/p99, backend
+  health; ``--once`` prints a single frame).
 
 MiniC files use extension ``.c`` (anything other than ``.s``/``.asm``);
 assembly files use ``.s``/``.asm``.
@@ -489,6 +497,7 @@ def cmd_serve(args) -> int:
             quota_burst=args.quota_burst,
             age_seconds=args.age_seconds,
             vnodes=args.vnodes,
+            metrics_port=args.metrics_port,
         )
         return 0
 
@@ -504,8 +513,142 @@ def cmd_serve(args) -> int:
         cache_dir=args.cache_dir,
         age_seconds=args.age_seconds,
         store_dir=args.store_dir,
+        metrics_port=args.metrics_port,
     )
     asyncio.run(serve(config))
+    return 0
+
+
+def _parse_task_spec(spec: str, default_scale: str) -> dict:
+    """Parse one ``workload:period[:deadline][@scale]`` task spec."""
+    from repro.errors import ProtocolError
+
+    body, _, scale = spec.partition("@")
+    fields = body.split(":")
+    if not 2 <= len(fields) <= 3:
+        raise ProtocolError(
+            f"bad task spec {spec!r}: expected "
+            "workload:period[:deadline][@scale] with times in seconds"
+        )
+    try:
+        task = {
+            "workload": fields[0],
+            "period": float(fields[1]),
+            "scale": scale or default_scale,
+        }
+        if len(fields) == 3:
+            task["deadline"] = float(fields[2])
+    except ValueError:
+        raise ProtocolError(
+            f"bad task spec {spec!r}: period/deadline must be seconds"
+        ) from None
+    return task
+
+
+def _admit_payload_from_specs(args) -> dict:
+    payload = {
+        "tasks": [
+            _parse_task_spec(spec, args.scale) for spec in args.tasks
+        ],
+        "policy": args.policy,
+        "background_threads": args.threads,
+        "alpha": args.alpha,
+    }
+    if args.engine:
+        payload["engine"] = args.engine
+    return payload
+
+
+def _render_admission(decision: dict) -> str:
+    """Human-readable report for one admission decision."""
+    from repro.experiments.common import format_table
+
+    lines = []
+    verdict = "ADMISSIBLE" if decision["admissible"] else "NOT ADMISSIBLE"
+    lines.append(
+        f"{verdict} under {decision['policy'].upper()} "
+        f"(engine {decision['engine']}, digest {decision['task_set_digest']})"
+    )
+    if decision["reason"]:
+        lines.append(f"reason: {decision['reason']}")
+    spec = f"{decision['f_spec_mhz']:.0f} MHz @ {decision['f_spec_volts']} V"
+    if decision["f_rec_mhz"] is not None:
+        lines.append(
+            f"plan: speculate at {spec}, recover at "
+            f"{decision['f_rec_mhz']:.0f} MHz @ {decision['f_rec_volts']} V"
+        )
+        lines.append(
+            f"utilization {decision['utilization']:.2%}, "
+            f"slack for background work {decision['slack_fraction']:.2%}"
+        )
+    else:
+        lines.append(f"evaluated at the top setting: {spec}")
+    rows = []
+    for task in decision["tasks"]:
+        def us(value):
+            return "-" if value is None else f"{value * 1e6:.1f}"
+
+        plan = task.get("plan")
+        rows.append(
+            [
+                task["name"],
+                f"{task['period_seconds'] * 1e3:g}",
+                f"{task['deadline_seconds'] * 1e3:g}",
+                us(task["wcet_top_seconds"]),
+                us(task["wcet_rec_seconds"]),
+                us(task["response_seconds"]),
+                us(task["slack_seconds"]),
+                "-" if not plan else str(len(plan["checkpoints"])),
+            ]
+        )
+    lines.append(
+        format_table(
+            ["task", "T (ms)", "D (ms)", "wcet@spec (us)",
+             "wcet@rec (us)", "response (us)", "slack (us)", "ckpts"],
+            rows,
+        )
+    )
+    smt = decision["smt"]
+    viable = smt["speculation_viable"]
+    lines.append(
+        f"smt: {smt['background_threads']} background thread(s), "
+        f"rt share {smt['rt_share']:.2f}, harvestable "
+        f"{smt['harvestable_share']:.2%}, speculation "
+        f"{'viable' if viable else '-' if viable is None else 'NOT viable'}"
+    )
+    if decision["simulated"]:
+        sim = decision["simulated"]
+        lines.append(
+            f"simulated {sim['jobs']} jobs over one hyperperiod "
+            f"({decision['hyperperiod_seconds']:g} s): "
+            f"{'all deadlines met' if sim['all_met'] else 'DEADLINE MISS'}"
+        )
+    return "\n".join(lines)
+
+
+def cmd_admit(args) -> int:
+    """``admit``: run the admission decision locally (library path)."""
+    import json
+
+    from repro.rt.admission import cached_decide, decide, normalize_payload
+
+    payload = normalize_payload(_admit_payload_from_specs(args))
+    decision = decide(payload) if args.no_cache else cached_decide(payload)
+    if args.format == "json":
+        print(json.dumps(decision, indent=2, sort_keys=True))
+    else:
+        print(_render_admission(decision))
+    return 0 if decision["admissible"] else 1
+
+
+def cmd_top(args) -> int:
+    """``top``: live dashboard against a running service or cluster."""
+    from repro.service.top import run_top
+
+    try:
+        run_top(args.host, args.port, interval=args.interval, once=args.once)
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -541,6 +684,17 @@ def _submit_payload(args) -> dict:
         return {"workload": args.target, "scale": args.scale}
     if args.kind == "noop":
         return {"tag": args.target, "sleep_ms": args.sleep_ms}
+    if args.kind == "admit":
+        specs = [args.target] + list(args.task or [])
+        payload = {
+            "tasks": [_parse_task_spec(s, args.scale) for s in specs],
+            "policy": args.policy,
+            "background_threads": args.threads,
+            "alpha": args.alpha,
+        }
+        if args.engine:
+            payload["engine"] = args.engine
+        return payload
     payload = {  # experiment
         "name": args.target,
         "scale": args.scale,
@@ -551,6 +705,37 @@ def _submit_payload(args) -> dict:
     if args.jit_tier:
         payload["jit_tier"] = args.jit_tier
     return payload
+
+
+def _submit_streaming(args):
+    """Submit over the async client, printing progress lines as they arrive."""
+    import asyncio
+
+    from repro.service.client import AsyncServiceClient
+
+    async def _run():
+        async with AsyncServiceClient(args.host, args.port) as client:
+            final = None
+            async for response in client.stream(
+                args.kind, _submit_payload(args), priority=args.priority
+            ):
+                if response.type == "accepted":
+                    coalesced = " (coalesced)" if response.coalesced else ""
+                    print(
+                        f"# {response.job_id}: accepted{coalesced}",
+                        file=sys.stderr,
+                    )
+                elif response.type == "event":
+                    print(
+                        f"# {response.job_id}: {response.stage} "
+                        f"(attempt {response.attempts})",
+                        file=sys.stderr,
+                    )
+                else:
+                    final = response
+            return final
+
+    return asyncio.run(_run())
 
 
 def cmd_submit(args) -> int:
@@ -566,18 +751,28 @@ def cmd_submit(args) -> int:
             file=sys.stderr,
         )
 
-    with ServiceClient(args.host, args.port) as client:
-        if args.no_wait:
-            accepted = client.submit(
-                args.kind, _submit_payload(args),
-                priority=args.priority, wait=False,
+    if args.stream:
+        result = _submit_streaming(args)
+        if result is None or not result.ok:
+            print(
+                f"repro: error: "
+                f"{(result.error if result else None) or 'job failed'}",
+                file=sys.stderr,
             )
-            print(accepted.job_id)
-            return 0
-        result = client.submit_retry(
-            args.kind, _submit_payload(args),
-            priority=args.priority, on_event=on_event,
-        )
+            return 1
+    else:
+        with ServiceClient(args.host, args.port) as client:
+            if args.no_wait:
+                accepted = client.submit(
+                    args.kind, _submit_payload(args),
+                    priority=args.priority, wait=False,
+                )
+                print(accepted.job_id)
+                return 0
+            result = client.submit_retry(
+                args.kind, _submit_payload(args),
+                priority=args.priority, on_event=on_event,
+            )
     value = result.value if result.value is not None else {}
     if isinstance(value, dict) and "table" in value:
         print(value["table"])
@@ -876,19 +1071,30 @@ def build_parser() -> argparse.ArgumentParser:
         default=64,
         help="cluster front: virtual nodes per backend on the ring",
     )
+    p.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "also serve GET /metrics over plain HTTP on this port "
+            "(0 picks a free port, printed on startup; default: off)"
+        ),
+    )
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("submit", help="submit one job to a running service")
     p.add_argument(
         "kind",
-        choices=["run", "wcet", "lint", "experiment", "noop"],
+        choices=["run", "wcet", "lint", "experiment", "noop", "admit"],
         help="job kind ('noop' is a synthetic sleep+echo job for probing)",
     )
     p.add_argument(
         "target",
         help=(
             "workload name (run/wcet/lint), experiment name (experiment), "
-            "or tag (noop)"
+            "tag (noop), or first task spec "
+            "workload:period[:deadline][@scale] (admit)"
         ),
     )
     p.add_argument("--host", default="127.0.0.1")
@@ -938,12 +1144,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="run/experiment jobs: pin the worker's JIT tier",
     )
     p.add_argument(
+        "--task",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help=(
+            "admit jobs: additional task spec "
+            "workload:period[:deadline][@scale] (repeatable)"
+        ),
+    )
+    p.add_argument(
+        "--policy",
+        choices=["rm", "edf"],
+        default="rm",
+        help="admit jobs: scheduling policy (default rm)",
+    )
+    p.add_argument(
+        "--threads",
+        type=int,
+        default=0,
+        help="admit jobs: SMT background threads (default 0)",
+    )
+    p.add_argument(
+        "--alpha",
+        type=float,
+        default=1.0,
+        help="admit jobs: SMT contention aggressiveness (default 1.0)",
+    )
+    p.add_argument(
         "--priority", type=int, default=0, help="queue priority (higher first)"
     )
     p.add_argument(
         "--no-wait",
         action="store_true",
         help="print the job id immediately instead of waiting for the result",
+    )
+    p.add_argument(
+        "--stream",
+        action="store_true",
+        help=(
+            "print progress events as they arrive (asyncio client) "
+            "instead of silently waiting"
+        ),
     )
     p.set_defaults(func=cmd_submit)
 
@@ -957,6 +1199,75 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the Prometheus-style text exposition instead",
     )
     p.set_defaults(func=cmd_status)
+
+    p = sub.add_parser(
+        "admit",
+        help="task-set admission control: WCETs + DVS/checkpoint plan "
+        "+ RM/EDF tests (local library path; exit 1 = not admissible)",
+    )
+    p.add_argument(
+        "tasks",
+        nargs="+",
+        metavar="TASK",
+        help="task spec workload:period[:deadline][@scale], times in seconds",
+    )
+    p.add_argument(
+        "--scale",
+        choices=["tiny", "default", "paper"],
+        default="tiny",
+        help="default workload scale for specs without @scale",
+    )
+    p.add_argument(
+        "--policy",
+        choices=["rm", "edf"],
+        default="rm",
+        help="scheduling policy (default rm)",
+    )
+    p.add_argument(
+        "--engine",
+        choices=["static", "mc"],
+        default=None,
+        help="WCET engine (default: REPRO_WCET_ENGINE or static)",
+    )
+    p.add_argument(
+        "--threads",
+        type=int,
+        default=0,
+        help="SMT background threads to co-schedule (default 0)",
+    )
+    p.add_argument(
+        "--alpha",
+        type=float,
+        default=1.0,
+        help="SMT contention aggressiveness (default 1.0)",
+    )
+    p.add_argument(
+        "--format", choices=["text", "json"], default="text"
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk decision cache",
+    )
+    p.set_defaults(func=cmd_admit)
+
+    p = sub.add_parser(
+        "top", help="live terminal view of a running service or cluster"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7341)
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="refresh interval, seconds (default 2)",
+    )
+    p.add_argument(
+        "--once",
+        action="store_true",
+        help="print one frame and exit (no screen clearing)",
+    )
+    p.set_defaults(func=cmd_top)
 
     return parser
 

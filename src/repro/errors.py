@@ -58,6 +58,18 @@ class InfeasibleError(ReproError):
     """Raised when no frequency assignment can satisfy the deadline."""
 
 
+class HyperperiodError(ReproError):
+    """Raised when a task set's hyperperiod exceeds the safety cap.
+
+    Pathological period sets (near-coprime floats at nanosecond
+    resolution) make the LCM of the periods astronomically large; any
+    consumer that iterates jobs over a hyperperiod — the schedule
+    simulator, the admission service — would never terminate in useful
+    time.  Callers can retry with a larger ``max_ratio`` or pass an
+    explicit horizon instead.
+    """
+
+
 class SnapshotError(ReproError):
     """Raised when a simulation-state snapshot cannot be restored.
 

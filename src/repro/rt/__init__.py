@@ -8,11 +8,21 @@ plugged into system-level admission tests:
 
 * rate-monotonic utilization bound and exact response-time analysis,
 * earliest-deadline-first utilization test,
-* slack accounting for background (non-real-time) work.
+* slack accounting for background (non-real-time) work,
+* task-set admission control combining all of the above with the VISA
+  checkpoint/DVS planners (:mod:`repro.rt.admission`).
 """
 
+from repro.rt.admission import (
+    admit,
+    cached_decide,
+    decide,
+    normalize_payload,
+    task_set_digest,
+)
 from repro.rt.simulate import JobRecord, ScheduleResult, simulate
 from repro.rt.sched import (
+    HYPERPERIOD_MAX_RATIO,
     PeriodicTask,
     edf_schedulable,
     hyperperiod,
@@ -27,12 +37,18 @@ __all__ = [
     "JobRecord",
     "ScheduleResult",
     "simulate",
+    "HYPERPERIOD_MAX_RATIO",
     "PeriodicTask",
+    "admit",
+    "cached_decide",
+    "decide",
     "edf_schedulable",
     "hyperperiod",
+    "normalize_payload",
     "rm_response_times",
     "rm_schedulable",
     "rm_utilization_bound",
     "slack_fraction",
+    "task_set_digest",
     "utilization",
 ]

@@ -13,6 +13,16 @@ import math
 from dataclasses import dataclass
 from fractions import Fraction
 
+from repro.errors import HyperperiodError
+
+#: Default hyperperiod cap, as a multiple of the smallest period.  A
+#: harmonic millisecond-to-second set sits near 1e3 and coprime-integer
+#: millisecond periods near 1e5; only float periods that are coprime at
+#: nanosecond resolution blow past this, and those LCMs are astronomical
+#: (1e12+), not merely large — so the cap separates the two regimes with
+#: orders of magnitude to spare on both sides.
+HYPERPERIOD_MAX_RATIO = 1e6
+
 
 @dataclass(frozen=True)
 class PeriodicTask:
@@ -69,12 +79,17 @@ def rm_response_times(tasks: list[PeriodicTask]) -> dict[str, float]:
     Tasks are prioritized by period (shorter = higher).  Returns the
     worst-case response time per task; a task whose response exceeds its
     deadline gets ``math.inf`` (iteration diverged past the deadline).
+    Non-convergent iterations that stay below the deadline for 10,000
+    rounds (arbitrarily long deadlines over an overloaded set) also
+    report ``math.inf`` rather than whatever partial fixpoint the loop
+    happened to reach.
     """
     ordered = sorted(tasks, key=lambda t: t.period)
     responses: dict[str, float] = {}
     for index, task in enumerate(ordered):
         higher = ordered[:index]
         response = task.wcet
+        converged = not higher
         for _ in range(10_000):
             interference = sum(
                 math.ceil(response / h.period) * h.wcet for h in higher
@@ -82,12 +97,14 @@ def rm_response_times(tasks: list[PeriodicTask]) -> dict[str, float]:
             updated = task.wcet + interference
             if abs(updated - response) < 1e-15:
                 response = updated
+                converged = True
                 break
             response = updated
             if response > task.effective_deadline:
                 response = math.inf
+                converged = True
                 break
-        responses[task.name] = response
+        responses[task.name] = response if converged else math.inf
     return responses
 
 
@@ -110,8 +127,19 @@ def edf_schedulable(tasks: list[PeriodicTask]) -> bool:
     return density <= 1.0 + 1e-12
 
 
-def hyperperiod(tasks: list[PeriodicTask], resolution: float = 1e-9) -> float:
-    """Least common multiple of the periods (at ``resolution`` granularity)."""
+def hyperperiod(
+    tasks: list[PeriodicTask],
+    resolution: float = 1e-9,
+    max_ratio: float | None = HYPERPERIOD_MAX_RATIO,
+) -> float:
+    """Least common multiple of the periods (at ``resolution`` granularity).
+
+    Raises:
+        HyperperiodError: when the LCM exceeds ``max_ratio`` times the
+            smallest period — a pathological (near-coprime) period set
+            whose hyperperiod no consumer can usefully iterate.  Pass
+            ``max_ratio=None`` to disable the cap.
+    """
     ticks = [Fraction(t.period).limit_denominator(int(1 / resolution))
              for t in tasks]
     lcm_num = 1
@@ -120,6 +148,16 @@ def hyperperiod(tasks: list[PeriodicTask], resolution: float = 1e-9) -> float:
     gcd_den = ticks[0].denominator
     for f in ticks[1:]:
         gcd_den = math.gcd(gcd_den, f.denominator)
+    # Compare in exact integer arithmetic: the float quotient overflows
+    # long before the cap check would reject it.
+    min_period = min(t.period for t in tasks)
+    if max_ratio is not None and lcm_num > max_ratio * min_period * gcd_den:
+        raise HyperperiodError(
+            f"hyperperiod exceeds {max_ratio:g}x the smallest period "
+            f"({min_period:g} s): the periods are near-coprime at "
+            f"{resolution:g} s resolution; raise max_ratio or pass an "
+            f"explicit horizon"
+        )
     return lcm_num / gcd_den
 
 

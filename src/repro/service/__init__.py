@@ -25,20 +25,26 @@ Components:
   ``/metrics``-style text endpoint.
 * :mod:`~repro.service.server` — the asyncio daemon: dispatch,
   single-flight coalescing, SIGTERM drain.
-* :mod:`~repro.service.client` — blocking client library used by the
+* :mod:`~repro.service.client` — blocking (``ServiceClient``) and
+  asyncio (``AsyncServiceClient``) client libraries used by the
   ``repro submit`` / ``repro status`` CLI subcommands.
+* :mod:`~repro.service.httpexpo` — plain-HTTP ``GET /metrics``
+  exposition for Prometheus-style scraping (``--metrics-port``).
+* :mod:`~repro.service.top` — the ``repro top`` live terminal view.
 
-See ``docs/service.md`` for the protocol spec and job lifecycle.
+See ``docs/service.md`` for the protocol spec and job lifecycle, and
+``docs/observability.md`` for the metric families and scraping story.
 """
 
 from __future__ import annotations
 
-from repro.service.client import ServiceClient
+from repro.service.client import AsyncServiceClient, ServiceClient
 from repro.service.protocol import PROTOCOL_VERSION, JobSpec, Request, Response
 from repro.service.server import ReproService, ServiceConfig
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "AsyncServiceClient",
     "JobSpec",
     "ReproService",
     "Request",

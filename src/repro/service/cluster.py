@@ -50,6 +50,7 @@ from pathlib import Path
 
 from repro.errors import ProtocolError, ServiceError
 from repro.service import jobs as job_registry
+from repro.service.httpexpo import MetricsHTTPServer
 from repro.service.metrics import Registry, relabel_exposition
 from repro.service.protocol import (
     JobSpec,
@@ -80,6 +81,7 @@ class ClusterConfig:
     default_timeout: float = 300.0
     drain_grace: float = 30.0
     history_limit: int = 512
+    metrics_port: int | None = None
 
 
 class TokenBucket:
@@ -390,6 +392,7 @@ class ClusterFront:
         self._draining = False
         self._stopped = asyncio.Event()
         self._server: asyncio.Server | None = None
+        self.http: MetricsHTTPServer | None = None
         self._health_task: asyncio.Task[None] | None = None
         self._run_tasks: set[asyncio.Task[None]] = set()
         self._started_at = 0.0
@@ -409,6 +412,11 @@ class ClusterFront:
         sockets = self._server.sockets
         if sockets:
             self.port = sockets[0].getsockname()[1]
+        if self.config.metrics_port is not None:
+            self.http = MetricsHTTPServer(
+                self.config.host, self.config.metrics_port, self._metrics_text
+            )
+            await self.http.start()
         self._health_task = asyncio.create_task(self._health_loop())
 
     async def wait_stopped(self) -> None:
@@ -442,6 +450,9 @@ class ClusterFront:
             self._server.close()
             with contextlib.suppress(OSError):
                 await self._server.wait_closed()
+        # Exposition closes last so scrapes observe the drain itself.
+        if self.http is not None:
+            await self.http.close()
         self._stopped.set()
 
     async def _stop_local_backends(self, drain: bool) -> None:
@@ -1095,6 +1106,11 @@ async def serve_cluster(
         f"{link.name}={link.host}:{link.port}" for link in links
     )
     print(f"repro-serve: ring members {members}", flush=True)
+    if front.http is not None:
+        print(
+            f"repro-serve: metrics on {front.host}:{front.http.port}",
+            flush=True,
+        )
     loop = asyncio.get_running_loop()
     with _signal_handlers(loop, front):
         await front.wait_stopped()
@@ -1116,6 +1132,7 @@ def run_cluster(
     quota_burst: int,
     age_seconds: float | None,
     vnodes: int,
+    metrics_port: int | None = None,
 ) -> None:
     """CLI entry: spawn N local backends, then serve the front tier."""
     resolved_store = store_dir or str(default_store_dir())
@@ -1128,6 +1145,7 @@ def run_cluster(
         quota_burst=quota_burst,
         default_timeout=timeout,
         drain_grace=drain_grace,
+        metrics_port=metrics_port,
     )
     local = spawn_local_backends(
         backends,

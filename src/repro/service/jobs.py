@@ -15,6 +15,11 @@ The service accepts four job kinds at launch, mirroring the CLI:
 * ``experiment`` — one of the paper's experiment drivers (``table3``,
   ``figure2``, ``figure3``, ``figure4``, ``ablations``), run serially
   inside the worker.
+* ``admit`` — task-set admission control (:mod:`repro.rt.admission`):
+  derive every task's WCET, pick the lowest feasible recovery DVS
+  setting, build EQ 1 checkpoint plans, and answer admissible/not with
+  per-task slack.  Deterministic, so it is cacheable and coalescible
+  like ``wcet``.
 
 Validation (:func:`normalize`) runs in the *server* process and
 canonicalizes the payload — fills defaults, rejects unknown fields and
@@ -50,7 +55,7 @@ EXPERIMENT_NAMES = ("table3", "figure2", "figure3", "figure4", "ablations")
 #: Kinds whose results are pure functions of the normalized payload —
 #: eligible for the shared result store (see repro.service.store).
 #: ``noop`` is deliberately absent: it measures the serving path itself.
-CACHEABLE_KINDS = frozenset({"run", "wcet", "lint", "experiment"})
+CACHEABLE_KINDS = frozenset({"run", "wcet", "lint", "experiment", "admit"})
 
 
 def _known_workloads() -> tuple[str, ...]:
@@ -285,12 +290,27 @@ def _normalize_noop(payload: JSONDict) -> JSONDict:
     }
 
 
+def _normalize_admit(payload: JSONDict) -> JSONDict:
+    """Delegate to the admission library's own normalizer.
+
+    One canonicalizer, two entry points: ``repro admit`` (library) and
+    the service both normalize through
+    :func:`repro.rt.admission.normalize_payload`, so the coalesce digest
+    below is byte-identical to the library's
+    :func:`~repro.rt.admission.task_set_digest` — pinned by tests.
+    """
+    from repro.rt.admission import normalize_payload
+
+    return normalize_payload(payload)
+
+
 _NORMALIZERS: dict[str, Callable[[JSONDict], JSONDict]] = {
     "run": _normalize_run,
     "wcet": _normalize_wcet,
     "lint": _normalize_lint,
     "experiment": _normalize_experiment,
     "noop": _normalize_noop,
+    "admit": _normalize_admit,
 }
 
 
@@ -465,12 +485,19 @@ def _execute_noop(payload: JSONDict) -> JSONDict:
     }
 
 
+def _execute_admit(payload: JSONDict) -> JSONDict:
+    from repro.rt.admission import cached_decide
+
+    return cached_decide(payload)
+
+
 _EXECUTORS: dict[str, Callable[[JSONDict], JSONDict]] = {
     "run": _execute_run,
     "wcet": _execute_wcet,
     "lint": _execute_lint,
     "experiment": _execute_experiment,
     "noop": _execute_noop,
+    "admit": _execute_admit,
 }
 
 

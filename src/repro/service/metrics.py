@@ -287,6 +287,10 @@ class ServiceMetrics:
             "repro_store_ops_total",
             "Shared result-store hits/misses/stores for this node.",
         )
+        self.store_hit_ratio = reg.gauge(
+            "repro_store_hit_ratio",
+            "Result-store hits / (hits + misses) since service start.",
+        )
         self.queue_depth = reg.gauge(
             "repro_queue_depth", "Jobs currently waiting in the queue."
         )
@@ -301,6 +305,11 @@ class ServiceMetrics:
         )
         self.job_seconds = reg.histogram(
             "repro_job_seconds", "Wall-clock job latency by kind (seconds)."
+        )
+        self.job_phase_seconds = reg.histogram(
+            "repro_job_phase_seconds",
+            "Per-phase job latency by kind (seconds): phase=\"queue\" is "
+            "submit-to-dispatch wait, phase=\"execute\" is worker wall time.",
         )
         self.run_cache_ops = reg.counter(
             "repro_run_cache_ops_total",
@@ -328,6 +337,14 @@ class ServiceMetrics:
             "repro_blockjit_cache_bytes",
             "Total bytes in the on-disk blockjit codegen cache.",
         )
+        self.codegen_entries = reg.gauge(
+            "repro_codegen_entries",
+            "On-disk codegen cache entries, by JIT tier (block/trace).",
+        )
+        self.codegen_bytes = reg.gauge(
+            "repro_codegen_bytes",
+            "On-disk codegen cache bytes, by JIT tier (block/trace).",
+        )
 
     def fold_cache_delta(self, delta: dict[str, int]) -> None:
         """Fold one worker's run-cache counter delta into the aggregate."""
@@ -343,6 +360,14 @@ class ServiceMetrics:
         if hits + misses > 0:
             self.cache_hit_ratio.set(hits / (hits + misses))
 
+    def record_store_op(self, op: str) -> None:
+        """Count one result-store operation and refresh the hit ratio."""
+        self.store_ops.inc(op=op)
+        hits = self.store_ops.value(op="hits")
+        misses = self.store_ops.value(op="misses")
+        if hits + misses > 0:
+            self.store_hit_ratio.set(hits / (hits + misses))
+
     def refresh_disk_gauges(self) -> None:
         """Update the on-disk cache gauges from the shared collector."""
         stats = runcache.cache_stats()
@@ -350,6 +375,9 @@ class ServiceMetrics:
         self.cache_bytes.set(stats["bytes"])
         self.blockjit_cache_entries.set(stats["blockjit"]["entries"])
         self.blockjit_cache_bytes.set(stats["blockjit"]["bytes"])
+        for tier, sizes in stats["blockjit"]["tiers"].items():
+            self.codegen_entries.set(sizes["entries"], tier=tier)
+            self.codegen_bytes.set(sizes["bytes"], tier=tier)
 
     def render_text(self) -> str:
         self.refresh_disk_gauges()
@@ -366,6 +394,8 @@ class ServiceMetrics:
             "worker_restarts": self.worker_restarts.total(),
             "queue_depth": self.queue_depth.value(),
             "jobs_in_flight": self.jobs_in_flight.value(),
+            "store_hits": self.store_ops.value(op="hits"),
+            "store_misses": self.store_ops.value(op="misses"),
             "run_cache_hits": self.run_cache_ops.value(op="hits"),
             "run_cache_misses": self.run_cache_ops.value(op="misses"),
             "run_cache_stores": self.run_cache_ops.value(op="stores"),

@@ -46,7 +46,7 @@ REQUEST_TYPES = frozenset({"submit", "status", "metrics", "ping"})
 #: sleep + payload echo) used for health probes, failover tests, and
 #: serving-layer benchmarks — it exercises routing, queueing, and
 #: coalescing without simulating anything.
-JOB_KINDS = frozenset({"run", "wcet", "lint", "experiment", "noop"})
+JOB_KINDS = frozenset({"run", "wcet", "lint", "experiment", "noop", "admit"})
 
 #: Response/event types the client understands.
 RESPONSE_TYPES = frozenset(

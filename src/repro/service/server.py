@@ -37,6 +37,7 @@ from pathlib import Path
 
 from repro.errors import ProtocolError
 from repro.service import jobs as job_registry
+from repro.service.httpexpo import MetricsHTTPServer
 from repro.service.metrics import ServiceMetrics
 from repro.service.store import ResultStore
 from repro.service.protocol import (
@@ -63,7 +64,9 @@ class ServiceConfig:
     ``age_seconds`` enables priority aging in the fair queue (None =
     off); ``store_dir`` attaches the node to a shared result store so
     completed results are served before forking a worker — in cluster
-    mode every backend shares the front tier's store.
+    mode every backend shares the front tier's store.  ``metrics_port``
+    additionally serves the exposition over plain HTTP ``GET /metrics``
+    (0 = pick a free port; None = TCP-protocol ``metrics`` only).
     """
 
     host: str = "127.0.0.1"
@@ -76,6 +79,7 @@ class ServiceConfig:
     cache_dir: str | None = None
     age_seconds: float | None = None
     store_dir: str | None = None
+    metrics_port: int | None = None
 
 
 @dataclass
@@ -142,6 +146,7 @@ class ReproService:
         self._exec_tasks: set[asyncio.Task[None]] = set()
         self._dispatcher: asyncio.Task[None] | None = None
         self._server: asyncio.Server | None = None
+        self.http: MetricsHTTPServer | None = None
         self._started_at = 0.0
         self._ewma_seconds = 1.0
 
@@ -158,7 +163,15 @@ class ReproService:
         sockets = self._server.sockets
         if sockets:
             self.port = sockets[0].getsockname()[1]
+        if self.config.metrics_port is not None:
+            self.http = MetricsHTTPServer(
+                self.config.host, self.config.metrics_port, self._render_http
+            )
+            await self.http.start()
         self._dispatcher = asyncio.create_task(self._dispatch_loop())
+
+    async def _render_http(self) -> str:
+        return self.metrics.render_text()
 
     async def wait_stopped(self) -> None:
         await self._stopped.wait()
@@ -195,6 +208,10 @@ class ReproService:
             self._server.close()
             with contextlib.suppress(OSError):
                 await self._server.wait_closed()
+        # The exposition socket outlives the drain on purpose: a scrape
+        # that lands mid-drain still sees the dying node's final state.
+        if self.http is not None:
+            await self.http.close()
         self._stopped.set()
 
     # -- submission -------------------------------------------------------------
@@ -299,7 +316,7 @@ class ReproService:
         ):
             return None
         value = self.store.get(kind, key)
-        self.metrics.store_ops.inc(op="hits" if value is not None else "misses")
+        self.metrics.record_store_op("hits" if value is not None else "misses")
         return value
 
     def _trim_history(self) -> None:
@@ -350,6 +367,11 @@ class ReproService:
             spec.timeout if spec.timeout else self.config.default_timeout
         )
         started = time.monotonic()
+        self.metrics.job_phase_seconds.observe(
+            max(0.0, started - record.submitted_at),
+            kind=spec.kind,
+            phase="queue",
+        )
         try:
             result, delta = await self.pool.run_job(
                 record.job_id, spec.kind, record.payload, env, timeout
@@ -385,6 +407,9 @@ class ReproService:
         elapsed = time.monotonic() - started
         self._ewma_seconds = 0.8 * self._ewma_seconds + 0.2 * elapsed
         self.metrics.job_seconds.observe(elapsed, kind=spec.kind)
+        self.metrics.job_phase_seconds.observe(
+            elapsed, kind=spec.kind, phase="execute"
+        )
         self.metrics.fold_cache_delta(delta)
         record.result = result
         self._finish(record, error=None, code=None)
@@ -610,6 +635,13 @@ async def serve(config: ServiceConfig) -> None:
         f"({config.workers} workers, queue depth {config.queue_depth})",
         flush=True,
     )
+    # After the listening line: cluster backend spawning reads exactly
+    # one startup line per daemon.
+    if service.http is not None:
+        print(
+            f"repro-serve: metrics on {service.host}:{service.http.port}",
+            flush=True,
+        )
     loop = asyncio.get_running_loop()
     with _signal_handlers(loop, service):
         await service.wait_stopped()

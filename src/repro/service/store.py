@@ -40,7 +40,7 @@ JSONDict = dict[str, Any]
 #: Job kinds whose results are pure functions of their normalized
 #: payload and therefore safe to serve from the store.  ``noop`` is
 #: excluded: it exists to exercise the serving path itself.
-CACHEABLE_KINDS = frozenset({"run", "wcet", "lint", "experiment"})
+CACHEABLE_KINDS = frozenset({"run", "wcet", "lint", "experiment", "admit"})
 
 _ENTRY_PREFIX = "result-"
 _STATS_PREFIX = "stats-"

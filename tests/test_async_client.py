@@ -1,0 +1,249 @@
+"""AsyncServiceClient tests: stream, submit, retry, status, metrics.
+
+Unlike the blocking-client tests (which need ``asyncio.to_thread``),
+the async client shares the daemon's event loop by design — the whole
+point of the class — so these tests run client and server on one loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.client import AsyncServiceClient
+from repro.service.server import ReproService, ServiceConfig
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+async def _with_service(tmp_path, **overrides):
+    config = ServiceConfig(
+        port=0, workers=1, cache_dir=str(tmp_path), **overrides
+    )
+    service = ReproService(config)
+    await service.start()
+    return service
+
+
+class TestLifecycle:
+    def test_ping_and_context_manager(self, tmp_path):
+        async def main() -> None:
+            service = await _with_service(tmp_path)
+            try:
+                async with AsyncServiceClient(
+                    "127.0.0.1", service.port
+                ) as client:
+                    assert await client.ping() is True
+            finally:
+                await service.shutdown(drain=False)
+
+        _run(main())
+
+    def test_ping_false_when_unreachable(self):
+        async def main() -> bool:
+            client = AsyncServiceClient("127.0.0.1", 1, timeout=0.5)
+            return await client.ping()
+
+        assert _run(main()) is False
+
+
+class TestStream:
+    def test_stream_yields_accepted_then_result(self, tmp_path):
+        async def main() -> list[str]:
+            service = await _with_service(tmp_path)
+            try:
+                async with AsyncServiceClient(
+                    "127.0.0.1", service.port
+                ) as client:
+                    types = []
+                    async for response in client.stream("noop", {}):
+                        types.append(response.type)
+                    return types
+            finally:
+                await service.shutdown(drain=False)
+
+        types = _run(main())
+        assert types[0] == "accepted"
+        assert types[-1] == "result"
+        assert "event" in types  # at least the "started" progress event
+
+    def test_failed_job_yields_terminal_frame(self, tmp_path):
+        """A job that dies at execution (wall-clock timeout) streams its
+        ``ok=False`` result frame instead of raising mid-iteration."""
+        async def main():
+            service = await _with_service(tmp_path)
+            try:
+                async with AsyncServiceClient(
+                    "127.0.0.1", service.port
+                ) as client:
+                    last = None
+                    async for response in client.stream(
+                        "run",
+                        {"workload": "srt", "instances": 90,
+                         "no_cache": True},
+                        timeout=0.3,
+                    ):
+                        last = response
+                    return last
+            finally:
+                await service.shutdown(drain=False)
+
+        last = _run(main())
+        assert last is not None
+        assert last.type == "result"
+        assert last.ok is False
+        assert last.code == "timeout"
+
+    def test_bad_kind_raises_immediately(self, tmp_path):
+        async def main() -> None:
+            service = await _with_service(tmp_path)
+            try:
+                async with AsyncServiceClient(
+                    "127.0.0.1", service.port
+                ) as client:
+                    with pytest.raises(ServiceError):
+                        async for _ in client.stream("no-such-kind", {}):
+                            pass
+            finally:
+                await service.shutdown(drain=False)
+
+        _run(main())
+
+
+class TestSubmit:
+    def test_submit_wait_matches_blocking_client(self, tmp_path):
+        async def main():
+            service = await _with_service(tmp_path)
+            try:
+                async with AsyncServiceClient(
+                    "127.0.0.1", service.port
+                ) as client:
+                    events = []
+                    response = await client.submit(
+                        "noop", {}, on_event=lambda r: events.append(r.stage)
+                    )
+                    return response, events
+            finally:
+                await service.shutdown(drain=False)
+
+        response, events = _run(main())
+        assert response.ok is True
+        assert "started" in events
+
+    def test_submit_nowait_returns_accepted(self, tmp_path):
+        async def main():
+            service = await _with_service(tmp_path)
+            try:
+                async with AsyncServiceClient(
+                    "127.0.0.1", service.port
+                ) as client:
+                    accepted = await client.submit("noop", {}, wait=False)
+                    # The job id is immediately pollable.
+                    status = await client.status(accepted.job_id)
+                    return accepted, status
+            finally:
+                await service.shutdown(drain=False)
+
+        accepted, status = _run(main())
+        assert accepted.type == "accepted"
+        assert accepted.job_id
+        assert status.type == "status"
+        assert status.stage in ("queued", "running", "done")
+
+    def test_bad_payload_raises_with_code(self, tmp_path):
+        async def main() -> None:
+            service = await _with_service(tmp_path)
+            try:
+                async with AsyncServiceClient(
+                    "127.0.0.1", service.port
+                ) as client:
+                    with pytest.raises(ServiceError) as info:
+                        await client.submit(
+                            "run", {"workload": "no-such-workload"}
+                        )
+                    assert info.value.code == "bad_request"
+            finally:
+                await service.shutdown(drain=False)
+
+        _run(main())
+
+
+class TestSubmitRetry:
+    def test_retry_gives_up_after_max_attempts(self, tmp_path):
+        """Exhausting the queue triggers jittered backoff, then the last
+        rejection is re-raised."""
+        async def main() -> None:
+            service = await _with_service(tmp_path)
+            try:
+                client = AsyncServiceClient(
+                    "127.0.0.1", service.port, jitter=random.Random(7)
+                )
+                sleeps: list[float] = []
+
+                real_sleep = asyncio.sleep
+
+                async def fast_sleep(delay: float) -> None:
+                    sleeps.append(delay)
+                    await real_sleep(0)
+
+                asyncio.sleep = fast_sleep  # type: ignore[assignment]
+                try:
+                    exc = ServiceError("full", code="queue_full",
+                                       retry_after=0.1)
+
+                    async def always_reject(*args, **kwargs):
+                        raise exc
+
+                    client.submit = always_reject  # type: ignore
+                    with pytest.raises(ServiceError) as info:
+                        await client.submit_retry("noop", max_attempts=3)
+                    assert info.value.code == "queue_full"
+                    assert len(sleeps) == 3
+                    assert all(0.05 <= s <= 0.15 for s in sleeps)
+                finally:
+                    asyncio.sleep = real_sleep  # type: ignore[assignment]
+                    await client.close()
+            finally:
+                await service.shutdown(drain=False)
+
+        _run(main())
+
+    def test_non_retryable_error_propagates(self, tmp_path):
+        async def main() -> None:
+            service = await _with_service(tmp_path)
+            try:
+                async with AsyncServiceClient(
+                    "127.0.0.1", service.port
+                ) as client:
+                    with pytest.raises(ServiceError):
+                        await client.submit_retry("no-such-kind", {})
+            finally:
+                await service.shutdown(drain=False)
+
+        _run(main())
+
+
+class TestIntrospection:
+    def test_status_and_metrics_text(self, tmp_path):
+        async def main():
+            service = await _with_service(tmp_path)
+            try:
+                async with AsyncServiceClient(
+                    "127.0.0.1", service.port
+                ) as client:
+                    await client.submit("noop", {})
+                    status = await client.status()
+                    text = await client.metrics_text()
+                    return status, text
+            finally:
+                await service.shutdown(drain=False)
+
+        status, text = _run(main())
+        assert status.value["workers"]
+        assert "repro_job_seconds" in text
+        assert "repro_job_phase_seconds" in text

@@ -1,0 +1,145 @@
+"""Metrics plumbing tests: collectors, exposition, relabeling.
+
+These pin the Prometheus-compatibility details the observability layer
+depends on: ``le`` buckets are *inclusive* upper bounds, rendered counts
+are cumulative with ``+Inf`` equal to the observation count, and the
+cluster front's relabeling puts a ``backend`` label on every sample of
+every backend without redeclaring ``# TYPE`` blocks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    ServiceMetrics,
+    relabel_exposition,
+)
+from repro.service.top import parse_exposition
+
+
+class TestHistogramBuckets:
+    def test_value_on_boundary_is_inclusive(self):
+        # Prometheus le="0.1" means value <= 0.1: an observation exactly
+        # on the bound belongs to that bucket, not the next one.
+        hist = Histogram("h", "help", buckets=(0.1, 1.0))
+        hist.observe(0.1)
+        samples = parse_exposition("\n".join(hist.render()))
+        assert samples[("h_bucket", (("le", "0.1"),))] == 1
+        assert samples[("h_bucket", (("le", "1"),))] == 1
+        assert samples[("h_bucket", (("le", "+Inf"),))] == 1
+
+    def test_counts_are_cumulative(self):
+        hist = Histogram("h", "help", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            hist.observe(value)
+        samples = parse_exposition("\n".join(hist.render()))
+        assert samples[("h_bucket", (("le", "0.1"),))] == 1
+        assert samples[("h_bucket", (("le", "1"),))] == 3
+        assert samples[("h_bucket", (("le", "+Inf"),))] == 4
+        assert samples[("h_count", ())] == 4
+        assert samples[("h_sum", ())] == pytest.approx(6.05)
+
+    def test_labeled_series_are_independent(self):
+        hist = Histogram("h", "help", buckets=(1.0,))
+        hist.observe(0.5, kind="run", phase="queue")
+        hist.observe(0.5, kind="run", phase="execute")
+        assert hist.count(kind="run", phase="queue") == 1
+        assert hist.count(kind="run", phase="execute") == 1
+        assert hist.count(kind="wcet", phase="queue") == 0
+
+
+class TestRelabeling:
+    def test_injects_label_and_drops_comments(self):
+        text = (
+            "# HELP x help\n"
+            "# TYPE x counter\n"
+            "x 3\n"
+            'y{kind="run"} 7\n'
+        )
+        relabeled = relabel_exposition(text, backend="b0")
+        assert "# HELP" not in relabeled
+        assert 'x{backend="b0"} 3' in relabeled
+        # The injected label lands after the existing ones; parse-level
+        # equality is what consumers rely on (labels are a set).
+        assert 'y{kind="run",backend="b0"} 7' in relabeled
+
+    def test_no_labels_is_identity(self):
+        assert relabel_exposition("x 1\n") == "x 1\n"
+
+    def test_every_backend_appears_in_aggregated_exposition(self):
+        """The front-tier aggregation recipe: each backend's full
+        exposition relabeled with its name, concatenated — one scrape
+        shows every backend's series side by side."""
+        expositions = []
+        for index in range(3):
+            registry = Registry()
+            counter = registry.counter("repro_jobs_submitted_total", "jobs")
+            counter.inc(index + 1, kind="run")
+            expositions.append(registry.render_text())
+        merged = "".join(
+            relabel_exposition(text, backend=f"b{i}")
+            for i, text in enumerate(expositions)
+        )
+        samples = parse_exposition(merged)
+        for index in range(3):
+            key = (
+                "repro_jobs_submitted_total",
+                (("backend", f"b{index}"), ("kind", "run")),
+            )
+            assert samples[key] == index + 1
+
+
+class TestServiceMetrics:
+    def test_store_hit_ratio_tracks_ops(self):
+        metrics = ServiceMetrics()
+        metrics.record_store_op("misses")
+        assert metrics.store_hit_ratio.value() == 0.0
+        metrics.record_store_op("hits")
+        metrics.record_store_op("hits")
+        assert metrics.store_hit_ratio.value() == pytest.approx(2 / 3)
+        snap = metrics.snapshot()
+        assert snap["store_hits"] == 2
+        assert snap["store_misses"] == 1
+
+    def test_phase_histogram_renders_both_phases(self):
+        metrics = ServiceMetrics()
+        metrics.job_phase_seconds.observe(0.001, kind="admit", phase="queue")
+        metrics.job_phase_seconds.observe(0.01, kind="admit", phase="execute")
+        samples = parse_exposition(metrics.registry.render_text())
+        assert samples[
+            ("repro_job_phase_seconds_count",
+             (("kind", "admit"), ("phase", "queue")))
+        ] == 1
+        assert samples[
+            ("repro_job_phase_seconds_count",
+             (("kind", "admit"), ("phase", "execute")))
+        ] == 1
+
+    def test_codegen_gauges_exist(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        metrics = ServiceMetrics()
+        text = metrics.render_text()
+        assert "repro_codegen_entries" in text
+        assert "repro_codegen_bytes" in text
+        assert "repro_store_hit_ratio" in text
+        assert "repro_job_phase_seconds" in text
+
+
+class TestRegistry:
+    def test_duplicate_name_rejected(self):
+        registry = Registry()
+        registry.counter("x", "one")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x", "two")
+
+    def test_counter_and_gauge_render_defaults(self):
+        samples = parse_exposition(
+            "\n".join(Counter("c", "h").render() + Gauge("g", "h").render())
+        )
+        assert samples[("c", ())] == 0
+        assert samples[("g", ())] == 0

@@ -99,6 +99,67 @@ class TestHyperperiod:
     def test_single_task(self):
         assert hyperperiod([T("a", 1, 7)]) == pytest.approx(7.0)
 
+    def test_millisecond_coprime_periods_stay_under_cap(self):
+        # Coprime-integer millisecond periods land near 1e5x the smallest
+        # period — inside the default cap by an order of magnitude.
+        tasks = [T("a", 1e-4, 0.007), T("b", 1e-4, 0.011),
+                 T("c", 1e-4, 0.013)]
+        assert hyperperiod(tasks) == pytest.approx(0.007 * 11 * 13)
+
+    def test_near_coprime_floats_raise(self):
+        # Periods coprime at nanosecond resolution have astronomical LCMs;
+        # the cap turns a silent multi-minute iteration into a typed error.
+        from repro.errors import HyperperiodError, ReproError
+
+        tasks = [T("a", 1e-4, 0.01), T("b", 1e-4, 0.01 * math.pi)]
+        with pytest.raises(HyperperiodError, match="near-coprime"):
+            hyperperiod(tasks)
+        # The typed error is part of the repo-wide hierarchy.
+        assert issubclass(HyperperiodError, ReproError)
+
+    def test_max_ratio_none_disables_cap(self):
+        tasks = [T("a", 1e-4, 0.01), T("b", 1e-4, 0.01 * math.pi)]
+        value = hyperperiod(tasks, max_ratio=None)
+        assert value > 0.01 * 1e6  # genuinely astronomical
+
+    def test_custom_max_ratio(self):
+        from repro.errors import HyperperiodError
+
+        tasks = [T("a", 0.1, 4.0), T("b", 0.1, 6.0)]
+        with pytest.raises(HyperperiodError):
+            hyperperiod(tasks, max_ratio=2.0)
+        assert hyperperiod(tasks, max_ratio=3.0) == pytest.approx(12.0)
+
+
+class TestEdgeCases:
+    def test_deadline_below_wcet_rejected(self):
+        with pytest.raises(ValueError, match="deadline"):
+            T("x", 2.0, 10.0, deadline=1.0)
+
+    def test_zero_slack_set(self):
+        tasks = [T("a", 1, 2), T("b", 1, 2)]
+        assert slack_fraction(tasks) == 0.0
+        assert edf_schedulable(tasks)
+
+    def test_rm_nonconvergence_reports_inf_not_partial_fixpoint(self):
+        # Overloaded set with a huge deadline: the iteration would creep
+        # upward for ever without crossing the deadline; the 10k-round
+        # cap must report inf, not the last partial value.
+        tasks = [T("hi", 1.0, 1.0 + 1e-9),
+                 T("lo", 1.0, 1e9, deadline=1e9)]
+        responses = rm_response_times(tasks)
+        assert responses["lo"] == math.inf
+        assert not rm_schedulable(tasks)
+
+    def test_rm_response_exceeding_deadline_is_inf(self):
+        tasks = [T("t1", 2, 4), T("t2", 3, 5)]
+        assert rm_response_times(tasks)["t2"] == math.inf
+
+    def test_edf_constrained_deadline_exact_boundary(self):
+        # Density exactly 1.0 must pass (the epsilon guards float noise).
+        tasks = [T("a", 1, 10, deadline=2.0), T("b", 1, 10, deadline=2.0)]
+        assert edf_schedulable(tasks)
+
 
 class TestWithVISAWCET:
     def test_visa_slack_beats_wcet_slack(self):
