@@ -56,6 +56,12 @@ BASELINE_BLOCK_TIER = {
     "ooo": {"inst_per_s": 1_243_234},
 }
 
+#: Complex-core block-tier throughput under the original ``scan``
+#: scheduler (``cnt`` @ tiny, recorded on the measurement host at the
+#: event-engine PR's commit).  The event scheduler must never regress
+#: below this recorded scan baseline; its target is >= 2x.
+BASELINE_OOO_SCAN = {"block": {"inst_per_s": 853_793}}
+
 
 def _host_section(jit: bool | None = None) -> dict:
     """Per-section host facts: CPUs, effective workers, and the JIT flag.
@@ -283,6 +289,7 @@ def _measure_tracejit(min_seconds: float) -> dict:
             summary = {
                 "traces": 0, "mean_blocks": 0.0, "mean_insts": 0.0,
                 "calls": 0, "side_exits": 0, "side_exit_rate": 0.0,
+                "trace_completions": 0, "side_exit_pc": {},
             }
             for table in program._blockjit_tables.values():
                 if table.tier == "trace" and table.engine == core_kind:
@@ -299,6 +306,87 @@ def _measure_tracejit(min_seconds: float) -> dict:
                     trace["inst_per_s"] / base, 2
                 ),
             }
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+        if saved is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = saved
+    return section
+
+
+def _measure_ooo_event(min_seconds: float) -> dict:
+    """Scan-vs-event complex-core throughput and event metadata-cache
+    cold/warm build times, in a throwaway ``REPRO_CACHE_DIR``.
+
+    The event scheduler is measured on both execution paths: the block
+    tier (event codegen — rings, commit frontier, inlined predictors)
+    and the pure interpreter (``event.py``).  The scan numbers are
+    re-measured on the same host in the same run, so the event-vs-scan
+    ratio is host-drift-free; the recorded ``BASELINE_OOO_SCAN`` pins
+    the absolute floor the event engine must clear.
+    """
+    import shutil
+    import tempfile
+
+    from repro.isa import blockjit
+    from repro.pipelines.ooo.core import OOOParams
+    from repro.pipelines.ooo.sched import sched_override
+    from repro.visa.spec import VISASpec
+    from repro.workloads import get_workload
+
+    saved = os.environ.get("REPRO_CACHE_DIR")
+    tmpdir = tempfile.mkdtemp(prefix="repro-bench-oooevent-")
+    os.environ["REPRO_CACHE_DIR"] = tmpdir
+    try:
+        workload = get_workload("cnt", "tiny")
+        program = workload.program
+        machine = VISASpec().machine(program)
+        section: dict = {"host": _host_section(True)}
+
+        # Event metadata + codegen cache: the event scheduler's
+        # per-instruction dependency/resource metadata is baked into the
+        # generated code and persisted alongside it (same program
+        # digest, ``sched: event`` key), so cold = analyze + compile +
+        # store and warm = one disk load.
+        codegen = {}
+        for sched in ("scan", "event"):
+            with sched_override(sched):
+                program._blockjit_tables.clear()
+                start = time.perf_counter()
+                blockjit.block_table(machine, "ooo", OOOParams())
+                cold_s = time.perf_counter() - start
+                program._blockjit_tables.clear()
+                start = time.perf_counter()
+                blockjit.block_table(machine, "ooo", OOOParams())
+                warm_s = time.perf_counter() - start
+            codegen[sched] = {
+                "cold_seconds": round(cold_s, 4),
+                "warm_seconds": round(warm_s, 4),
+                "warm_speedup": round(cold_s / warm_s, 1),
+            }
+        section["codegen_cache"] = codegen
+
+        for path, kwargs in (
+            ("block", {"tier": "block", "warmup_runs": 5}),
+            ("interp", {"jit": False}),
+        ):
+            measured = {}
+            for sched in ("scan", "event"):
+                program._blockjit_tables.clear()
+                with sched_override(sched):
+                    measured[sched] = _measure_core(
+                        "ooo", "run", min_seconds, **kwargs
+                    )
+            measured["event_vs_scan"] = round(
+                measured["event"]["inst_per_s"]
+                / measured["scan"]["inst_per_s"], 2
+            )
+            section[path] = measured
+        base = BASELINE_OOO_SCAN["block"]["inst_per_s"]
+        section["block"]["event_vs_recorded_scan"] = round(
+            section["block"]["event"]["inst_per_s"] / base, 2
+        )
     finally:
         shutil.rmtree(tmpdir, ignore_errors=True)
         if saved is None:
@@ -439,6 +527,7 @@ def main(argv: list[str] | None = None) -> int:
         "baseline_pre_pr": BASELINE,
         "baseline_pre_jit": BASELINE_PRE_JIT,
         "baseline_block_tier": BASELINE_BLOCK_TIER,
+        "baseline_ooo_scan": BASELINE_OOO_SCAN,
         "measured": {},
         "note": (
             "Process-parallel fan-out (REPRO_JOBS) is bit-identical to the "
@@ -510,6 +599,23 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     phase_start = time.perf_counter()
+    event_section = _measure_ooo_event(min_seconds)
+    phase_seconds["ooo_event"] = round(time.perf_counter() - phase_start, 3)
+    report["measured"]["ooo_event"] = event_section
+    for path in ("block", "interp"):
+        sec = event_section[path]
+        print(
+            f"ooo_event {path:6s}  event {sec['event']['inst_per_s']:>9,} "
+            f"inst/s  scan {sec['scan']['inst_per_s']:>9,} inst/s  "
+            f"({sec['event_vs_scan']}x)"
+        )
+    for sched, times in event_section["codegen_cache"].items():
+        print(
+            f"ooo_event codegen {sched:5s}  cold {times['cold_seconds']:.3f}s  "
+            f"warm {times['warm_seconds']:.3f}s ({times['warm_speedup']}x)"
+        )
+
+    phase_start = time.perf_counter()
     cell = _measure_figure2_cell(cell_instances)
     cell["host"] = _host_section()
     report["measured"]["figure2_cell"] = cell
@@ -566,6 +672,15 @@ def main(argv: list[str] | None = None) -> int:
         failures.append("trace tier slows the OOO core down")
     if not args.smoke and trace_section["inorder"]["trace_stats"]["traces"] < 1:
         failures.append("trace tier formed no traces on the in-order core")
+    event_inst = event_section["block"]["event"]["inst_per_s"]
+    scan_floor = BASELINE_OOO_SCAN["block"]["inst_per_s"]
+    if not args.smoke and event_inst < scan_floor:
+        failures.append(
+            f"event-mode OOO {event_inst:,} inst/s regresses below the "
+            f"recorded scan baseline {scan_floor:,} inst/s"
+        )
+    if not args.smoke and event_section["block"]["event_vs_scan"] < 1.0:
+        failures.append("event scheduler slower than scan on the block tier")
     if not args.smoke and run_cache["cached_speedup"] < 10.0:
         failures.append(
             f"cached cell only {run_cache['cached_speedup']}x faster "

@@ -12,10 +12,16 @@ miscompilation and exits nonzero.
 
 ``REPRO_JIT_TIER`` narrows the matrix to one candidate tier (compared
 against the interpreter baseline computed in-process) so CI can shard
-the tiers across jobs::
+the tiers across jobs, and ``REPRO_OOO_SCHED`` selects the complex
+core's timing scheduler for the candidate tiers.  The interpreter
+baseline always runs under the original ``scan`` scheduler, so an
+``event`` candidate is checked end to end against the independent
+scan formulation, not against itself::
 
     PYTHONPATH=src python benchmarks/jit_parity_smoke.py          # all tiers
     REPRO_JIT_TIER=trace PYTHONPATH=src python benchmarks/jit_parity_smoke.py
+    REPRO_OOO_SCHED=event REPRO_JIT_TIER=block \\
+        PYTHONPATH=src python benchmarks/jit_parity_smoke.py
 """
 
 from __future__ import annotations
@@ -59,6 +65,7 @@ def main() -> int:
     from repro.memory.machine import Machine
     from repro.pipelines.inorder import InOrderCore
     from repro.pipelines.ooo.core import ComplexCore
+    from repro.pipelines.ooo.sched import sched_override
     from repro.workloads.suite import (
         EXTRA_WORKLOAD_NAMES,
         WORKLOAD_NAMES,
@@ -82,7 +89,12 @@ def main() -> int:
             digests: dict[str, tuple[str, ...]] = {}
             for tier in ["off", *candidates]:
                 per_run = []
-                with blockjit.tier_override(tier):
+                # The baseline is the scan-scheduler interpreter; the
+                # candidate tiers run under the environment-selected
+                # scheduler (REPRO_OOO_SCHED), so event-mode digests are
+                # checked against the independent scan formulation.
+                sched = "scan" if tier == "off" else None
+                with blockjit.tier_override(tier), sched_override(sched):
                     for seed in seeds:
                         machine = Machine(workload.program)
                         if seed is not None:

@@ -90,6 +90,14 @@ def _cli_tier(args) -> str | None:
     return tier
 
 
+def _cli_sched(args) -> str | None:
+    """Resolve ``--ooo-sched`` into a scheduler-override argument.
+
+    ``None`` defers to ``REPRO_OOO_SCHED`` (mirrors :func:`_cli_tier`).
+    """
+    return getattr(args, "ooo_sched", None)
+
+
 def cmd_compile(args) -> int:
     """``compile``: MiniC -> assembly on stdout."""
     print(compile_to_asm(pathlib.Path(args.file).read_text()), end="")
@@ -119,12 +127,14 @@ def cmd_disasm(args) -> int:
 def cmd_run(args) -> int:
     """``run``: execute on a simulated core; print console + stats."""
     from repro.isa import blockjit
+    from repro.pipelines.ooo.sched import sched_override
 
     program = _load_program(args.file)
     machine = Machine(program)
     core_cls = ComplexCore if args.core == "complex" else InOrderCore
     core = core_cls(machine, freq_hz=args.freq * 1e6)
-    with blockjit.tier_override(_cli_tier(args)):
+    with blockjit.tier_override(_cli_tier(args)), \
+            sched_override(_cli_sched(args)):
         result = core.run()
     for cycle, value in machine.mmio.console:
         print(f"[cycle {cycle}] {value}")
@@ -392,7 +402,10 @@ def cmd_experiment(args) -> int:
     }
     no_cache = True if args.no_cache else None  # None = REPRO_NO_CACHE default
     no_jit = True if args.no_jit else None  # None = REPRO_JIT default
-    modules[args.name].main(jobs=args.jobs, no_cache=no_cache, no_jit=no_jit)
+    modules[args.name].main(
+        jobs=args.jobs, no_cache=no_cache, no_jit=no_jit,
+        ooo_sched=_cli_sched(args),
+    )
     return 0
 
 
@@ -454,7 +467,14 @@ def cmd_cache(args) -> int:
             ["trace hits (this process)", str(jit["trace_hits"])],
             ["trace misses (this process)", str(jit["trace_misses"])],
             ["trace stores (this process)", str(jit["trace_stores"])],
+            ["trace calls (this process)", str(jit["trace_calls"])],
+            ["trace completions (this process)",
+             str(jit["trace_completions"])],
+            ["trace side exits (this process)",
+             str(jit["trace_side_exits"])],
         ]
+        for pc, count in list(jit["side_exit_pc"].items())[:8]:
+            rows.append([f"trace side exits at {pc}", str(count)])
         print(format_table(["cache statistic", "value"], rows))
         print(f"# directory: {stats['directory']}")
         print(f"# codegen directory: {jit['directory']}")
@@ -670,6 +690,8 @@ def _submit_payload(args) -> dict:
             payload["no_jit"] = True
         if args.jit_tier:
             payload["jit_tier"] = args.jit_tier
+        if args.ooo_sched:
+            payload["ooo_sched"] = args.ooo_sched
         return payload
     if args.kind == "wcet":
         payload = {
@@ -704,6 +726,8 @@ def _submit_payload(args) -> dict:
         payload["no_jit"] = True
     if args.jit_tier:
         payload["jit_tier"] = args.jit_tier
+    if args.ooo_sched:
+        payload["ooo_sched"] = args.ooo_sched
     return payload
 
 
@@ -847,6 +871,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="execution tier (same as REPRO_JIT_TIER; default: environment)",
     )
+    p.add_argument(
+        "--ooo-sched",
+        choices=["scan", "event"],
+        default=None,
+        help=(
+            "complex-core timing scheduler "
+            "(same as REPRO_OOO_SCHED; default: environment)"
+        ),
+    )
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("wcet", help="WCET analysis (static or model-checking)")
@@ -959,6 +992,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-jit",
         action="store_true",
         help="disable block compilation (same as REPRO_JIT=0)",
+    )
+    p.add_argument(
+        "--ooo-sched",
+        choices=["scan", "event"],
+        default=None,
+        help=(
+            "complex-core timing scheduler "
+            "(same as REPRO_OOO_SCHED; default: environment)"
+        ),
     )
     p.set_defaults(func=cmd_experiment)
 
@@ -1142,6 +1184,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["off", "block", "trace"],
         default=None,
         help="run/experiment jobs: pin the worker's JIT tier",
+    )
+    p.add_argument(
+        "--ooo-sched",
+        choices=["scan", "event"],
+        default=None,
+        help="run/experiment jobs: pin the worker's OOO timing scheduler",
     )
     p.add_argument(
         "--task",

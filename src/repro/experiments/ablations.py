@@ -70,6 +70,7 @@ def run_subtask_granularity(
     jobs: int | None = None,
     no_cache: bool | None = None,
     no_jit: bool | None = None,
+    ooo_sched: str | None = None,
 ) -> list[AblationRow]:
     """srt with varying checkpoint granularity; one shared deadline."""
     # Deadline from the canonical 10-sub-task version so variants compete
@@ -80,7 +81,9 @@ def run_subtask_granularity(
     analyzer.dcache_bounds = base_bounds
     deadline = 1.2 * analyzer.analyze(1e9).total_seconds + OVHD
     cells = [(scale, instances, count, deadline) for count in counts]
-    return parallel_map(_granularity_cell, cells, jobs, no_cache, no_jit)
+    return parallel_map(
+        _granularity_cell, cells, jobs, no_cache, no_jit, ooo_sched
+    )
 
 
 def _pet_cell(args: tuple[str, int, str, float, str, dict]) -> AblationRow:
@@ -103,6 +106,7 @@ def run_pet_policies(
     jobs: int | None = None,
     no_cache: bool | None = None,
     no_jit: bool | None = None,
+    ooo_sched: str | None = None,
 ) -> list[AblationRow]:
     """last-N vs histogram PET selection (§4.3)."""
     workload = get_workload(benchmark, scale)
@@ -119,7 +123,7 @@ def run_pet_policies(
         (scale, instances, benchmark, deadline, label, overrides)
         for label, overrides in policies
     ]
-    return parallel_map(_pet_cell, cells, jobs, no_cache, no_jit)
+    return parallel_map(_pet_cell, cells, jobs, no_cache, no_jit, ooo_sched)
 
 
 def _overhead_cell(args: tuple[str, int, str, float, float]) -> AblationRow:
@@ -142,6 +146,7 @@ def run_switch_overhead(
     jobs: int | None = None,
     no_cache: bool | None = None,
     no_jit: bool | None = None,
+    ooo_sched: str | None = None,
 ) -> list[AblationRow]:
     """Sensitivity to the mode/frequency switch overhead (EQ 1's ovhd)."""
     workload = get_workload(benchmark, scale)
@@ -152,7 +157,7 @@ def run_switch_overhead(
     cells = [
         (scale, instances, benchmark, wcet, ovhd) for ovhd in overheads
     ]
-    return parallel_map(_overhead_cell, cells, jobs, no_cache, no_jit)
+    return parallel_map(_overhead_cell, cells, jobs, no_cache, no_jit, ooo_sched)
 
 
 @dataclass
@@ -207,6 +212,7 @@ def run_dcache_models(
     jobs: int | None = None,
     no_cache: bool | None = None,
     no_jit: bool | None = None,
+    ooo_sched: str | None = None,
 ) -> list[DCacheModelRow]:
     """Trace-derived padding vs fully-static D-cache bounds (§3.3).
 
@@ -217,7 +223,7 @@ def run_dcache_models(
     from repro.workloads import WORKLOAD_NAMES
 
     cells = [(name, scale) for name in WORKLOAD_NAMES]
-    return parallel_map(_dcache_cell, cells, jobs, no_cache, no_jit)
+    return parallel_map(_dcache_cell, cells, jobs, no_cache, no_jit, ooo_sched)
 
 
 def render_dcache(rows: list[DCacheModelRow]) -> str:
@@ -251,6 +257,7 @@ def run_power_sensitivity(
     benchmark: str = "lms",
     no_cache: bool | None = None,
     no_jit: bool | None = None,
+    ooo_sched: str | None = None,
 ) -> list[SensitivityRow]:
     """Is Figure 2 an artifact of the power constants?  Re-score one
     tight-deadline run under perturbed :class:`PowerParams` (the phases
@@ -268,8 +275,11 @@ def run_power_sensitivity(
 
     from repro.snapshot import runcache
 
+    from repro.pipelines.ooo.sched import sched_override
+
     jit = None if no_jit is None else not no_jit
-    with runcache.no_cache_override(no_cache), blockjit.jit_override(jit):
+    with runcache.no_cache_override(no_cache), blockjit.jit_override(jit), \
+            sched_override(ooo_sched):
         prep = setup(benchmark, scale)
         pair = run_pair(prep, prep.deadline_tight, instances)
     skip = min(20, instances // 2)
@@ -330,22 +340,33 @@ def main(
     jobs: int | None = None,
     no_cache: bool | None = None,
     no_jit: bool | None = None,
+    ooo_sched: str | None = None,
 ) -> None:
     """Command-line entry point: run and print every ablation study."""
     print("== Sub-task granularity (srt) ==")
-    print(render(run_subtask_granularity(jobs=jobs, no_cache=no_cache, no_jit=no_jit)))
+    print(render(run_subtask_granularity(
+        jobs=jobs, no_cache=no_cache, no_jit=no_jit, ooo_sched=ooo_sched,
+    )))
     print()
     print("== PET policy (lms) ==")
-    print(render(run_pet_policies(jobs=jobs, no_cache=no_cache, no_jit=no_jit)))
+    print(render(run_pet_policies(
+        jobs=jobs, no_cache=no_cache, no_jit=no_jit, ooo_sched=ooo_sched,
+    )))
     print()
     print("== Switch overhead (cnt) ==")
-    print(render(run_switch_overhead(jobs=jobs, no_cache=no_cache, no_jit=no_jit)))
+    print(render(run_switch_overhead(
+        jobs=jobs, no_cache=no_cache, no_jit=no_jit, ooo_sched=ooo_sched,
+    )))
     print()
     print("== D-cache bound models ==")
-    print(render_dcache(run_dcache_models(jobs=jobs, no_cache=no_cache, no_jit=no_jit)))
+    print(render_dcache(run_dcache_models(
+        jobs=jobs, no_cache=no_cache, no_jit=no_jit, ooo_sched=ooo_sched,
+    )))
     print()
     print("== Power-model sensitivity (lms) ==")
-    print(render_sensitivity(run_power_sensitivity(no_cache=no_cache, no_jit=no_jit)))
+    print(render_sensitivity(run_power_sensitivity(
+        no_cache=no_cache, no_jit=no_jit, ooo_sched=ooo_sched,
+    )))
 
 
 if __name__ == "__main__":

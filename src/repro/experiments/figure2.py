@@ -61,6 +61,7 @@ def run(
     jobs: int | None = None,
     no_cache: bool | None = None,
     no_jit: bool | None = None,
+    ooo_sched: str | None = None,
 ) -> list[Figure2Row]:
     """Run the experiment; returns one row per measured configuration."""
     scale = scale or default_scale()
@@ -70,7 +71,7 @@ def run(
         for name in WORKLOAD_NAMES
         for kind in ("T", "L")
     ]
-    return parallel_map(_cell, cells, jobs, no_cache, no_jit)
+    return parallel_map(_cell, cells, jobs, no_cache, no_jit, ooo_sched)
 
 
 def render(rows: list[Figure2Row]) -> str:
@@ -110,13 +111,14 @@ def main(
     jobs: int | None = None,
     no_cache: bool | None = None,
     no_jit: bool | None = None,
+    ooo_sched: str | None = None,
 ) -> None:
     """Command-line entry point: run and print the experiment."""
     print(
         "Figure 2 reproduction (scale=%s, instances=%d)"
         % (default_scale(), default_instances())
     )
-    rows = run(jobs=jobs, no_cache=no_cache, no_jit=no_jit)
+    rows = run(jobs=jobs, no_cache=no_cache, no_jit=no_jit, ooo_sched=ooo_sched)
     print(render(rows))
     print()
     print(chart(rows))

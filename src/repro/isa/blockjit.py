@@ -46,6 +46,7 @@ import marshal
 import os
 import re
 import sys
+import weakref
 from collections import deque
 from collections.abc import Iterator
 from contextlib import contextmanager
@@ -83,7 +84,18 @@ _MMIO = layout.MMIO_BASE
 _REDIRECT_OFFSET = BRANCH_PENALTY - _FRONT_DEPTH + 1
 _RUNAWAY = 200_000_000
 
+# Event-scheduler width-map hygiene: every _PRUNE_STRIDE committed
+# instructions, cycle-keyed dispatch/issue/port maps larger than
+# _PRUNE_MIN entries are rebuilt with dead (pre-frontier) keys dropped.
+_PRUNE_STRIDE = 8192
+_PRUNE_MIN = 512
+
 _CONTROL_KINDS = (K_BRANCH, K_JUMP, K_INDIRECT, K_HALT)
+
+#: Live BlockTables (weak): ``disk_cache_stats`` aggregates their trace
+#: runtime counters so ``repro cache stats`` can show completions and
+#: the side-exit-pc breakdown for the current process.
+_LIVE_TABLES: "weakref.WeakSet[Any]" = weakref.WeakSet()
 
 BlockFn = Callable[..., Any]
 BlockEntry = tuple[BlockFn, int]
@@ -936,20 +948,76 @@ _OOO_ST = (
     "dmiss, cg, cbp, crr, crw, cdc, nmem, _pc, nex, wd, wdx"
 )
 
+# Event-mode layouts (REPRO_OOO_SCHED=event).  The st prefix [0..22] is
+# identical to the scan layout — the dispatcher's finally-flush and the
+# trace tier's watchdog entry guard index into it — with six appended
+# slots: 23 ri (ROB ring cursor), 24 qi (IQ ring cursor), 25 li (LSQ
+# ring cursor), 26 ccn (commits at the lc frontier cycle), 27 gh
+# (gshare global history), 28 ih (indirect-predictor history).  env
+# swaps the bound predictor methods and the commit width map + three
+# occupancy deques for the raw predictor tables and preallocated rings
+# (the generated code inlines predictor reads/updates and ring
+# occupancy clamps; see ``_OOOEmitter``).
+
+_OOO_ENV_EVENT = (
+    "words, words_get, isets, dsets, mmio, mmio_read, mmio_write, "
+    "data_read, data_write, pen, base, honor, gt, it, it_get, "
+    "dis_used, dis_get, iss_used, iss_get, port_used, port_get, "
+    "robq, iqq, lsqq, inflight_stores, get_inflight"
+)
+_OOO_ST_EVENT = _OOO_ST + ", ri, qi, li, ccn, gh, ih"
+
+
+def _fwd_consumers(insts: list[tuple[int, Any]]) -> set[int]:
+    """Indices of instructions whose result has an in-block consumer.
+
+    The event emitter binds a producer's wakeup value to a local only
+    when a later instruction in the same emission unit reads that
+    register before it is rewritten (dependency metadata precomputed at
+    decode time); producers without consumers write ``ready`` directly.
+    """
+    last_writer: dict[int, int] = {}
+    useful: set[int] = set()
+    for idx, (_ipc, fi) in enumerate(insts):
+        src_keys, dkey = fi[2], fi[3]
+        for sk in src_keys:
+            j = last_writer.get(sk)
+            if j is not None:
+                useful.add(j)
+        if dkey >= 0:
+            last_writer[dkey] = idx
+    return useful
+
 
 class _OOOEmitter:
     """Emit one complex-mode basic-block function (layout comment above)."""
 
-    def __init__(self, geom: "_Geometry", params: Any) -> None:
+    def __init__(
+        self, geom: "_Geometry", params: Any, event: bool = False,
+    ) -> None:
         self.g = geom
         self.p = params
+        #: Event-driven scheduler codegen (REPRO_OOO_SCHED=event): ring
+        #: occupancy clamps, commit-frontier retirement, inlined
+        #: predictors, in-block producer forwarding.  Bit-identical to
+        #: the scan form by construction (see docs/performance.md).
+        self.event = event
         self.lines: list[str] = []
         self.regs = _Regs(self.lines)
         # Commit-clamp name (the reference's ``last_commit``, updated at
         # the commit stage) vs sync name (``committed_now``'s cycle part,
         # which only advances *after* an instruction's side effects).
+        # Event mode keeps ``lc`` as one mutable frontier local instead
+        # of rotating SSA names.
         self.lc = "lc"
         self.lc_sync = "lc"
+        # Event mode: flat register key -> local holding the ready value
+        # its in-block producer just computed (consumers read the local
+        # instead of ``ready[key]``; the values are equal by construction).
+        self._fwd: dict[int, str] = {}
+        # Inst indices whose forwarding local has an in-block consumer
+        # (None = unknown, always bind; plain blocks precompute it).
+        self._fwd_useful: set[int] | None = None
         self.cbp = 0
         self.crr = 0
         self.crw = 0
@@ -979,13 +1047,16 @@ class _OOOEmitter:
         if commit is None:
             commit = ind == "    "
         self.lines.extend(self.regs.spill_lines(ind, commit=commit))
-        self.emit(ind, "st[:] = (" + ", ".join((
+        slots = (
             "bf", "fc", "gd", "gc", "gb", "rd", self.lc_sync,
             "itick", "dtick", "ihits", "imiss", "dhits", "dmiss", "cg",
             _ctr("cbp", self.cbp), _ctr("crr", self.crr),
             _ctr("crw", self.crw), "cdc", _ctr("nmem", self.nmem),
             pc_expr, _ctr("nex", self.nex), "wd", "wdx",
-        )) + ")")
+        )
+        if self.event:
+            slots += ("ri", "qi", "li", "ccn", "gh", "ih")
+        self.emit(ind, "st[:] = (" + ", ".join(slots) + ")")
 
     def _exit(self, ind: str, pc_expr: str, ret: str) -> None:
         self._sync(ind, pc_expr)
@@ -1033,9 +1104,11 @@ class _OOOEmitter:
         fname = f"_o{pc:x}"
         head = [
             f"def {fname}(ir, fr, ready, st, env):",
-            f"    ({_OOO_ENV}) = env",
-            f"    ({_OOO_ST}) = st",
+            f"    ({_OOO_ENV_EVENT if self.event else _OOO_ENV}) = env",
+            f"    ({_OOO_ST_EVENT if self.event else _OOO_ST}) = st",
         ]
+        if self.event:
+            self._fwd_useful = _fwd_consumers(insts)
         for idx, (ipc, fi) in enumerate(insts):
             self._inst(idx, ipc, fi, is_last=idx == len(insts) - 1)
         return "\n".join(head + _tighten_max(self.lines)) + "\n"
@@ -1145,14 +1218,38 @@ class _OOOEmitter:
                 self.emit(ind, f"{a} = ({s_txt} + {inst.imm}) & _M")
         elif kind == K_BRANCH:
             self.emit(ind, f"k{i} = {_branch_expr(inst, regs, ind)}")
-            self.emit(ind, f"p{i} = gpredict({pc})")
-            self.emit(ind, f"gupdate({pc}, k{i})")
+            if self.event:
+                # Inlined gshare (predictor.py semantics, 2^16 geometry
+                # folded at codegen): predict on the pre-update history,
+                # saturate the 2-bit counter, shift the outcome in.
+                self.emit(ind, f"gi = ({pc >> 2} ^ gh) & 65535")
+                self.emit(ind, "gv = gt[gi]")
+                self.emit(ind, f"p{i} = gv >= 2")
+                self.emit(ind, f"if k{i}:")
+                self.emit(ind + "    ", "if gv < 3:")
+                self.emit(ind + "        ", "gt[gi] = gv + 1")
+                self.emit(ind + "    ", "gh = ((gh << 1) | 1) & 65535")
+                self.emit(ind, "else:")
+                self.emit(ind + "    ", "if gv:")
+                self.emit(ind + "        ", "gt[gi] = gv - 1")
+                self.emit(ind + "    ", "gh = (gh << 1) & 65535")
+            else:
+                self.emit(ind, f"p{i} = gpredict({pc})")
+                self.emit(ind, f"gupdate({pc}, k{i})")
             self.cbp += 1
         elif kind == K_INDIRECT:
             s_txt = regs.read(inst.rs, ind)
             self.emit(ind, f"g{i} = {s_txt} & _M")
-            self.emit(ind, f"p{i} = ipredict({pc})")
-            self.emit(ind, f"iupdate({pc}, g{i})")
+            if self.event:
+                # Inlined indirect-target table (update shifts a taken
+                # bit into the history, per predictor.py).
+                self.emit(ind, f"ii = ({pc >> 2} ^ ih) & 65535")
+                self.emit(ind, f"p{i} = it_get(ii)")
+                self.emit(ind, f"it[ii] = g{i}")
+                self.emit(ind, "ih = ((ih << 1) | 1) & 65535")
+            else:
+                self.emit(ind, f"p{i} = ipredict({pc})")
+                self.emit(ind, f"iupdate({pc}, g{i})")
             self.cbp += 1
         # K_JUMP / K_HALT: nothing to execute.
 
@@ -1160,20 +1257,34 @@ class _OOOEmitter:
         is_mem = kind == K_LOAD or kind == K_STORE
         d = f"d{i}"
         self.emit(ind, f"{d} = gd + 1")
-        for q, n_entries in (
-            ("rob_commits", p.rob_entries),
-            ("iq_issues", p.iq_entries),
-        ):
-            self.emit(ind, f"if len({q}) == {n_entries}:")
-            self.emit(ind + "    ", f"t = {q}[0] + 1")
-            self.emit(ind + "    ", f"if t > {d}:")
-            self.emit(ind + "        ", f"{d} = t")
-        if is_mem:
-            self.nmem += 1
-            self.emit(ind, f"if len(lsq_commits) == {p.lsq_entries}:")
-            self.emit(ind + "    ", "t = lsq_commits[0] + 1")
-            self.emit(ind + "    ", f"if t > {d}:")
-            self.emit(ind + "        ", f"{d} = t")
+        if self.event:
+            # Ring occupancy clamps: the cursor slot holds the oldest
+            # live entry exactly when the structure is full, else the -1
+            # sentinel (never >= d, which is >= 1), reproducing the
+            # deque len==N guard without a length check.
+            rings = [("robq", "ri"), ("iqq", "qi")]
+            if is_mem:
+                self.nmem += 1
+                rings.append(("lsqq", "li"))
+            for ring, cur in rings:
+                self.emit(ind, f"t = {ring}[{cur}]")
+                self.emit(ind, f"if t >= {d}:")
+                self.emit(ind + "    ", f"{d} = t + 1")
+        else:
+            for q, n_entries in (
+                ("rob_commits", p.rob_entries),
+                ("iq_issues", p.iq_entries),
+            ):
+                self.emit(ind, f"if len({q}) == {n_entries}:")
+                self.emit(ind + "    ", f"t = {q}[0] + 1")
+                self.emit(ind + "    ", f"if t > {d}:")
+                self.emit(ind + "        ", f"{d} = t")
+            if is_mem:
+                self.nmem += 1
+                self.emit(ind, f"if len(lsq_commits) == {p.lsq_entries}:")
+                self.emit(ind + "    ", "t = lsq_commits[0] + 1")
+                self.emit(ind + "    ", f"if t > {d}:")
+                self.emit(ind + "        ", f"{d} = t")
         self.emit(ind, f"while (vd := dis_get({d}, 0)) >= {p.dispatch_width}:")
         self.emit(ind + "    ", f"{d} += 1")
         self.emit(ind, f"dis_used[{d}] = vd + 1")
@@ -1182,7 +1293,8 @@ class _OOOEmitter:
         s = f"s{i}"
         self.emit(ind, f"{s} = {d} + 1")
         for sk in dict.fromkeys(src_keys):
-            self.emit(ind, f"t = ready[{sk}]")
+            fwd = self._fwd.get(sk) if self.event else None
+            self.emit(ind, f"t = {fwd if fwd is not None else f'ready[{sk}]'}")
             self.emit(ind, f"if t > {s}:")
             self.emit(ind + "    ", f"{s} = t")
         if is_mem:
@@ -1205,7 +1317,8 @@ class _OOOEmitter:
         self.crr += nsrc
 
         x = f"x{i}"
-        self.emit(ind, f"{x} = {s} + {p.issue_to_ex}")
+        if kind == K_LOAD or not self.event:
+            self.emit(ind, f"{x} = {s} + {p.issue_to_ex}")
 
         # -- execute / memory --
         c = f"c{i}"
@@ -1221,7 +1334,13 @@ class _OOOEmitter:
                 self.emit(ind, "else:")
                 self._load_mem_timing(ind + "    ", i, a, x, c)
         elif kind == K_STORE:
-            self.emit(ind, f"{c} = {x} + 1")
+            # Event mode folds the unused ex_start local into the sum.
+            if self.event:
+                self.emit(ind, f"{c} = {s} + {p.issue_to_ex + 1}")
+            else:
+                self.emit(ind, f"{c} = {x} + 1")
+        elif self.event:
+            self.emit(ind, f"{c} = {s} + {p.issue_to_ex + lat}")
         else:
             self.emit(ind, f"{c} = {x} + {lat}")
 
@@ -1244,18 +1363,57 @@ class _OOOEmitter:
 
         # -- commit (in order, 4-wide) --
         y = f"y{i}"
-        self.emit(ind, f"{y} = {c} + 1")
-        self.emit(ind, f"if {self.lc} > {y}:")
-        self.emit(ind + "    ", f"{y} = {self.lc}")
-        self.emit(ind, f"while (vc := com_get({y}, 0)) >= {p.commit_width}:")
-        self.emit(ind + "    ", f"{y} += 1")
-        self.emit(ind, f"com_used[{y}] = vc + 1")
-        self.emit(ind, f"rob_append({y})")
-        if is_mem:
-            self.emit(ind, f"lsq_append({y})")
-        self.emit(ind, f"iq_append({s})")
-        # y >= old last_commit by construction, so last_commit becomes y.
-        self.lc = y
+        if self.event:
+            # Batched retirement via the commit frontier (lc, ccn): every
+            # candidate max(c+1, lc) is >= lc and the width map has no
+            # entries past lc, so one pair replaces the dict scan.  The
+            # frontier equals this commit afterwards (lc == y), but the
+            # sync slot must keep lagging through the side effects
+            # (committed_now semantics), hence the lcp snapshot.
+            if is_mem:
+                self.emit(ind, f"lcp{i} = lc")
+            self.emit(ind, f"{y} = {c} + 1")
+            self.emit(ind, f"if {y} <= lc:")
+            self.emit(ind + "    ", f"if ccn < {p.commit_width}:")
+            self.emit(ind + "        ", "ccn += 1")
+            self.emit(ind + "        ", f"{y} = lc")
+            self.emit(ind + "    ", "else:")
+            self.emit(ind + "        ", "lc += 1")
+            self.emit(ind + "        ", "ccn = 1")
+            self.emit(ind + "        ", f"{y} = lc")
+            self.emit(ind, "else:")
+            self.emit(ind + "    ", f"lc = {y}")
+            self.emit(ind + "    ", "ccn = 1")
+            self.emit(ind, f"robq[ri] = {y}")
+            self.emit(ind, "ri += 1")
+            self.emit(ind, f"if ri == {p.rob_entries}:")
+            self.emit(ind + "    ", "ri = 0")
+            if is_mem:
+                self.emit(ind, f"lsqq[li] = {y}")
+                self.emit(ind, "li += 1")
+                self.emit(ind, f"if li == {p.lsq_entries}:")
+                self.emit(ind + "    ", "li = 0")
+            self.emit(ind, f"iqq[qi] = {s}")
+            self.emit(ind, "qi += 1")
+            self.emit(ind, f"if qi == {p.iq_entries}:")
+            self.emit(ind + "    ", "qi = 0")
+            self.lc_sync = f"lcp{i}" if is_mem else "lc"
+        else:
+            self.emit(ind, f"{y} = {c} + 1")
+            self.emit(ind, f"if {self.lc} > {y}:")
+            self.emit(ind + "    ", f"{y} = {self.lc}")
+            self.emit(
+                ind, f"while (vc := com_get({y}, 0)) >= {p.commit_width}:"
+            )
+            self.emit(ind + "    ", f"{y} += 1")
+            self.emit(ind, f"com_used[{y}] = vc + 1")
+            self.emit(ind, f"rob_append({y})")
+            if is_mem:
+                self.emit(ind, f"lsq_append({y})")
+            self.emit(ind, f"iq_append({s})")
+            # y >= old last_commit by construction, so last_commit
+            # becomes y.
+            self.lc = y
 
         # -- architectural side effects --
         pc_next = str(npc)
@@ -1333,7 +1491,16 @@ class _OOOEmitter:
 
         if dkey >= 0:
             self.crw += 1
-            self.emit(ind, f"ready[{dkey}] = {c} - {p.issue_to_ex}")
+            if self.event and (
+                self._fwd_useful is None or i in self._fwd_useful
+            ):
+                self.emit(ind, f"rv{i} = {c} - {p.issue_to_ex}")
+                self.emit(ind, f"ready[{dkey}] = rv{i}")
+                self._fwd[dkey] = f"rv{i}"
+            else:
+                self.emit(ind, f"ready[{dkey}] = {c} - {p.issue_to_ex}")
+                if self.event:
+                    self._fwd.pop(dkey, None)
         self.nex += 1
 
         if kind == K_HALT:
@@ -1475,11 +1642,13 @@ def _collect_block(
 
 def _emit_block(
     engine: str, geom: _Geometry, params: Any, start: int,
-    insts: list[tuple[int, Any]],
+    insts: list[tuple[int, Any]], sched: str = "scan",
 ) -> str:
     if engine == "inorder":
         return _InOrderEmitter(geom).emit_block(start, insts)
-    return _OOOEmitter(geom, params).emit_block(start, insts)
+    return _OOOEmitter(
+        geom, params, event=sched == "event"
+    ).emit_block(start, insts)
 
 
 class BlockTable:
@@ -1508,6 +1677,7 @@ class BlockTable:
         blocks: dict[int, BlockEntry],
         tier: str = "block",
         disk_key: str | None = None,
+        sched: str = "scan",
     ) -> None:
         self.program = program
         self.engine = engine
@@ -1516,6 +1686,9 @@ class BlockTable:
         self.blocks = blocks
         self.tier = tier
         self.disk_key = disk_key
+        #: OOO timing-scheduler codegen this table was built for
+        #: ("scan"/"event"; always "scan" for the in-order engine).
+        self.sched = sched
         self._ns = namespace
         self.safe_breaks: frozenset[int] = (
             frozenset(program.subtask_marks) | {program.entry}
@@ -1532,6 +1705,11 @@ class BlockTable:
         self._no_trace: set[int] = set()
         # [calls, side exits]: bumped by the generated trace code itself.
         namespace.setdefault("_tr", [0, 0])
+        # Side-exit pc -> count: bumped by the generated side-exit arms
+        # (``repro cache stats`` surfaces the breakdown).
+        sx: dict[int, int] = namespace.setdefault("_sx", {})
+        namespace.setdefault("_sx_get", sx.get)
+        _LIVE_TABLES.add(self)
 
     def promote(self, pc: int, entry: BlockEntry) -> BlockEntry:
         """Try to replace the hot block at ``pc`` with a stitched trace.
@@ -1552,6 +1730,7 @@ class BlockTable:
     def trace_summary(self) -> dict[str, Any]:
         """Formation and runtime stats for the installed traces."""
         tr = self._ns.get("_tr", [0, 0])
+        sx: dict[int, int] = self._ns.get("_sx", {})
         metas = list(self.traces_meta.values())
         n = len(metas)
         calls = int(tr[0])
@@ -1563,6 +1742,13 @@ class BlockTable:
             "calls": calls,
             "side_exits": exits,
             "side_exit_rate": (exits / calls) if calls else 0.0,
+            "trace_completions": calls - exits,
+            "side_exit_pc": {
+                f"{pc:#x}": count
+                for pc, count in sorted(
+                    sx.items(), key=lambda kv: (-kv[1], kv[0])
+                )
+            },
         }
 
     def block_at(self, pc: int) -> BlockEntry:
@@ -1577,7 +1763,9 @@ class BlockTable:
         if not self.program.contains(pc):
             raise ReproError(f"no instruction at {pc:#x}")
         insts = _collect_block(self.program, pc, self.safe_breaks)
-        source = _emit_block(self.engine, self.geom, self.params, pc, insts)
+        source = _emit_block(
+            self.engine, self.geom, self.params, pc, insts, self.sched
+        )
         code = compile(source, f"<blockjit:{self.engine}:{pc:#x}>", "exec")
         exec(code, self._ns)  # noqa: S102 - executing our own codegen
         entry = (self._ns[_fname(self.engine, pc)], len(insts))
@@ -1587,7 +1775,7 @@ class BlockTable:
 
 def _disk_key(
     program: "Program", engine: str, geom: _Geometry,
-    params_tuple: tuple | None,
+    params_tuple: tuple | None, sched: str = "scan",
 ) -> str:
     from repro.snapshot.state import (
         FORMAT_VERSION,
@@ -1606,6 +1794,10 @@ def _disk_key(
         "geom": list(geom),
         "params": list(params_tuple) if params_tuple is not None else None,
     }
+    if engine == "ooo" and sched == "event":
+        # Event-mode codegen keys separately; scan keys are unchanged so
+        # existing cache entries stay valid.
+        payload["sched"] = sched
     return hashlib.sha256(canonical_json(payload).encode()).hexdigest()[:24]
 
 
@@ -1649,11 +1841,11 @@ def _store_disk(engine: str, key: str, payload: dict) -> None:
 
 def _build_table(
     program: "Program", engine: str, geom: _Geometry, params: Any,
-    params_tuple: tuple | None, tier: str = "block",
+    params_tuple: tuple | None, tier: str = "block", sched: str = "scan",
 ) -> BlockTable:
     from repro.snapshot.state import FORMAT_VERSION
 
-    key = _disk_key(program, engine, geom, params_tuple)
+    key = _disk_key(program, engine, geom, params_tuple, sched)
     ns = dict(_EXEC_GLOBALS)
     blocks: dict[int, BlockEntry] = {}
     payload = _load_disk(engine, key)
@@ -1677,7 +1869,7 @@ def _build_table(
             blocks[int(spc)] = (ns[fname], int(blen))
         return _finish_table(
             BlockTable(program, engine, geom, params, ns, blocks,
-                       tier=tier, disk_key=key)
+                       tier=tier, disk_key=key, sched=sched)
         )
 
     leaders = _leaders(program)
@@ -1689,7 +1881,7 @@ def _build_table(
     while pending:
         start = pending.pop(0)
         insts = _collect_block(program, start, stops)
-        sources.append(_emit_block(engine, geom, params, start, insts))
+        sources.append(_emit_block(engine, geom, params, start, insts, sched))
         meta[str(start)] = [_fname(engine, start), len(insts)]
         # A run split at the fuse cap continues in a follow-on block.
         last_pc, last_fi = insts[-1]
@@ -1717,7 +1909,7 @@ def _build_table(
     })
     return _finish_table(
         BlockTable(program, engine, geom, params, ns, blocks,
-                   tier=tier, disk_key=key)
+                   tier=tier, disk_key=key, sched=sched)
     )
 
 
@@ -1748,6 +1940,14 @@ def block_table(
         tier = jit_tier()
     if tier == "off":
         tier = "block"
+    if engine == "ooo":
+        # Lazy import: repro.pipelines.ooo.__init__ imports core, which
+        # imports this module.
+        from repro.pipelines.ooo.sched import ooo_sched
+
+        sched = ooo_sched()
+    else:
+        sched = "scan"
     program = machine.program
     ic = machine.icache.config
     dc = machine.dcache.config
@@ -1757,12 +1957,12 @@ def block_table(
         program.text_base, program.text_end,
     )
     params_tuple = tuple(astuple(params)) if params is not None else None
-    memo_key = (engine, geom, params_tuple, tier)
+    memo_key = (engine, geom, params_tuple, tier, sched)
     tables = program._blockjit_tables  # noqa: SLF001 - cooperative memo
     table = tables.get(memo_key)
     if table is None:
         table = _build_table(
-            program, engine, geom, params, params_tuple, tier
+            program, engine, geom, params, params_tuple, tier, sched
         )
         tables[memo_key] = table
     return table
@@ -1911,13 +2111,12 @@ def run_ooo(core: Any, table: BlockTable, honor_watchdog: bool = True) -> Any:
     ic = machine.icache
     dc = machine.dcache
     base = state.now
+    event = table.sched == "event"
+    gshare = core.gshare
+    indirect = core.indirect
     dis_used: dict[int, int] = {}
     iss_used: dict[int, int] = {}
-    com_used: dict[int, int] = {}
     port_used: dict[int, int] = {}
-    rob_commits: deque[int] = deque(maxlen=params.rob_entries)
-    iq_issues: deque[int] = deque(maxlen=params.iq_entries)
-    lsq_commits: deque[int] = deque(maxlen=params.lsq_entries)
     inflight_stores: dict[int, tuple[int, int]] = {}
     ready = [0] * 64
     wd = (
@@ -1934,20 +2133,48 @@ def run_ooo(core: Any, table: BlockTable, honor_watchdog: bool = True) -> Any:
         wd, mmio._wd_expiry,  # noqa: SLF001
     ]
     words = machine.memory._words  # noqa: SLF001
-    env = (
-        words, words.get,
-        ic._sets, dc._sets,  # noqa: SLF001
-        mmio, mmio.read, mmio.write,
-        machine.data_read, machine.data_write,
-        core.stall_cycles, base, honor_watchdog,
-        core.gshare.predict, core.gshare.update,
-        core.indirect.predict, core.indirect.update,
-        dis_used, dis_used.get, iss_used, iss_used.get,
-        com_used, com_used.get, port_used, port_used.get,
-        rob_commits, rob_commits.append, iq_issues, iq_issues.append,
-        lsq_commits, lsq_commits.append,
-        inflight_stores, inflight_stores.get,
-    )
+    if event:
+        # Preallocated rings (-1 sentinel = not yet full at that cursor)
+        # replace the occupancy deques; the commit width map is replaced
+        # entirely by the in-code frontier pair st[6]/st[26]; predictor
+        # tables are passed raw (reads/updates are inlined in the
+        # generated code, histories live in st[27]/st[28]).
+        robq = [-1] * params.rob_entries
+        iqq = [-1] * params.iq_entries
+        lsqq = [-1] * params.lsq_entries
+        st += [0, 0, 0, 0, gshare.history, indirect.history]
+        env: tuple[Any, ...] = (
+            words, words.get,
+            ic._sets, dc._sets,  # noqa: SLF001
+            mmio, mmio.read, mmio.write,
+            machine.data_read, machine.data_write,
+            core.stall_cycles, base, honor_watchdog,
+            gshare.table, indirect.table, indirect.table.get,
+            dis_used, dis_used.get, iss_used, iss_used.get,
+            port_used, port_used.get,
+            robq, iqq, lsqq,
+            inflight_stores, inflight_stores.get,
+        )
+    else:
+        robq = []
+        com_used: dict[int, int] = {}
+        rob_commits: deque[int] = deque(maxlen=params.rob_entries)
+        iq_issues: deque[int] = deque(maxlen=params.iq_entries)
+        lsq_commits: deque[int] = deque(maxlen=params.lsq_entries)
+        env = (
+            words, words.get,
+            ic._sets, dc._sets,  # noqa: SLF001
+            mmio, mmio.read, mmio.write,
+            machine.data_read, machine.data_write,
+            core.stall_cycles, base, honor_watchdog,
+            gshare.predict, gshare.update,
+            indirect.predict, indirect.update,
+            dis_used, dis_used.get, iss_used, iss_used.get,
+            com_used, com_used.get, port_used, port_used.get,
+            rob_commits, rob_commits.append, iq_issues, iq_issues.append,
+            lsq_commits, lsq_commits.append,
+            inflight_stores, inflight_stores.get,
+        )
     ir = state.int_regs
     fr = state.fp_regs
     blocks = table.blocks
@@ -1955,6 +2182,7 @@ def run_ooo(core: Any, table: BlockTable, honor_watchdog: bool = True) -> Any:
     counts = table.hot_counts
     hot = table.hot_threshold
     pc = state.pc
+    pruned_at = 0
     try:
         while True:
             entry = blocks.get(pc)
@@ -1969,6 +2197,31 @@ def run_ooo(core: Any, table: BlockTable, honor_watchdog: bool = True) -> Any:
             if r.__class__ is int:
                 pc = r
                 st[19] = pc
+                if event and st[20] - pruned_at >= _PRUNE_STRIDE:
+                    # Keep the width maps cache-resident: every future
+                    # dispatch probe starts at >= max(group_done, oldest
+                    # live ROB commit) + 1 (both monotone; the ROB clamp
+                    # applies forever once 128 committed), issue/port
+                    # probes one cycle later still, so keys below those
+                    # floors are dead and safe to drop between blocks.
+                    pruned_at = st[20]
+                    t = robq[st[23]]
+                    floor = st[2] if st[2] > t else t
+                    floor += 1
+                    if len(dis_used) > _PRUNE_MIN:
+                        keep = {
+                            k: v for k, v in dis_used.items() if k >= floor
+                        }
+                        dis_used.clear()
+                        dis_used.update(keep)
+                    floor += 1
+                    for used in (iss_used, port_used):
+                        if len(used) > _PRUNE_MIN:
+                            keep = {
+                                k: v for k, v in used.items() if k >= floor
+                            }
+                            used.clear()
+                            used.update(keep)
                 if st[20] > _RUNAWAY:  # pragma: no cover - runaway guard
                     raise SimulationError(
                         "instruction budget exceeded (runaway?)"
@@ -1983,6 +2236,9 @@ def run_ooo(core: Any, table: BlockTable, honor_watchdog: bool = True) -> Any:
                 exception_cycle=min(now, st[22]),
             )
     finally:
+        if event:
+            gshare.history = st[27]
+            indirect.history = st[28]
         state.pc = st[19]
         state.now = base + st[6]
         state.instret += st[20]
@@ -2048,6 +2304,19 @@ def disk_cache_stats() -> dict:
                         else "block")
                 tiers[tier]["entries"] += 1
                 tiers[tier]["bytes"] += size
+    # Runtime trace behaviour of live in-process tables (the CLI shows
+    # zeros here in a fresh process; experiments/benchmarks embedding
+    # the simulator see the live counters).
+    calls = exits = 0
+    side_exit_pc: dict[str, int] = {}
+    for table in list(_LIVE_TABLES):
+        if table.tier != "trace" or not table.traces_meta:
+            continue
+        summary = table.trace_summary()
+        calls += summary["calls"]
+        exits += summary["side_exits"]
+        for pc, count in summary["side_exit_pc"].items():
+            side_exit_pc[pc] = side_exit_pc.get(pc, 0) + count
     return {
         "directory": str(directory),
         "entries": entries,
@@ -2059,6 +2328,12 @@ def disk_cache_stats() -> dict:
         "trace_hits": int(runcache.STATS["tracejit_hits"]),
         "trace_misses": int(runcache.STATS["tracejit_misses"]),
         "trace_stores": int(runcache.STATS["tracejit_stores"]),
+        "trace_calls": calls,
+        "trace_side_exits": exits,
+        "trace_completions": calls - exits,
+        "side_exit_pc": dict(sorted(
+            side_exit_pc.items(), key=lambda kv: (-kv[1], kv[0])
+        )),
     }
 
 

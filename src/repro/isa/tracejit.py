@@ -55,7 +55,7 @@ if TYPE_CHECKING:
     from pathlib import Path
 
 #: Bump when the emitted trace code changes shape; stale entries miss.
-TRACE_CODEGEN_VERSION = 1
+TRACE_CODEGEN_VERSION = 2
 
 #: Dispatch count at which a block is promoted to a trace head.
 HOT_THRESHOLD = 16
@@ -104,32 +104,45 @@ def form_chain(table: Any, head: int) -> list[Segment] | None:
 
     Safe-break addresses are barriers: they may head a trace but never
     appear at an interior position, so the dispatcher's between-dispatch
-    breakpoint check stays exact.  Loops (a successor revisiting an
-    earlier block, including ``head`` itself) unroll until the
-    instruction or segment budget runs out.
+    breakpoint check stays exact.  A successor revisiting a block
+    already in the chain (including ``head`` itself) ends the chain:
+    back edges return to the dispatcher, which re-enters the trace at
+    its head.  Statically unrolling the loop instead looks attractive
+    but loses badly in practice — the BTFN assumption holds only until
+    the dynamic trip count runs out, so the loop-exit branch side-exits
+    somewhere inside the unrolled body on *every* call and the trace
+    never completes (the recorded ``side_exit_rate: 1.0`` pathology).
     """
     program = table.program
     barriers = table.safe_breaks
     segments: list[Segment] = []
+    seen: set[int] = set()
+    back_edge = False
     n_insts = 0
     pc = head
     while True:
         insts = blockjit._collect_block(program, pc, barriers)
         last_pc, last_fi = insts[-1]
+        seen.add(pc)
         n_insts += len(insts)
         nxt = _successor(last_pc, last_fi)
         if (
             nxt is None
+            or nxt in seen
             or nxt in barriers
             or not program.contains(nxt)
             or n_insts >= MAX_TRACE_INSTS
             or len(segments) + 1 >= MAX_TRACE_BLOCKS
         ):
+            back_edge = nxt is not None and nxt in seen
             segments.append((pc, insts, None))
             break
         segments.append((pc, insts, nxt))
         pc = nxt
-    if len(segments) < 2:
+    if len(segments) < 2 and not back_edge:
+        # A straight-line single block gains nothing over its block
+        # function; a self-looping one does (watchdog-elided body, one
+        # completion per iteration), so back edges keep the chain.
         return None
     return segments
 
@@ -175,6 +188,7 @@ def _stitch(em: Any, i: int, fi: Any, nxt: int | None) -> None:
         cond, off = f"if k{i}:", int(starget)
     em.emit("    ", cond)
     em.emit("        ", "_tr[1] += 1")
+    em.emit("        ", f"_sx[{off}] = _sx_get({off}, 0) + 1")
     em._exit("        ", str(off), str(off))
 
 
@@ -207,18 +221,30 @@ class _InOrderTraceEmitter(blockjit._InOrderEmitter):
 
 
 class _OOOTraceEmitter(blockjit._OOOEmitter):
-    """Stitched complex-mode superblock emitter (signature ``_u{pc:x}``)."""
+    """Stitched complex-mode superblock emitter (signature ``_u{pc:x}``).
+
+    Emits for whichever timing scheduler the owning table was built for
+    (the ``event`` constructor flag): the env/st unpack strings and the
+    per-instruction bodies (inherited from :class:`blockjit._OOOEmitter`)
+    switch together, so a trace always matches its block functions.
+    """
 
     def emit_trace(self, head: int, segments: list[Segment]) -> str:
         self._wd_elide = True
+        env_names = (
+            blockjit._OOO_ENV_EVENT if self.event else blockjit._OOO_ENV
+        )
+        st_names = (
+            blockjit._OOO_ST_EVENT if self.event else blockjit._OOO_ST
+        )
         lines = [
             f"def {_trace_fname('ooo', head)}(ir, fr, ready, st, env):",
             "    _tr[0] += 1",
             "    if st[21]:",
             f"        return {blockjit._fname('ooo', head)}"
             "(ir, fr, ready, st, env)",
-            f"    ({blockjit._OOO_ENV}) = env",
-            f"    ({blockjit._OOO_ST}) = st",
+            f"    ({env_names}) = env",
+            f"    ({st_names}) = st",
         ]
         _emit_segments(self, segments)
         return "\n".join(lines + _peephole(self.lines)) + "\n"
@@ -226,10 +252,12 @@ class _OOOTraceEmitter(blockjit._OOOEmitter):
 
 def _emit_trace(
     engine: str, geom: Any, params: Any, head: int, segments: list[Segment],
+    sched: str = "scan",
 ) -> str:
     if engine == "inorder":
         return _InOrderTraceEmitter(geom).emit_trace(head, segments)
-    return _OOOTraceEmitter(geom, params).emit_trace(head, segments)
+    em = _OOOTraceEmitter(geom, params, event=sched == "event")
+    return em.emit_trace(head, segments)
 
 
 # --- peephole pass over the emitted source ------------------------------------
@@ -377,7 +405,7 @@ def compile_trace(table: Any, head: int) -> Any | None:
     if segments is None:
         return None
     source = _emit_trace(
-        table.engine, table.geom, table.params, head, segments
+        table.engine, table.geom, table.params, head, segments, table.sched
     )
     code = compile(source, f"<tracejit:{table.engine}:{head:#x}>", "exec")
     exec(code, table._ns)  # noqa: S102 - executing our own codegen

@@ -58,6 +58,7 @@ from repro.isa.semantics import execute
 from repro.memory.machine import Machine, MemoryBus, mem_stall_cycles
 from repro.pipelines.inorder import InOrderCore, RunResult
 from repro.pipelines.ooo.predictor import GsharePredictor, IndirectPredictor
+from repro.pipelines.ooo.sched import ooo_sched, sched_override
 from repro.pipelines.state import CoreState
 
 _MMIO_BASE = layout.MMIO_BASE
@@ -174,9 +175,25 @@ class ComplexCore:
         behaviourally-identical oracle both are tested against.
         """
         if max_instructions is None and blockjit.jit_enabled():
-            table = blockjit.block_table(self.machine, "ooo", self.params)
-            return blockjit.run_ooo(self, table, honor_watchdog)
+            with sched_override(self._effective_sched()):
+                table = blockjit.block_table(self.machine, "ooo", self.params)
+                return blockjit.run_ooo(self, table, honor_watchdog)
         return self._run_interp(max_instructions, honor_watchdog)
+
+    def _effective_sched(self) -> str:
+        """The timing scheduler this core actually runs under.
+
+        The event engine inlines the standard 2^16 predictor geometry
+        into generated/specialized code; a core carrying non-standard
+        predictor masks (never the case outside bespoke experiments)
+        falls back to the scan engine rather than mis-simulating.
+        """
+        sched = ooo_sched()
+        if sched == "event" and (
+            self.gshare.mask != 0xFFFF or self.indirect.mask != 0xFFFF
+        ):
+            return "scan"
+        return sched
 
     def _run_interp(
         self,
@@ -184,6 +201,10 @@ class ComplexCore:
         honor_watchdog: bool = True,
     ) -> RunResult:
         """The specialized per-instruction hot loop (see :meth:`run`)."""
+        if self._effective_sched() == "event":
+            from repro.pipelines.ooo.event import run_interp_event
+
+            return run_interp_event(self, max_instructions, honor_watchdog)
         state = self.state
         machine = self.machine
         program = machine.program

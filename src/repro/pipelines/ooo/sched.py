@@ -1,0 +1,90 @@
+"""Complex-core timing-scheduler selection (``REPRO_OOO_SCHED``).
+
+The out-of-order core has two bit-identical timing engines:
+
+``scan``
+    The original formulation: per-cycle dict scans over the dispatch /
+    issue / commit width maps and deque-backed ROB / IQ / LSQ occupancy
+    checks, exactly mirroring :meth:`ComplexCore.run_reference`.
+
+``event``
+    The event-driven formulation: per-instruction dependency and
+    resource metadata is precomputed at decode time (cached alongside
+    the blockjit codegen cache under the same program digest), the
+    deques become preallocated rings indexed by monotone cursors,
+    retirement is batched through a commit-frontier pair instead of a
+    width-map scan, and idle cycles between completions are skipped
+    rather than simulated.  Cycle- and digest-identical to ``scan`` by
+    construction (see ``docs/performance.md``); the differential fuzz
+    suite and the CI parity matrix enforce it.
+
+Selection mirrors the JIT tier machinery in :mod:`repro.isa.blockjit`
+(``REPRO_JIT_TIER``): an environment variable, a ContextVar-scoped
+override for in-process callers (CLI flags, service executors), and a
+module default.  The effective scheduler is pinned into service
+coalesce digests exactly like the effective JIT tier.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator
+
+#: Recognized complex-core timing schedulers.
+SCHEDS = ("scan", "event")
+
+#: Scheduler used when nothing (env, override) says otherwise.  The
+#: event engine is bit-identical to the scan engine and strictly
+#: faster, so it is the default; ``REPRO_OOO_SCHED=scan`` keeps the
+#: original formulation selectable for differential testing.
+DEFAULT_SCHED = "event"
+
+_SCHED_OVERRIDE: ContextVar[str | None] = ContextVar(
+    "repro_ooo_sched", default=None
+)
+
+
+def _env_sched() -> str:
+    """Scheduler selected by the environment alone."""
+    sched = os.environ.get("REPRO_OOO_SCHED", "").strip().lower()
+    if sched in SCHEDS:
+        return sched
+    return DEFAULT_SCHED
+
+
+def ooo_sched() -> str:
+    """The active OOO timing scheduler: ``"scan"`` or ``"event"``.
+
+    An active :func:`sched_override` wins; otherwise the environment
+    decides (see :func:`_env_sched`).
+    """
+    override = _SCHED_OVERRIDE.get()
+    if override is None:
+        return _env_sched()
+    return override
+
+
+@contextmanager
+def sched_override(value: str | None) -> Iterator[None]:
+    """Scoped scheduler override (``None`` defers to the environment).
+
+    ContextVar-based like :func:`repro.isa.blockjit.tier_override` so
+    concurrent in-process callers never observe each other's setting.
+    """
+    if value is not None and value not in SCHEDS:
+        raise ValueError(f"unknown OOO scheduler {value!r}")
+    token = _SCHED_OVERRIDE.set(value)
+    try:
+        yield
+    finally:
+        _SCHED_OVERRIDE.reset(token)
+
+
+__all__ = [
+    "SCHEDS",
+    "DEFAULT_SCHED",
+    "ooo_sched",
+    "sched_override",
+]

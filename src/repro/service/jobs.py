@@ -132,6 +132,27 @@ def _tier_field(payload: JSONDict) -> str:
     return str(tier)
 
 
+def _sched_field(payload: JSONDict) -> str:
+    """Resolve the effective OOO timing scheduler for a payload.
+
+    Same pattern as :func:`_tier_field`: when the submission names no
+    scheduler, the server's environment-selected one
+    (``REPRO_OOO_SCHED``) is pinned into the normalized payload, so the
+    coalesce key distinguishes submissions that would execute under
+    different schedulers.
+    """
+    from repro.pipelines.ooo.sched import SCHEDS, ooo_sched
+
+    sched = payload.get("ooo_sched")
+    if sched is None:
+        return ooo_sched()
+    _require(
+        isinstance(sched, str) and sched in SCHEDS,
+        f"ooo_sched must be one of {list(SCHEDS)}",
+    )
+    return str(sched)
+
+
 # -- normalization (server side) -------------------------------------------------
 
 
@@ -140,7 +161,7 @@ def _normalize_run(payload: JSONDict) -> JSONDict:
         payload,
         frozenset(
             {"workload", "scale", "deadline", "instances", "flush_rate",
-             "no_cache", "no_jit", "jit_tier"}
+             "no_cache", "no_jit", "jit_tier", "ooo_sched"}
         ),
     )
     deadline = payload.get("deadline", "tight")
@@ -170,6 +191,7 @@ def _normalize_run(payload: JSONDict) -> JSONDict:
         "no_cache": _bool_field(payload, "no_cache", False),
         "no_jit": tier == "off",
         "jit_tier": tier,
+        "ooo_sched": _sched_field(payload),
     }
 
 
@@ -251,7 +273,7 @@ def _normalize_experiment(payload: JSONDict) -> JSONDict:
         payload,
         frozenset(
             {"name", "scale", "instances", "jobs", "no_cache", "no_jit",
-             "jit_tier"}
+             "jit_tier", "ooo_sched"}
         ),
     )
     name = payload.get("name")
@@ -268,6 +290,7 @@ def _normalize_experiment(payload: JSONDict) -> JSONDict:
         "no_cache": _bool_field(payload, "no_cache", False),
         "no_jit": tier == "off",
         "jit_tier": tier,
+        "ooo_sched": _sched_field(payload),
     }
 
 
@@ -348,11 +371,13 @@ def coalesce_key(kind: str, payload: JSONDict) -> str:
 def _execute_run(payload: JSONDict) -> JSONDict:
     from repro.experiments.common import flush_set, run_pair, setup
     from repro.isa import blockjit
+    from repro.pipelines.ooo.sched import sched_override
     from repro.snapshot import runcache
 
     tier = payload.get("jit_tier") or ("off" if payload["no_jit"] else None)
     with runcache.no_cache_override(payload["no_cache"] or None), \
-            blockjit.tier_override(tier):
+            blockjit.tier_override(tier), \
+            sched_override(payload.get("ooo_sched")):
         prep = setup(payload["workload"], payload["scale"])
         deadline = payload["deadline"]
         if deadline == "tight":
@@ -437,6 +462,7 @@ def _execute_lint(payload: JSONDict) -> JSONDict:
 def _execute_experiment(payload: JSONDict) -> JSONDict:
     from repro.experiments import ablations, figure2, figure3, figure4, table3
     from repro.isa import blockjit
+    from repro.pipelines.ooo.sched import sched_override
     from repro.snapshot import runcache
 
     name = payload["name"]
@@ -445,7 +471,8 @@ def _execute_experiment(payload: JSONDict) -> JSONDict:
     jobs = int(payload["jobs"])
     tier = payload.get("jit_tier") or ("off" if payload["no_jit"] else None)
     with runcache.no_cache_override(payload["no_cache"] or None), \
-            blockjit.tier_override(tier):
+            blockjit.tier_override(tier), \
+            sched_override(payload.get("ooo_sched")):
         rows: list[Any]
         if name == "table3":
             rows = table3.run(scale=scale, jobs=jobs)
